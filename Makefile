@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples fmt
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/comm/ ./internal/dist/ ./internal/ps/
+
+# One pass over every benchmark (each experiment bench runs its full
+# quick workload once).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every paper figure/table and ablation.
+experiments:
+	$(GO) run ./cmd/fftpaper -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/quantization
+	$(GO) run ./examples/perfguide
+	$(GO) run ./examples/recovery
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/tcpcluster
+	$(GO) run ./examples/faulttolerance
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,56 @@
+package fftgrad
+
+// One benchmark per paper table/figure: each drives the same code path as
+// the corresponding experiment in internal/experiments (Quick mode, output
+// discarded), so `go test -bench=.` regenerates the evaluation end to end
+// and reports how long each artifact takes to reproduce. Primitive-level
+// benchmarks for the packing claim of Sec. 3.2 live in internal/pack;
+// per-compressor microbenchmarks live in internal/compress.
+
+import (
+	"io"
+	"testing"
+
+	"fftgrad/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	opts := experiments.Options{Out: io.Discard, Quick: true, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2LayerwiseCommComp(b *testing.B)    { benchExperiment(b, "fig2") }
+func BenchmarkFig4GradientHistogram(b *testing.B)    { benchExperiment(b, "fig4") }
+func BenchmarkFig5FFTvsTopK(b *testing.B)            { benchExperiment(b, "fig5") }
+func BenchmarkFig6StatusVectorOverhead(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkFig7QuantSchemes(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFig9AdjustableRange(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10MinimalRatio(b *testing.B)        { benchExperiment(b, "fig10") }
+func BenchmarkFig11AllgatherLatency(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12AlphaVerification(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkFig13ThetaConvergence(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig13CNN(b *testing.B)                 { benchExperiment(b, "fig13cnn") }
+func BenchmarkFig14WallTime(b *testing.B)            { benchExperiment(b, "fig14") }
+func BenchmarkTable2EndToEnd(b *testing.B)           { benchExperiment(b, "table2") }
+func BenchmarkFig15ReconstructionError(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16WeakScaling(b *testing.B)         { benchExperiment(b, "fig16") }
+
+// Design-choice ablations (DESIGN.md §5).
+func BenchmarkAblTransform(b *testing.B)  { benchExperiment(b, "abl-transform") }
+func BenchmarkAblQuant(b *testing.B)      { benchExperiment(b, "abl-quant") }
+func BenchmarkAblSelect(b *testing.B)     { benchExperiment(b, "abl-select") }
+func BenchmarkAblPack(b *testing.B)       { benchExperiment(b, "abl-pack") }
+func BenchmarkAblSchedule(b *testing.B)   { benchExperiment(b, "abl-schedule") }
+func BenchmarkAblCollective(b *testing.B) { benchExperiment(b, "abl-collective") }
+func BenchmarkAblFeedback(b *testing.B)   { benchExperiment(b, "abl-feedback") }
+func BenchmarkAblBitmap(b *testing.B)     { benchExperiment(b, "abl-bitmap") }
+func BenchmarkAblChunk(b *testing.B)      { benchExperiment(b, "abl-chunk") }

@@ -1,0 +1,114 @@
+// Command compressbench measures the throughput of every compression
+// primitive on this machine (the CPU analogue of the paper's Table 1
+// rates), then feeds the measurements into the Sec. 3.3 analytic model to
+// print the minimal beneficial compression ratio per network fabric —
+// i.e. it answers "should I enable compression here, and at what θ?".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fftgrad/internal/cfft"
+	"fftgrad/internal/compress"
+	"fftgrad/internal/f16"
+	"fftgrad/internal/pack"
+	"fftgrad/internal/perfmodel"
+	"fftgrad/internal/quant"
+	"fftgrad/internal/stats"
+	"fftgrad/internal/topk"
+)
+
+func main() {
+	mega := flag.Int("mb", 64, "working-set size in MB of FP32 gradients")
+	iters := flag.Int("iters", 5, "timing repetitions (max rate wins)")
+	flag.Parse()
+
+	n := *mega << 20 / 4
+	r := rand.New(rand.NewSource(1))
+	grad := make([]float32, n)
+	for i := range grad {
+		grad[i] = float32(r.NormFloat64() * 0.1)
+	}
+	bytes := float64(n * 4)
+
+	rate := func(name string, fn func()) float64 {
+		best := 0.0
+		for i := 0; i < *iters; i++ {
+			start := time.Now()
+			fn()
+			el := time.Since(start).Seconds()
+			if rps := bytes / el; rps > best {
+				best = rps
+			}
+		}
+		fmt.Printf("%-28s %8.2f GB/s\n", name, best/1e9)
+		return best
+	}
+
+	fmt.Printf("compression primitive throughputs (%d MB working set):\n", *mega)
+
+	halves := make([]f16.Bits, n)
+	tm := rate("precision conversion (Tm)", func() { f16.EncodeSlice(halves, grad) })
+
+	sig := make([]float64, cfft.NextPow2(n))
+	for i, v := range grad {
+		sig[i] = float64(v)
+	}
+	plan := cfft.NewRealPlan(len(sig))
+	spec := make([]complex128, plan.SpectrumLen())
+	tf := rate("real FFT (Tf)", func() { plan.Forward(spec, sig) })
+
+	mags := make([]float64, n)
+	for i, v := range grad {
+		m := float64(v)
+		if m < 0 {
+			m = -m
+		}
+		mags[i] = m
+	}
+	ts := rate("top-k selection (Ts)", func() { topk.KthLargestBucket(mags, n/10) })
+
+	tp := rate("sparse packing (Tp)", func() { pack.PackNonzero(grad) })
+
+	q, err := quant.Tune(10, -1, 1, grad[:4096])
+	if err != nil {
+		fmt.Println("quantizer tuning failed:", err)
+		return
+	}
+	codes := make([]uint32, n)
+	rate("range quantization", func() { q.EncodeSlice(codes, grad) })
+
+	fftc := compress.NewFFT(0.85)
+	rate("full FFT pipeline", func() {
+		if _, err := fftc.Compress(grad); err != nil {
+			panic(err)
+		}
+	})
+
+	// Feed the measured rates into the Sec. 3.3 model.
+	t := perfmodel.Throughputs{Tm: tm, Tf: tf, Tp: tp, Ts: ts}
+	fmt.Printf("\nminimal beneficial compression ratio (Eq. 4) with these rates:\n")
+	tab := &stats.Table{Headers: []string{"network", "min ratio k", "verdict"}}
+	for _, net := range []struct {
+		name  string
+		tcomm float64
+	}{
+		{"1 Gbps Ethernet", 1e9 / 8},
+		{"10 Gbps Ethernet", 10e9 / 8},
+		{"56 Gbps FDR InfiniBand", 56e9 / 8},
+		{"100 Gbps EDR InfiniBand", 100e9 / 8},
+	} {
+		k, err := perfmodel.MinBeneficialRatio(net.tcomm, t)
+		if err != nil {
+			tab.AddRow(net.name, "-", "compression cannot help")
+			continue
+		}
+		tab.AddRow(net.name, k, fmt.Sprintf("compress when ratio > %.1f", k))
+	}
+	fmt.Print(tab.String())
+	fmt.Printf("\nno ratio helps on links faster than %.1f Gbps with this pipeline\n",
+		perfmodel.MaxTolerableTcomm(t)*8/1e9)
+}

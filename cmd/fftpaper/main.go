@@ -1,0 +1,64 @@
+// Command fftpaper regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints the data series its figure
+// plots plus CHECK lines for the qualitative properties it demonstrates.
+//
+// Usage:
+//
+//	fftpaper -list
+//	fftpaper -exp fig13
+//	fftpaper -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fftgrad/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig2..fig16, table2) or 'all'")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Out: os.Stdout, Quick: *quick, Seed: *seed}
+	run := func(e experiments.Experiment) error {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(opts); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("--- %s done in %.1fs ---\n\n", e.ID, time.Since(start).Seconds())
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, ok := experiments.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

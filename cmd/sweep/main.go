@@ -1,0 +1,120 @@
+// Command sweep explores the compression design space: for a grid of
+// drop ratios θ and quantizer widths N it reports the achieved ratio, the
+// reconstruction error, and the measured codec time of the FFT pipeline
+// (with spatial Top-k at the same θ as the reference point). This is the
+// tool for choosing an operating point before a long training run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fftgrad/internal/compress"
+	"fftgrad/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 1<<20, "gradient length (floats)")
+	thetaList := flag.String("thetas", "0.5,0.7,0.85,0.95,0.99", "comma-separated drop ratios")
+	bitsList := flag.String("bits", "6,8,10,12", "comma-separated quantizer widths")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	thetas, err := parseFloats(*thetaList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -thetas:", err)
+		os.Exit(2)
+	}
+	bits, err := parseInts(*bitsList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -bits:", err)
+		os.Exit(2)
+	}
+
+	grad := correlated(*n, *seed)
+	rec := make([]float32, *n)
+
+	fmt.Printf("FFT pipeline sweep on a %d-element correlated gradient (%.1f MB):\n\n",
+		*n, float64(*n*4)/(1<<20))
+	t := &stats.Table{Headers: []string{"θ", "quant bits", "ratio", "relL2 err", "codec ms"}}
+	for _, theta := range thetas {
+		for _, b := range bits {
+			c := compress.NewFFT(theta)
+			c.QuantBits = b
+			start := time.Now()
+			msg, err := c.Compress(grad)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := c.Decompress(rec, msg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			el := time.Since(start).Seconds() * 1e3
+			t.AddRow(theta, b, compress.Ratio(*n, msg), stats.RelL2(grad, rec), el)
+		}
+	}
+	fmt.Print(t.String())
+
+	fmt.Printf("\nspatial Top-k reference at the same θ:\n")
+	t2 := &stats.Table{Headers: []string{"θ", "ratio", "relL2 err"}}
+	for _, theta := range thetas {
+		c := compress.NewTopK(theta)
+		msg, err := c.Compress(grad)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := c.Decompress(rec, msg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t2.AddRow(theta, compress.Ratio(*n, msg), stats.RelL2(grad, rec))
+	}
+	fmt.Print(t2.String())
+	fmt.Println("\npick the smallest error whose ratio clears your network's minimal k" +
+		" (see cmd/compressbench / examples/perfguide)")
+}
+
+func correlated(n int, seed int64) []float32 {
+	r := rand.New(rand.NewSource(seed))
+	x := make([]float32, n)
+	v := 0.0
+	for i := range x {
+		v = 0.97*v + 0.03*r.NormFloat64()
+		x[i] = float32(0.1*v + 0.002*r.NormFloat64())
+	}
+	return x
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,19 @@
+// Package fftgrad reproduces "FFT-based Gradient Sparsification for the
+// Distributed Training of Deep Neural Networks" (Wang et al., HPDC 2020)
+// as a self-contained Go library: the FFT-domain sparsifier, the
+// range-based N-bit float quantizer, the parallel sparse packing, the
+// QSGD/TernGrad/Top-k baselines, a from-scratch DNN training substrate, a
+// BSP data-parallel trainer over in-process collectives, the Sec. 3.3
+// analytic performance model, and an experiment harness regenerating
+// every table and figure of the paper's evaluation.
+//
+// Entry points:
+//
+//   - internal/compress — the Compressor interface and all five algorithms
+//   - internal/dist     — BSP data-parallel training with compression
+//   - internal/experiments + cmd/fftpaper — paper figure regeneration
+//   - examples/         — runnable walkthroughs
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package fftgrad

@@ -1,0 +1,65 @@
+// Perfguide: use the Sec. 3.3 analytic model to decide, for a given
+// cluster, whether gradient compression pays off and which θ to pick —
+// the "guidance" contribution of the paper turned into a utility.
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"fftgrad/internal/models"
+	"fftgrad/internal/netsim"
+	"fftgrad/internal/perfmodel"
+	"fftgrad/internal/stats"
+)
+
+func main() {
+	// Your pipeline's primitive throughputs. Use `compressbench` to
+	// measure them on real hardware; here we use the paper's GPU-class
+	// reference rates.
+	t := perfmodel.GPUReference()
+
+	fmt.Println("Step 1 — is compression worth enabling at all?")
+	tab := &stats.Table{Headers: []string{"network", "min beneficial ratio k"}}
+	nets := []struct {
+		name    string
+		profile netsim.Profile
+	}{
+		{"1 Gbps Ethernet", netsim.Ethernet1G},
+		{"10 Gbps Ethernet", netsim.Ethernet10G},
+		{"56 Gbps FDR InfiniBand", netsim.InfiniBandFDR},
+	}
+	for _, n := range nets {
+		k, err := perfmodel.MinBeneficialRatio(n.profile.Bandwidth, t)
+		if errors.Is(err, perfmodel.ErrNoBeneficialRatio) {
+			tab.AddRow(n.name, "never (pipeline too slow)")
+			continue
+		} else if err != nil {
+			panic(err)
+		}
+		tab.AddRow(n.name, k)
+	}
+	fmt.Print(tab.String())
+
+	fmt.Println("\nStep 2 — pick θ: the FFT pipeline's ratio at θ with 10-bit quantization")
+	fmt.Println("is roughly 32 / (16·(1-θ)·(10/16) + 0.5) including the bin bitmap:")
+	thetaTab := &stats.Table{Headers: []string{"θ", "approx ratio", "enough for FDR (k≈35)?"}}
+	kFDR, _ := perfmodel.MinBeneficialRatio(netsim.InfiniBandFDR.Bandwidth, t)
+	for _, theta := range []float64{0.5, 0.7, 0.85, 0.95} {
+		// values: (1-θ)/2 bins kept × 2 coeffs × 10 bits over 32n bits,
+		// bitmap: 0.5 bit per element.
+		bits := (1-theta)*10 + 0.5
+		ratio := 32 / bits
+		thetaTab.AddRow(theta, ratio, ratio > kFDR)
+	}
+	fmt.Print(thetaTab.String())
+
+	fmt.Println("\nStep 3 — sanity-check the end-to-end win on your model:")
+	alex := models.AlexNetImageNetProfile()
+	m := alex.TotalGradBytes()
+	with, without := perfmodel.EndToEnd(m, netsim.InfiniBandFDR.Bandwidth, 16, t)
+	fmt.Printf("AlexNet (%d MB gradient) on FDR at ratio 16: %.1f ms vs %.1f ms uncompressed (%.2fx)\n",
+		m>>20, with*1e3, without*1e3, without/with)
+	fmt.Println("\nrule of thumb: fast network ⇒ you need the FULL pipeline (sparsify + " +
+		"quantize) to clear the bar; slow network ⇒ even mild Top-k helps")
+}

@@ -1,0 +1,57 @@
+// Recovery: demonstrate the paper's Theorem 3.5 recipe — training with an
+// aggressive θ=0.9 stalls at an error floor, but dropping θ to 0 halfway
+// through recovers the lossless trajectory (Fig. 13).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fftgrad/internal/compress"
+	"fftgrad/internal/data"
+	"fftgrad/internal/dist"
+	"fftgrad/internal/models"
+	"fftgrad/internal/nn"
+	"fftgrad/internal/optim"
+	"fftgrad/internal/sparsify"
+	"fftgrad/internal/stats"
+)
+
+func main() {
+	train, test := data.GaussianBlobs(3584, 8, 24, 0.9, 11).Split(3072)
+	const epochs = 6
+
+	run := func(name string, sched sparsify.Schedule) []dist.EpochStats {
+		res, err := dist.Train(dist.Config{
+			Workers: 4, Batch: 16, Epochs: epochs, Seed: 11,
+			Momentum:      0.9,
+			LR:            optim.ConstLR(0.05),
+			Model:         func(s int64) *nn.Network { return models.MLP(24, 48, 8, s) },
+			Train:         train,
+			Test:          test,
+			NewCompressor: func() compress.Compressor { return compress.NewFFT(0) },
+			ThetaSchedule: sched,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Epochs
+	}
+
+	baseline := run("sgd", sparsify.Const(0))
+	stuck := run("θ=0.9 fixed", sparsify.Const(0.9))
+	recovered := run("θ=0.9→0", sparsify.StepDrop{Initial: 0.9, Final: 0, DropEpoch: epochs / 2})
+
+	t := &stats.Table{Headers: []string{"epoch", "SGD loss", "θ=0.9 loss", "θ=0.9→0 loss", "θ in effect"}}
+	for i := range baseline {
+		t.AddRow(i, baseline[i].TrainLoss, stuck[i].TrainLoss, recovered[i].TrainLoss, recovered[i].Theta)
+	}
+	fmt.Print(t.String())
+
+	last := epochs - 1
+	fmt.Printf("\nθ=0.9 ends %.1fx above the SGD loss; the θ=0.9→0 schedule ends %.1fx above\n",
+		stuck[last].TrainLoss/baseline[last].TrainLoss,
+		recovered[last].TrainLoss/baseline[last].TrainLoss)
+	fmt.Println("recipe: when an aggressive compression ratio stalls training, shrink θ — " +
+		"convergence is guaranteed for θ_t² = L·η_t (Theorem 3.5)")
+}

@@ -1,0 +1,3 @@
+module fftgrad
+
+go 1.22

@@ -1,0 +1,324 @@
+// Package cfft implements fast Fourier transforms from scratch: an
+// iterative radix-2 Cooley-Tukey transform for power-of-two lengths, a
+// Bluestein chirp-z transform for arbitrary lengths, and a real-input
+// transform that maps a length-n real signal onto a length-n/2 complex
+// transform.
+//
+// This is the substrate for the paper's FFT-based gradient sparsification
+// (Sec. 3.1.1): the gradient is linearized into a 1-D signal, transformed,
+// thresholded in the frequency domain, and inverse-transformed on the
+// receiver. The paper uses cuFFT; here the same transforms run on the CPU
+// in float64 so the sparsification error measured by the experiments is
+// dominated by the *dropped coefficients*, not by transform round-off.
+package cfft
+
+import (
+	"math"
+	"math/bits"
+
+	"fftgrad/internal/parallel"
+)
+
+// Plan holds the precomputed state (twiddle factors and the bit-reversal
+// permutation) for transforms of one fixed power-of-two length. Plans are
+// safe for concurrent use by multiple goroutines once created.
+type Plan struct {
+	n       int
+	logN    int
+	twiddle []complex128 // twiddle[k] = exp(-2πi k / n), k in [0, n/2)
+	rev     []int32      // bit-reversal permutation
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n (n must be > 0).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// NewPlan creates a transform plan for length n, which must be a positive
+// power of two.
+func NewPlan(n int) *Plan {
+	if !IsPow2(n) {
+		panic("cfft: plan length must be a power of two")
+	}
+	p := &Plan{
+		n:       n,
+		logN:    bits.TrailingZeros(uint(n)),
+		twiddle: make([]complex128, n/2),
+		rev:     make([]int32, n),
+	}
+	for k := 0; k < n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	for i := 0; i < n; i++ {
+		p.rev[i] = int32(bits.Reverse(uint(i)) >> (bits.UintSize - p.logN))
+	}
+	return p
+}
+
+// N returns the transform length of the plan.
+func (p *Plan) N() int { return p.n }
+
+// Forward computes the unnormalized forward DFT of src into dst:
+//
+//	dst[k] = Σ_j src[j] · exp(-2πi jk / n)
+//
+// dst and src must both have length n; they may be the same slice.
+func (p *Plan) Forward(dst, src []complex128) {
+	p.transform(dst, src, false)
+}
+
+// Inverse computes the inverse DFT of src into dst, normalized by 1/n, so
+// that Inverse(Forward(x)) == x up to round-off. dst and src must both have
+// length n; they may be the same slice.
+func (p *Plan) Inverse(dst, src []complex128) {
+	p.transform(dst, src, true)
+	scale := complex(1/float64(p.n), 0)
+	for i := range dst {
+		dst[i] *= scale
+	}
+}
+
+// transform runs the iterative radix-2 butterflies. inverse selects
+// conjugated twiddles (no scaling applied here).
+func (p *Plan) transform(dst, src []complex128, inverse bool) {
+	n := p.n
+	if len(dst) != n || len(src) != n {
+		panic("cfft: slice length does not match plan")
+	}
+	// Bit-reversal reorder. When dst and src alias we must swap in place.
+	if &dst[0] == &src[0] {
+		for i := 0; i < n; i++ {
+			j := int(p.rev[i])
+			if i < j {
+				dst[i], dst[j] = dst[j], dst[i]
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			dst[i] = src[p.rev[i]]
+		}
+	}
+
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size // stride through the twiddle table
+		blocks := n / size
+		// Parallelize across independent butterfly blocks when the work
+		// is large. Each block touches a disjoint [start,start+size) range.
+		if n >= 1<<15 && blocks > 1 {
+			parallel.ForGrain(blocks, 4, func(lo, hi int) {
+				for b := lo; b < hi; b++ {
+					start := b * size
+					butterflies(dst[start:start+size], p.twiddle, half, step, inverse)
+				}
+			})
+		} else {
+			for b := 0; b < blocks; b++ {
+				start := b * size
+				butterflies(dst[start:start+size], p.twiddle, half, step, inverse)
+			}
+		}
+	}
+}
+
+// butterflies applies one radix-2 stage within a single block.
+func butterflies(block []complex128, twiddle []complex128, half, step int, inverse bool) {
+	for k := 0; k < half; k++ {
+		w := twiddle[k*step]
+		if inverse {
+			w = complex(real(w), -imag(w))
+		}
+		a := block[k]
+		b := block[k+half] * w
+		block[k] = a + b
+		block[k+half] = a - b
+	}
+}
+
+// FFT computes the unnormalized forward DFT of x, of any positive length,
+// returning a new slice. Power-of-two lengths use the radix-2 path;
+// other lengths use Bluestein's algorithm.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	if IsPow2(n) {
+		NewPlan(n).Forward(out, x)
+		return out
+	}
+	bluestein(out, x, false)
+	return out
+}
+
+// IFFT computes the normalized (1/n) inverse DFT of x, of any positive
+// length, returning a new slice.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	if IsPow2(n) {
+		NewPlan(n).Inverse(out, x)
+		return out
+	}
+	bluestein(out, x, true)
+	scale := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// bluestein computes the (unnormalized) DFT of arbitrary length via the
+// chirp-z transform: x[j]·a[j] convolved with b, where a and b are chirps.
+func bluestein(dst, src []complex128, inverse bool) {
+	n := len(src)
+	m := NextPow2(2*n - 1)
+	plan := NewPlan(m)
+
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[j] = exp(sign·πi j² / n)
+	chirp := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		// j² mod 2n avoids precision loss for large j.
+		jj := (int64(j) * int64(j)) % int64(2*n)
+		ang := sign * math.Pi * float64(jj) / float64(n)
+		chirp[j] = complex(math.Cos(ang), math.Sin(ang))
+	}
+
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for j := 0; j < n; j++ {
+		a[j] = src[j] * chirp[j]
+		c := complex(real(chirp[j]), -imag(chirp[j])) // conj
+		b[j] = c
+		if j != 0 {
+			b[m-j] = c
+		}
+	}
+
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	parallel.Run(
+		func() { plan.Forward(fa, a) },
+		func() { plan.Forward(fb, b) },
+	)
+	for i := 0; i < m; i++ {
+		fa[i] *= fb[i]
+	}
+	plan.Inverse(fa, fa)
+	for k := 0; k < n; k++ {
+		dst[k] = fa[k] * chirp[k]
+	}
+}
+
+// RealPlan performs forward/inverse transforms of real-valued signals of a
+// fixed even power-of-two length n, producing the n/2+1 non-redundant
+// spectrum bins. It uses the standard trick of transforming the length-n
+// real signal as a length-n/2 complex signal followed by an untangling
+// pass, halving the transform work relative to a padded complex FFT.
+type RealPlan struct {
+	n    int
+	half *Plan
+	// untw[k] = exp(-2πi k / n) for the untangle pass, k in [0, n/2]
+	untw []complex128
+}
+
+// NewRealPlan creates a real-transform plan. n must be a power of two >= 2.
+func NewRealPlan(n int) *RealPlan {
+	if !IsPow2(n) || n < 2 {
+		panic("cfft: real plan length must be a power of two >= 2")
+	}
+	rp := &RealPlan{n: n, half: NewPlan(n / 2), untw: make([]complex128, n/2+1)}
+	for k := 0; k <= n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		rp.untw[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	return rp
+}
+
+// N returns the real signal length.
+func (rp *RealPlan) N() int { return rp.n }
+
+// SpectrumLen returns the number of non-redundant complex bins, n/2+1.
+func (rp *RealPlan) SpectrumLen() int { return rp.n/2 + 1 }
+
+// Forward computes the non-redundant half spectrum of the real signal x.
+// spec must have length n/2+1. spec[0] and spec[n/2] have zero imaginary
+// parts (DC and Nyquist bins).
+func (rp *RealPlan) Forward(spec []complex128, x []float64) {
+	n := rp.n
+	if len(x) != n || len(spec) != n/2+1 {
+		panic("cfft: bad real forward lengths")
+	}
+	h := n / 2
+	z := make([]complex128, h)
+	for j := 0; j < h; j++ {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	rp.half.Forward(z, z)
+
+	// Untangle: X[k] = (Z[k]+conj(Z[h-k]))/2 - i·w^k·(Z[k]-conj(Z[h-k]))/2
+	for k := 0; k <= h; k++ {
+		var zk, zmk complex128
+		if k == h {
+			zk = z[0]
+		} else {
+			zk = z[k]
+		}
+		if k == 0 {
+			zmk = z[0]
+		} else {
+			zmk = z[h-k]
+		}
+		zmk = complex(real(zmk), -imag(zmk))
+		even := (zk + zmk) * 0.5
+		odd := (zk - zmk) * complex(0, -0.5)
+		spec[k] = even + rp.untw[k]*odd
+	}
+	// Enforce exactly-real DC and Nyquist bins.
+	spec[0] = complex(real(spec[0]), 0)
+	spec[h] = complex(real(spec[h]), 0)
+}
+
+// Inverse reconstructs the real signal from its half spectrum (normalized:
+// Inverse(Forward(x)) == x up to round-off). x must have length n, spec
+// length n/2+1. spec is not modified.
+func (rp *RealPlan) Inverse(x []float64, spec []complex128) {
+	n := rp.n
+	if len(x) != n || len(spec) != n/2+1 {
+		panic("cfft: bad real inverse lengths")
+	}
+	h := n / 2
+	z := make([]complex128, h)
+	// Retangle: Z[k] = E[k] + i·conj(w^k)·O[k] where E,O derive from spec.
+	for k := 0; k < h; k++ {
+		xk := spec[k]
+		xmk := spec[h-k]
+		xmk = complex(real(xmk), -imag(xmk))
+		even := (xk + xmk) * 0.5
+		odd := (xk - xmk) * 0.5
+		// invert the untangle rotation
+		w := rp.untw[k]
+		wc := complex(real(w), -imag(w))
+		z[k] = even + complex(0, 1)*wc*odd
+	}
+	rp.half.Inverse(z, z)
+	for j := 0; j < h; j++ {
+		x[2*j] = real(z[j])
+		x[2*j+1] = imag(z[j])
+	}
+}

@@ -1,0 +1,39 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the checkpoint reader: corrupt input
+// must produce errors, never panics, and anything that parses must
+// re-serialize to an equivalent state.
+func FuzzRead(f *testing.F) {
+	var valid bytes.Buffer
+	if err := Write(&valid, &State{Epoch: 3, Iter: 77, Params: []float32{1, 2, 3}, Velocity: []float32{4, 5, 6}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("FGCK"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must round-trip losslessly.
+		var buf bytes.Buffer
+		if err := Write(&buf, st); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		st2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if st2.Epoch != st.Epoch || st2.Iter != st.Iter ||
+			len(st2.Params) != len(st.Params) || len(st2.Velocity) != len(st.Velocity) {
+			t.Fatal("round trip changed the state")
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// runRanks executes body on every rank concurrently and waits.
+func runRanks(c *Cluster, body func(cm *Comm)) {
+	var wg sync.WaitGroup
+	for r := 0; r < c.P(); r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			body(c.Rank(rank))
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestAllgatherOrder(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8} {
+		c := NewCluster(p)
+		results := make([][][]byte, p)
+		runRanks(c, func(cm *Comm) {
+			msg := []byte(fmt.Sprintf("rank-%d", cm.RankID()))
+			results[cm.RankID()] = cm.Allgather(msg)
+		})
+		for r := 0; r < p; r++ {
+			if len(results[r]) != p {
+				t.Fatalf("p=%d rank %d got %d messages", p, r, len(results[r]))
+			}
+			for s := 0; s < p; s++ {
+				want := fmt.Sprintf("rank-%d", s)
+				if string(results[r][s]) != want {
+					t.Fatalf("p=%d rank %d slot %d = %q", p, r, s, results[r][s])
+				}
+			}
+		}
+	}
+}
+
+func TestAllgatherRepeated(t *testing.T) {
+	c := NewCluster(4)
+	runRanks(c, func(cm *Comm) {
+		for round := 0; round < 50; round++ {
+			msg := []byte{byte(cm.RankID()), byte(round)}
+			got := cm.Allgather(msg)
+			for s := 0; s < 4; s++ {
+				if got[s][0] != byte(s) || got[s][1] != byte(round) {
+					t.Errorf("round %d rank %d slot %d corrupted: %v", round, cm.RankID(), s, got[s])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestBroadcast(t *testing.T) {
+	c := NewCluster(5)
+	var mu sync.Mutex
+	seen := map[int]string{}
+	runRanks(c, func(cm *Comm) {
+		var payload []byte
+		if cm.RankID() == 2 {
+			payload = []byte("from-root")
+		}
+		got := cm.Broadcast(payload, 2)
+		mu.Lock()
+		seen[cm.RankID()] = string(got)
+		mu.Unlock()
+	})
+	for r := 0; r < 5; r++ {
+		if seen[r] != "from-root" {
+			t.Fatalf("rank %d got %q", r, seen[r])
+		}
+	}
+}
+
+func TestAllreduceSums(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		for _, n := range []int{1, 2, p, 100, 1000} {
+			c := NewCluster(p)
+			bufs := make([][]float32, p)
+			want := make([]float64, n)
+			r := rand.New(rand.NewSource(int64(p*1000 + n)))
+			for rank := 0; rank < p; rank++ {
+				bufs[rank] = make([]float32, n)
+				for i := range bufs[rank] {
+					bufs[rank][i] = float32(r.Intn(100)) // integers: exact sums
+					want[i] += float64(bufs[rank][i])
+				}
+			}
+			runRanks(c, func(cm *Comm) {
+				cm.Allreduce(bufs[cm.RankID()])
+			})
+			for rank := 0; rank < p; rank++ {
+				for i := range bufs[rank] {
+					if float64(bufs[rank][i]) != want[i] {
+						t.Fatalf("p=%d n=%d rank %d idx %d: %g want %g",
+							p, n, rank, i, bufs[rank][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceRepeated(t *testing.T) {
+	p := 4
+	c := NewCluster(p)
+	runRanks(c, func(cm *Comm) {
+		for round := 1; round <= 30; round++ {
+			x := make([]float32, 64)
+			for i := range x {
+				x[i] = float32(cm.RankID() + round)
+			}
+			cm.Allreduce(x)
+			want := float32(0)
+			for r := 0; r < p; r++ {
+				want += float32(r + round)
+			}
+			for i := range x {
+				if x[i] != want {
+					t.Errorf("round %d rank %d idx %d: %g want %g", round, cm.RankID(), i, x[i], want)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	p := 6
+	c := NewCluster(p)
+	var before, after sync.Map
+	runRanks(c, func(cm *Comm) {
+		before.Store(cm.RankID(), true)
+		cm.Barrier()
+		// At this point every rank must have stored before.
+		for r := 0; r < p; r++ {
+			if _, ok := before.Load(r); !ok {
+				t.Errorf("rank %d passed barrier before rank %d arrived", cm.RankID(), r)
+			}
+		}
+		after.Store(cm.RankID(), true)
+	})
+}
+
+func TestRankValidation(t *testing.T) {
+	c := NewCluster(2)
+	for _, r := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rank %d should panic", r)
+				}
+			}()
+			c.Rank(r)
+		}()
+	}
+}
+
+func TestNewClusterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCluster(0)
+}
+
+func BenchmarkAllreduce8x1M(b *testing.B) {
+	p := 8
+	c := NewCluster(p)
+	bufs := make([][]float32, p)
+	for r := range bufs {
+		bufs[r] = make([]float32, 1<<20)
+	}
+	b.SetBytes(int64(p * (1 << 20) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				c.Rank(rank).Allreduce(bufs[rank])
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkAllgather8x128K(b *testing.B) {
+	p := 8
+	c := NewCluster(p)
+	msgs := make([][]byte, p)
+	for r := range msgs {
+		msgs[r] = make([]byte, 128<<10)
+	}
+	b.SetBytes(int64(p * (128 << 10)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				c.Rank(rank).Allgather(msgs[rank])
+			}(r)
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,158 @@
+package comm
+
+import (
+	"math/bits"
+
+	"fftgrad/internal/pack"
+)
+
+// The paper's conclusion calls for "a bandwidth-efficient allreduce with
+// sparse support" — it had to fall back to allgather because MPI/NCCL
+// offer none, which makes every worker decompress p messages and pay
+// (p−1)·m wire volume. SparseAllreduce is that missing collective: a ring
+// reduce-scatter + allgather over sparse segments, where segments merge
+// (bitmap OR + value add) as they travel, so each rank receives the
+// already-reduced sum once.
+
+// sparseSeg is one in-flight sparse segment of the index space: a bitmap
+// over the segment's positions plus the surviving values in order.
+type sparseSeg struct {
+	bitmap []uint64
+	values []float32
+}
+
+// wireBytes is the segment's on-the-wire size (bitmap + values), used by
+// the volume accounting the tests and the netsim comparison rely on.
+func (s *sparseSeg) wireBytes() int { return len(s.bitmap)*8 + len(s.values)*4 }
+
+// SparseAllreduce sums sparse vectors (all of length s.N) element-wise
+// across all ranks and returns the packed result (identical on every
+// rank) plus the total bytes this rank moved over the ring. The union of
+// all ranks' masks defines the result's mask; zero-valued sums are kept
+// if any rank contributed the position (bitmap semantics, not value
+// semantics).
+func (c *Comm) SparseAllreduce(s *pack.Sparse) (*pack.Sparse, int) {
+	cl := c.cluster
+	p := cl.p
+	n := s.N
+
+	// Dense accumulator + mask for the local view.
+	acc := make([]float32, n)
+	s.Unpack(acc)
+	mask := make([]uint64, len(s.Bitmap))
+	copy(mask, s.Bitmap)
+
+	if p == 1 {
+		return pack.PackMask(acc, mask), 0
+	}
+
+	// Chunk i covers positions [bounds[i], bounds[i+1]). Boundaries are
+	// aligned to 64-bit bitmap words so segments can slice the mask.
+	bounds := make([]int, p+1)
+	words := len(mask)
+	for i := 0; i <= p; i++ {
+		w := i * words / p
+		bounds[i] = w * 64
+	}
+	bounds[p] = n
+
+	extract := func(chunk int) sparseSeg {
+		lo, hi := bounds[chunk], bounds[chunk+1]
+		if lo >= hi {
+			return sparseSeg{}
+		}
+		wlo, whi := lo>>6, (hi+63)>>6
+		seg := sparseSeg{bitmap: append([]uint64(nil), mask[wlo:whi]...)}
+		for i := lo; i < hi; i++ {
+			if mask[i>>6]&(1<<(uint(i)&63)) != 0 {
+				seg.values = append(seg.values, acc[i])
+			}
+		}
+		return seg
+	}
+	mergeAdd := func(chunk int, seg sparseSeg) {
+		lo, hi := bounds[chunk], bounds[chunk+1]
+		if lo >= hi {
+			return
+		}
+		wlo := lo >> 6
+		vi := 0
+		for i := lo; i < hi; i++ {
+			if seg.bitmap[(i>>6)-wlo]&(1<<(uint(i)&63)) != 0 {
+				acc[i] += seg.values[vi]
+				vi++
+			}
+		}
+		for w := range seg.bitmap {
+			mask[wlo+w] |= seg.bitmap[w]
+		}
+	}
+	replace := func(chunk int, seg sparseSeg) {
+		lo, hi := bounds[chunk], bounds[chunk+1]
+		if lo >= hi {
+			return
+		}
+		wlo := lo >> 6
+		vi := 0
+		for i := lo; i < hi; i++ {
+			if seg.bitmap[(i>>6)-wlo]&(1<<(uint(i)&63)) != 0 {
+				acc[i] = seg.values[vi]
+				vi++
+			} else {
+				acc[i] = 0
+			}
+		}
+		for w := range seg.bitmap {
+			mask[wlo+w] = seg.bitmap[w]
+		}
+	}
+
+	next := cl.sparseRing[(c.rank+1)%p]
+	prev := cl.sparseRing[c.rank]
+	moved := 0
+
+	// Phase 1: reduce-scatter. After p−1 steps, rank r holds the complete
+	// sum of chunk (r+1) mod p.
+	for step := 0; step < p-1; step++ {
+		sendIdx := (c.rank - step + p) % p
+		seg := extract(sendIdx)
+		moved += seg.wireBytes()
+		next <- seg
+		recv := <-prev
+		recvIdx := (c.rank - step - 1 + p) % p
+		mergeAdd(recvIdx, recv)
+	}
+	// Phase 2: allgather the reduced chunks.
+	for step := 0; step < p-1; step++ {
+		sendIdx := (c.rank + 1 - step + p) % p
+		seg := extract(sendIdx)
+		moved += seg.wireBytes()
+		next <- seg
+		recv := <-prev
+		recvIdx := (c.rank - step + p) % p
+		replace(recvIdx, recv)
+	}
+
+	return pack.PackMask(acc, mask), moved
+}
+
+// UnionDensity returns the expected fraction of positions present in the
+// union of p independent random masks of density d — the saturation that
+// limits how much a sparse allreduce can save once many workers'
+// top-k sets overlap little: 1 − (1−d)^p.
+func UnionDensity(d float64, p int) float64 {
+	u := 1.0
+	for i := 0; i < p; i++ {
+		u *= 1 - d
+	}
+	return 1 - u
+}
+
+// popcount over a bitmap, used by tests.
+func popcountBitmap(bm []uint64) int {
+	total := 0
+	for _, w := range bm {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}

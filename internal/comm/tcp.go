@@ -1,0 +1,306 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// TCPComm is a rank endpoint whose collectives run over real TCP
+// connections (a full mesh of point-to-point links), the transport a
+// deployment across machines would use. The in-process Cluster and
+// TCPComm expose the same collective semantics; tests assert they agree.
+type TCPComm struct {
+	rank  int
+	p     int
+	conns []net.Conn // conns[j] = link to rank j (nil for j == rank)
+	ln    net.Listener
+}
+
+// frame I/O: u32 little-endian length prefix + payload.
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// DialTCPCluster builds rank's endpoint of a p-rank mesh. addrs[i] is the
+// listen address of rank i; the caller must have rank's listener already
+// bound (pass it as ln) so that no connection races the listen call.
+// Ranks dial every lower rank and accept from every higher rank; the
+// dialer identifies itself with a 4-byte rank header.
+func DialTCPCluster(rank, p int, addrs []string, ln net.Listener) (*TCPComm, error) {
+	if rank < 0 || rank >= p {
+		return nil, fmt.Errorf("comm: rank %d out of [0,%d)", rank, p)
+	}
+	if len(addrs) != p {
+		return nil, fmt.Errorf("comm: %d addrs for %d ranks", len(addrs), p)
+	}
+	c := &TCPComm{rank: rank, p: p, conns: make([]net.Conn, p), ln: ln}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+
+	// Accept from higher ranks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for accepted := 0; accepted < p-1-rank; accepted++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errs[0] = err
+				return
+			}
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				errs[0] = err
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hdr[:]))
+			if peer <= rank || peer >= p {
+				errs[0] = fmt.Errorf("comm: unexpected peer rank %d", peer)
+				return
+			}
+			c.conns[peer] = conn
+		}
+	}()
+
+	// Dial lower ranks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < rank; j++ {
+			conn, err := net.Dial("tcp", addrs[j])
+			if err != nil {
+				errs[1] = err
+				return
+			}
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				errs[1] = err
+				return
+			}
+			c.conns[j] = conn
+		}
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// StartLocalTCPCluster spins up a p-rank mesh on loopback and returns the
+// connected endpoints, rank order preserved.
+func StartLocalTCPCluster(p int) ([]*TCPComm, error) {
+	lns := make([]net.Listener, p)
+	addrs := make([]string, p)
+	for i := 0; i < p; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	comms := make([]*TCPComm, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			comms[rank], errs[rank] = DialTCPCluster(rank, p, addrs, lns[rank])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return comms, nil
+}
+
+// Close tears down all links and the listener.
+func (c *TCPComm) Close() {
+	for _, conn := range c.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	if c.ln != nil {
+		c.ln.Close()
+	}
+}
+
+// RankID returns this endpoint's rank.
+func (c *TCPComm) RankID() int { return c.rank }
+
+// P returns the cluster size.
+func (c *TCPComm) P() int { return c.p }
+
+// Allgather contributes data and returns every rank's contribution in
+// rank order. Sends run on per-peer goroutines so large messages cannot
+// deadlock against full TCP buffers.
+func (c *TCPComm) Allgather(data []byte) ([][]byte, error) {
+	out := make([][]byte, c.p)
+	out[c.rank] = data
+	var wg sync.WaitGroup
+	sendErrs := make([]error, c.p)
+	for j := 0; j < c.p; j++ {
+		if j == c.rank {
+			continue
+		}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			sendErrs[j] = writeFrame(c.conns[j], data)
+		}(j)
+	}
+	var firstErr error
+	for j := 0; j < c.p; j++ {
+		if j == c.rank {
+			continue
+		}
+		payload, err := readFrame(c.conns[j])
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("comm: recv from rank %d: %w", j, err)
+		}
+		out[j] = payload
+	}
+	wg.Wait()
+	for j, err := range sendErrs {
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("comm: send to rank %d: %w", j, err)
+		}
+	}
+	return out, firstErr
+}
+
+// Broadcast returns root's buffer on every rank.
+func (c *TCPComm) Broadcast(data []byte, root int) ([]byte, error) {
+	if c.rank == root {
+		var wg sync.WaitGroup
+		errs := make([]error, c.p)
+		for j := 0; j < c.p; j++ {
+			if j == root {
+				continue
+			}
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				errs[j] = writeFrame(c.conns[j], data)
+			}(j)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	return readFrame(c.conns[root])
+}
+
+// Barrier blocks until every rank has entered it (implemented as an
+// empty-message allgather).
+func (c *TCPComm) Barrier() error {
+	_, err := c.Allgather(nil)
+	return err
+}
+
+// Allreduce sums x element-wise across all ranks in place using the
+// two-phase ring algorithm over the TCP links.
+func (c *TCPComm) Allreduce(x []float32) error {
+	p := c.p
+	if p == 1 {
+		return nil
+	}
+	n := len(x)
+	bounds := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		bounds[i] = i * n / p
+	}
+	nextConn := c.conns[(c.rank+1)%p]
+	prevConn := c.conns[(c.rank-1+p)%p]
+
+	sendChunk := func(idx int) error {
+		lo, hi := bounds[idx], bounds[idx+1]
+		buf := make([]byte, (hi-lo)*4)
+		for i := lo; i < hi; i++ {
+			binary.LittleEndian.PutUint32(buf[(i-lo)*4:], math.Float32bits(x[i]))
+		}
+		return writeFrame(nextConn, buf)
+	}
+	recvChunk := func() ([]float32, error) {
+		buf, err := readFrame(prevConn)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float32, len(buf)/4)
+		for i := range vals {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		return vals, nil
+	}
+
+	for step := 0; step < p-1; step++ { // reduce-scatter
+		sendIdx := (c.rank - step + p) % p
+		errCh := make(chan error, 1)
+		go func() { errCh <- sendChunk(sendIdx) }()
+		recv, err := recvChunk()
+		if err != nil {
+			return err
+		}
+		if err := <-errCh; err != nil {
+			return err
+		}
+		recvIdx := (c.rank - step - 1 + p) % p
+		dst := x[bounds[recvIdx]:bounds[recvIdx+1]]
+		for i, v := range recv {
+			dst[i] += v
+		}
+	}
+	for step := 0; step < p-1; step++ { // allgather
+		sendIdx := (c.rank + 1 - step + p) % p
+		errCh := make(chan error, 1)
+		go func() { errCh <- sendChunk(sendIdx) }()
+		recv, err := recvChunk()
+		if err != nil {
+			return err
+		}
+		if err := <-errCh; err != nil {
+			return err
+		}
+		recvIdx := (c.rank - step + p) % p
+		copy(x[bounds[recvIdx]:bounds[recvIdx+1]], recv)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package compress
+
+import (
+	"fmt"
+	"sync"
+
+	"fftgrad/internal/parallel"
+)
+
+// Chunked splits the gradient into fixed-size buckets and runs an
+// independent inner compressor instance over each. Production systems
+// compress per-layer or per-bucket rather than whole-model for three
+// reasons this wrapper makes measurable:
+//
+//   - bounded transform sizes: a 60M-element gradient becomes many
+//     bounded FFTs instead of one enormous one, keeping plan caches hot
+//     and working sets in cache;
+//   - bucket-local value ranges: each bucket's quantizer tunes to its own
+//     coefficient range, which helps when layer gradient scales differ by
+//     orders of magnitude;
+//   - parallelism across buckets, on top of whatever the inner
+//     compressor parallelizes internally.
+//
+// Wire format: u32 chunkSize | u32 numChunks | numChunks × (u32 len | payload).
+type Chunked struct {
+	// ChunkSize is the bucket length in elements (last bucket may be
+	// shorter).
+	ChunkSize int
+
+	newInner func() Compressor
+
+	mu     sync.Mutex
+	inners []Compressor // one per bucket, created on first use
+}
+
+// NewChunked wraps the compressors produced by newInner, bucketing
+// gradients into chunkSize-element pieces.
+func NewChunked(chunkSize int, newInner func() Compressor) *Chunked {
+	if chunkSize < 2 {
+		panic("compress: chunk size must be >= 2")
+	}
+	return &Chunked{ChunkSize: chunkSize, newInner: newInner}
+}
+
+// Name implements Compressor.
+func (c *Chunked) Name() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.inners) > 0 {
+		return c.inners[0].Name() + "-chunked"
+	}
+	return c.newInner().Name() + "-chunked"
+}
+
+// SetTheta forwards the drop ratio to every inner compressor that accepts
+// one.
+func (c *Chunked) SetTheta(theta float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, in := range c.inners {
+		if ts, ok := in.(ThetaSetter); ok {
+			ts.SetTheta(theta)
+		}
+	}
+	// Inners created later inherit the constructor's θ; callers driving
+	// schedules should size the pool first by compressing once.
+}
+
+// pool returns the per-bucket compressor instances, growing the pool as
+// needed. Instances are reused across calls so stateful inner compressors
+// (cached plans, tuned quantizers) stay warm per bucket.
+func (c *Chunked) pool(buckets int) []Compressor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.inners) < buckets {
+		c.inners = append(c.inners, c.newInner())
+	}
+	return c.inners[:buckets]
+}
+
+// bucketBounds returns the [start, end) ranges of each bucket. A trailing
+// 1-element remainder is folded into the previous bucket because the
+// transform-based inner compressors need at least 2 elements.
+func (c *Chunked) bucketBounds(n int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	var out [][2]int
+	for start := 0; start < n; start += c.ChunkSize {
+		end := start + c.ChunkSize
+		if end > n {
+			end = n
+		}
+		if n-end == 1 {
+			end = n
+		}
+		out = append(out, [2]int{start, end})
+		if end == n {
+			break
+		}
+	}
+	return out
+}
+
+// Compress implements Compressor. Buckets compress concurrently.
+func (c *Chunked) Compress(grad []float32) ([]byte, error) {
+	n := len(grad)
+	bounds := c.bucketBounds(n)
+	buckets := len(bounds)
+	if buckets == 0 {
+		return putHeader(nil, uint32(c.ChunkSize), 0), nil
+	}
+	inners := c.pool(buckets)
+	msgs := make([][]byte, buckets)
+	errs := make([]error, buckets)
+	parallel.ForGrain(buckets, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			msgs[b], errs[b] = inners[b].Compress(grad[bounds[b][0]:bounds[b][1]])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := 8
+	for _, m := range msgs {
+		total += 4 + len(m)
+	}
+	out := make([]byte, 0, total)
+	out = putHeader(out, uint32(c.ChunkSize), uint32(buckets))
+	for _, m := range msgs {
+		out = le.AppendUint32(out, uint32(len(m)))
+		out = append(out, m...)
+	}
+	return out, nil
+}
+
+// Decompress implements Compressor. Buckets decompress concurrently.
+func (c *Chunked) Decompress(dst []float32, msg []byte) error {
+	hdr, rest, err := readHeader(msg, 2)
+	if err != nil {
+		return err
+	}
+	chunkSize, buckets := int(hdr[0]), int(hdr[1])
+	if chunkSize != c.ChunkSize {
+		return fmt.Errorf("chunked: message chunk size %d, compressor uses %d", chunkSize, c.ChunkSize)
+	}
+	bounds := c.bucketBounds(len(dst))
+	if buckets != len(bounds) {
+		return fmt.Errorf("chunked: %d buckets for %d elements, want %d", buckets, len(dst), len(bounds))
+	}
+	payloads := make([][]byte, buckets)
+	for b := 0; b < buckets; b++ {
+		if len(rest) < 4 {
+			return fmt.Errorf("chunked: truncated at bucket %d length", b)
+		}
+		l := int(le.Uint32(rest))
+		rest = rest[4:]
+		if len(rest) < l {
+			return fmt.Errorf("chunked: truncated in bucket %d payload", b)
+		}
+		payloads[b] = rest[:l]
+		rest = rest[l:]
+	}
+	inners := c.pool(buckets)
+	errs := make([]error, buckets)
+	parallel.ForGrain(buckets, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			errs[b] = inners[b].Decompress(dst[bounds[b][0]:bounds[b][1]], payloads[b])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package compress
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChunkedRoundTrip(t *testing.T) {
+	for _, inner := range []func() Compressor{
+		func() Compressor { return FP32{} },
+		func() Compressor { return NewFFT(0.85) },
+		func() Compressor { return NewTopK(0.85) },
+	} {
+		c := NewChunked(4096, inner)
+		for _, n := range []int{2, 4095, 4096, 4097, 50000} {
+			g := smoothGrad(n, int64(n))
+			rec := roundtrip(t, c, g)
+			for i, v := range rec {
+				if v != v || math.IsInf(float64(v), 0) {
+					t.Fatalf("%s n=%d: non-finite at %d", c.Name(), n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestChunkedFP32Lossless(t *testing.T) {
+	c := NewChunked(1000, func() Compressor { return FP32{} })
+	g := smoothGrad(12345, 1)
+	rec := roundtrip(t, c, g)
+	for i := range g {
+		if rec[i] != g[i] {
+			t.Fatalf("lossless chunked altered index %d", i)
+		}
+	}
+}
+
+// Chunked FFT must reconstruct with error comparable to whole-gradient
+// FFT at the same θ (energy compaction is local, so bucketing costs
+// little on correlated signals).
+func TestChunkedFFTErrorComparable(t *testing.T) {
+	g := smoothGrad(1<<16, 2)
+	whole := roundtrip(t, NewFFT(0.85), g)
+	chunked := roundtrip(t, NewChunked(8192, func() Compressor { return NewFFT(0.85) }), g)
+	we, ce := relErr(g, whole), relErr(g, chunked)
+	if ce > we*1.5 {
+		t.Fatalf("chunked err %.4f far above whole %.4f", ce, we)
+	}
+}
+
+// Bucket-local quantizer ranges: when the gradient has wildly different
+// scales per region (layer-like structure), chunked compression must
+// reconstruct the small-scale region much better than whole-gradient
+// compression whose single quantizer range is dominated by the big region.
+func TestChunkedLocalRangesWin(t *testing.T) {
+	n := 1 << 14
+	g := make([]float32, 2*n)
+	big := smoothGrad(n, 3)
+	small := smoothGrad(n, 4)
+	for i := 0; i < n; i++ {
+		g[i] = big[i] * 100 // "conv layer" with huge gradients
+		g[n+i] = small[i]   // "fc layer" with tiny gradients
+	}
+	smallRegionErr := func(rec []float32) float64 {
+		return relErr(g[n:], rec[n:])
+	}
+	wholeRec := roundtrip(t, NewFFT(0.5), g)
+	chunkedRec := roundtrip(t, NewChunked(n, func() Compressor { return NewFFT(0.5) }), g)
+	we, ce := smallRegionErr(wholeRec), smallRegionErr(chunkedRec)
+	if ce >= we {
+		t.Fatalf("bucket-local ranges should help the small-scale region: chunked %.4f vs whole %.4f", ce, we)
+	}
+}
+
+func TestChunkedErrors(t *testing.T) {
+	c := NewChunked(100, func() Compressor { return FP32{} })
+	g := smoothGrad(500, 5)
+	msg, err := c.Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Decompress(make([]float32, 400), msg); err == nil {
+		t.Fatal("bucket-count mismatch should error")
+	}
+	if err := c.Decompress(make([]float32, 500), msg[:6]); err == nil {
+		t.Fatal("truncated header should error")
+	}
+	if err := c.Decompress(make([]float32, 500), msg[:20]); err == nil {
+		t.Fatal("truncated payload should error")
+	}
+	other := NewChunked(200, func() Compressor { return FP32{} })
+	if err := other.Decompress(make([]float32, 500), msg); err == nil {
+		t.Fatal("chunk-size mismatch should error")
+	}
+}
+
+func TestChunkedPanicsOnTinyChunk(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewChunked(1, func() Compressor { return FP32{} })
+}
+
+func TestChunkedThetaSetter(t *testing.T) {
+	c := NewChunked(2048, func() Compressor { return NewTopK(0.9) })
+	g := smoothGrad(8192, 6)
+	hi, err := c.Compress(g) // also sizes the pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTheta(0.1)
+	lo, err := c.Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lo) <= len(hi) {
+		t.Fatalf("lower θ must grow the message: %d vs %d", len(lo), len(hi))
+	}
+}
+
+func BenchmarkChunkedFFT1M(b *testing.B) {
+	benchCompress(b, NewChunked(1<<16, func() Compressor { return NewFFT(0.85) }))
+}

@@ -1,0 +1,92 @@
+// Package compress implements the gradient compression framework of the
+// paper (Fig. 3) and the three lossy baselines it is evaluated against.
+//
+// A Compressor turns a float32 gradient into a self-contained wire message
+// and back. The five implementations are:
+//
+//   - FP32      — no compression (the lossless SGD baseline)
+//   - TopK      — spatial top-k sparsification (Aji & Heafield 2017)
+//   - QSGD      — stochastic uniform quantization (Alistarh et al. 2017)
+//   - TernGrad  — ternary quantization (Wen et al. 2017)
+//   - FFT       — the paper's method: fp16 pre-conversion, FFT, top-k in
+//     the frequency domain, range-based N-bit quantization of
+//     the surviving coefficients, bitmap packing.
+//
+// All message formats are little-endian and carry whatever per-message
+// parameters the receiver needs (norms, scales, quantizer settings), so a
+// message can be decompressed by any peer.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Compressor encodes gradients for transmission and decodes them back.
+// Implementations are safe for concurrent use unless noted.
+type Compressor interface {
+	// Name identifies the algorithm ("fp32", "topk", "qsgd", "terngrad",
+	// "fft") in experiment reports.
+	Name() string
+	// Compress encodes grad into a wire message.
+	Compress(grad []float32) ([]byte, error)
+	// Decompress reconstructs a gradient into dst from a message produced
+	// by the same algorithm. len(dst) must equal the original length.
+	Decompress(dst []float32, msg []byte) error
+}
+
+// ThetaSetter is implemented by sparsifying compressors whose drop ratio
+// can be changed between iterations (for the diminishing-θ schedules of
+// Theorem 3.5).
+type ThetaSetter interface {
+	SetTheta(theta float64)
+}
+
+// Ratio returns the compression ratio achieved by a message for a gradient
+// of n float32 values: original bytes / message bytes.
+func Ratio(n int, msg []byte) float64 {
+	if len(msg) == 0 {
+		return 0
+	}
+	return float64(n*4) / float64(len(msg))
+}
+
+// le is the byte order used by every wire format in this package.
+var le = binary.LittleEndian
+
+// putHeader appends vals as uint32 little-endian words.
+func putHeader(buf []byte, vals ...uint32) []byte {
+	for _, v := range vals {
+		buf = le.AppendUint32(buf, v)
+	}
+	return buf
+}
+
+// readHeader reads count uint32 words, returning the values and the rest
+// of the buffer.
+func readHeader(msg []byte, count int) ([]uint32, []byte, error) {
+	need := 4 * count
+	if len(msg) < need {
+		return nil, nil, fmt.Errorf("compress: message truncated: %d bytes, need %d header bytes", len(msg), need)
+	}
+	vals := make([]uint32, count)
+	for i := range vals {
+		vals[i] = le.Uint32(msg[4*i:])
+	}
+	return vals, msg[need:], nil
+}
+
+// splitmix64 is a tiny stateless hash used to derive per-element uniform
+// randoms for the stochastic quantizers, so encoding is deterministic for
+// a given (seed, index) and safe to parallelize.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// uniform01 maps (seed, index) to a uniform float64 in [0, 1).
+func uniform01(seed uint64, i int) float64 {
+	return float64(splitmix64(seed^uint64(i)*0xA24BAED4963EE407)>>11) / float64(1<<53)
+}

@@ -1,0 +1,251 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"fftgrad/internal/f16"
+	"fftgrad/internal/pack"
+	"fftgrad/internal/quant"
+	"fftgrad/internal/sparsify"
+)
+
+// FFT is the paper's compression framework (Fig. 3):
+//
+//	① linearize the gradient into a 1-D signal (callers pass the already
+//	   flattened gradient; internal/nn produces it),
+//	② optionally convert to half precision (the GPU pipeline runs the FFT
+//	   in fp16 for 2x throughput; the conversion loss is negligible),
+//	③ FFT and keep only the top-(1-θ) frequency bins by magnitude,
+//	④ quantize the surviving complex coefficients with the range-based
+//	   N-bit float (Alg. 1), re-tuned automatically when the coefficient
+//	   range drifts,
+//	⑤ pack the sparse bins into a dense message: bin bitmap + bit-packed
+//	   codes.
+//
+// The receiver runs the inverse pipeline.
+type FFT struct {
+	// QuantBits is N of the range-based quantizer (default 10, as in the
+	// paper's evaluation).
+	QuantBits int
+	// UseHalf applies an fp32→fp16→fp32 round trip before the transform,
+	// mirroring the paper's half-precision FFT input.
+	UseHalf bool
+
+	theta atomicTheta
+	sp    *sparsify.FFT
+
+	mu       sync.Mutex
+	q        *quant.RangeQuantizer
+	qTunedAt float64 // absmax the cached quantizer was tuned for
+}
+
+// NewFFT creates the paper-default FFT compressor: drop ratio theta,
+// 10-bit range quantization, fp16 pre-conversion enabled.
+func NewFFT(theta float64) *FFT {
+	c := &FFT{QuantBits: 10, UseHalf: true, sp: sparsify.NewFFT()}
+	c.theta.Store(theta)
+	return c
+}
+
+// Name implements Compressor.
+func (*FFT) Name() string { return "fft" }
+
+// SetTheta implements ThetaSetter.
+func (c *FFT) SetTheta(theta float64) { c.theta.Store(theta) }
+
+// Theta returns the current drop ratio.
+func (c *FFT) Theta() float64 { return c.theta.Load() }
+
+// quantizer returns a range quantizer covering [-absMax, absMax],
+// re-tuning only when the range drifts by more than 2x from the cached
+// tuning (the paper estimates the range once from early iterations).
+func (c *FFT) quantizer(absMax float64, sample []float32) (*quant.RangeQuantizer, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.q != nil && absMax <= c.qTunedAt*2 && absMax >= c.qTunedAt/2 {
+		return c.q, nil
+	}
+	lim := float32(absMax * 1.001)
+	q, err := quant.Tune(c.QuantBits, -lim, lim, sample)
+	if err != nil {
+		return nil, err
+	}
+	c.q = q
+	c.qTunedAt = absMax
+	return q, nil
+}
+
+// fftHeaderWords is the number of u32 header words in the wire format.
+const fftHeaderWords = 8
+
+// Compress implements Compressor.
+//
+// Wire format (all u32 unless noted):
+//
+//	L | paddedN | kept | quantBits | quantM | f32 eps | f32 qmin | f32 qmax
+//	| bin bitmap (⌈bins/64⌉·8 bytes) | packed codes (2·kept · quantBits bits)
+func (c *FFT) Compress(grad []float32) ([]byte, error) {
+	n := len(grad)
+	work := append([]float32(nil), grad...)
+	if c.UseHalf {
+		f16.RoundTripSlice(work)
+	}
+	spec, err := c.sp.Analyze(work, c.theta.Load())
+	if err != nil {
+		return nil, err
+	}
+
+	// Gather surviving coefficients as interleaved (re, im) float32 pairs.
+	vals := make([]float32, 0, 2*spec.Kept)
+	var absMax float64
+	for i, b := range spec.Bins {
+		if spec.Mask[i>>6]&(1<<(uint(i)&63)) == 0 {
+			continue
+		}
+		re, im := float32(real(b)), float32(imag(b))
+		vals = append(vals, re, im)
+		if a := math.Abs(float64(re)); a > absMax {
+			absMax = a
+		}
+		if a := math.Abs(float64(im)); a > absMax {
+			absMax = a
+		}
+	}
+
+	if spec.Kept == 0 || absMax == 0 {
+		// Nothing survives (θ=1 or an all-zero gradient): header-only
+		// message that decompresses to zeros.
+		out := putHeader(nil, uint32(n), uint32(spec.N), 0, 0, 0, 0, 0, 0)
+		return out, nil
+	}
+
+	sample := vals
+	if len(sample) > 4096 {
+		sample = sample[:4096]
+	}
+	q, err := c.quantizer(absMax, sample)
+	if err != nil {
+		return nil, err
+	}
+	codes := q.EncodeSlice(make([]uint32, len(vals)), vals)
+
+	out := make([]byte, 0, 4*fftHeaderWords+len(spec.Mask)*8+quant.CodeBytes(len(codes), q.N))
+	out = putHeader(out,
+		uint32(n), uint32(spec.N), uint32(spec.Kept),
+		uint32(q.N), uint32(q.M),
+		math.Float32bits(q.Eps), math.Float32bits(q.Min), math.Float32bits(q.Max))
+	for _, w := range spec.Mask {
+		out = le.AppendUint64(out, w)
+	}
+	out = append(out, quant.PackCodes(codes, q.N)...)
+	return out, nil
+}
+
+// Decompress implements Compressor.
+func (c *FFT) Decompress(dst []float32, msg []byte) error {
+	hdr, rest, err := readHeader(msg, fftHeaderWords)
+	if err != nil {
+		return err
+	}
+	n, paddedN, kept := int(hdr[0]), int(hdr[1]), int(hdr[2])
+	if n != len(dst) {
+		return fmt.Errorf("fft: message for %d elements, dst has %d", n, len(dst))
+	}
+	// The padded length is a pure function of n; reject anything else so a
+	// corrupt header cannot drive allocations.
+	if want := paddedTransformLen(n); paddedN != want {
+		return fmt.Errorf("fft: padded length %d, want %d for %d elements", paddedN, want, n)
+	}
+	if kept == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	}
+	if kept > paddedN/2+1 {
+		return fmt.Errorf("fft: kept %d exceeds %d bins", kept, paddedN/2+1)
+	}
+	qBits, qM := int(hdr[3]), int(hdr[4])
+	eps := math.Float32frombits(hdr[5])
+	qmin := math.Float32frombits(hdr[6])
+	qmax := math.Float32frombits(hdr[7])
+	q, err := quant.NewRangeQuantizer(qBits, qM, eps, qmin, qmax)
+	if err != nil {
+		return fmt.Errorf("fft: rebuilding quantizer: %w", err)
+	}
+
+	bins := paddedN/2 + 1
+	words := pack.BitmapWords(bins)
+	if len(rest) < words*8 {
+		return fmt.Errorf("fft: message truncated in bitmap")
+	}
+	mask := make([]uint64, words)
+	for i := range mask {
+		mask[i] = le.Uint64(rest[8*i:])
+	}
+	rest = rest[words*8:]
+
+	codes, err := quant.UnpackCodes(rest, 2*kept, qBits)
+	if err != nil {
+		return err
+	}
+	vals := q.DecodeSlice(make([]float32, len(codes)), codes)
+
+	spec := &sparsify.Spectrum{
+		L:    n,
+		N:    paddedN,
+		Bins: make([]complex128, bins),
+		Mask: mask,
+		Kept: kept,
+	}
+	vi := 0
+	for i := 0; i < bins; i++ {
+		if mask[i>>6]&(1<<(uint(i)&63)) != 0 {
+			if vi+1 >= len(vals) { // defensive: popcount > kept
+				return fmt.Errorf("fft: bitmap popcount exceeds kept=%d", kept)
+			}
+			spec.Bins[i] = complex(float64(vals[vi]), float64(vals[vi+1]))
+			vi += 2
+		}
+	}
+	if vi != 2*kept {
+		return fmt.Errorf("fft: bitmap popcount %d != kept %d", vi/2, kept)
+	}
+	return c.sp.Synthesize(dst, spec)
+}
+
+// paddedTransformLen returns the transform length the sparsifiers use for
+// an n-element gradient: the next power of two, at least 2.
+func paddedTransformLen(n int) int {
+	p := 1
+	for p < n || p < 2 {
+		p <<= 1
+	}
+	return p
+}
+
+// ReconstructionError compresses and decompresses grad, returning the
+// relative L2 error ‖g−ĝ‖/‖g‖ — the α of Assumption 3.2 for a single
+// worker. Useful for calibration and the Fig. 12 experiment.
+func ReconstructionError(c Compressor, grad []float32) (float64, error) {
+	msg, err := c.Compress(grad)
+	if err != nil {
+		return 0, err
+	}
+	rec := make([]float32, len(grad))
+	if err := c.Decompress(rec, msg); err != nil {
+		return 0, err
+	}
+	var num, den float64
+	for i := range grad {
+		d := float64(grad[i] - rec[i])
+		num += d * d
+		den += float64(grad[i]) * float64(grad[i])
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return math.Sqrt(num / den), nil
+}

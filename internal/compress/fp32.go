@@ -1,0 +1,39 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"fftgrad/internal/parallel"
+)
+
+// FP32 is the identity "compressor": the lossless SGD baseline that ships
+// raw 32-bit floats.
+type FP32 struct{}
+
+// Name implements Compressor.
+func (FP32) Name() string { return "fp32" }
+
+// Compress serializes grad as raw little-endian float32 bytes.
+func (FP32) Compress(grad []float32) ([]byte, error) {
+	out := make([]byte, 4*len(grad))
+	parallel.For(len(grad), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			le.PutUint32(out[4*i:], math.Float32bits(grad[i]))
+		}
+	})
+	return out, nil
+}
+
+// Decompress deserializes raw float32 bytes.
+func (FP32) Decompress(dst []float32, msg []byte) error {
+	if len(msg) != 4*len(dst) {
+		return fmt.Errorf("fp32: message %d bytes, want %d", len(msg), 4*len(dst))
+	}
+	parallel.For(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = math.Float32frombits(le.Uint32(msg[4*i:]))
+		}
+	})
+	return nil
+}

@@ -1,0 +1,94 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"fftgrad/internal/parallel"
+	"fftgrad/internal/quant"
+)
+
+// TernGrad implements the ternary quantizer of Wen et al. (NeurIPS 2017)
+// without gradient clipping ("TernGrad-noclip" in the paper's tables):
+//
+//	v_i  →  s_t · sgn(v_i) · b_i,   s_t = max|v|,  b_i ~ Bernoulli(|v_i|/s_t)
+//
+// Each coordinate needs 2 bits ({-1, 0, +1}), giving a 16x ratio.
+type TernGrad struct {
+	seed atomic.Uint64
+}
+
+// NewTernGrad creates a TernGrad compressor.
+func NewTernGrad() *TernGrad {
+	t := &TernGrad{}
+	t.seed.Store(0xBB67AE8584CAA73B)
+	return t
+}
+
+// Name implements Compressor.
+func (*TernGrad) Name() string { return "terngrad" }
+
+// Compress implements Compressor.
+//
+// Wire format: u32 n | f32 scale | packed 2-bit codes (0→0, 1→+1, 2→-1).
+func (t *TernGrad) Compress(grad []float32) ([]byte, error) {
+	n := len(grad)
+	var scale float64
+	for _, v := range grad {
+		if a := math.Abs(float64(v)); a > scale {
+			scale = a
+		}
+	}
+	seed := t.seed.Add(0x9E3779B97F4A7C15)
+	codes := make([]uint32, n)
+	if scale > 0 {
+		parallel.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := float64(grad[i])
+				p := math.Abs(v) / scale
+				if uniform01(seed, i) < p {
+					if v >= 0 {
+						codes[i] = 1
+					} else {
+						codes[i] = 2
+					}
+				}
+			}
+		})
+	}
+	out := make([]byte, 0, 8+quant.CodeBytes(n, 2))
+	out = putHeader(out, uint32(n), math.Float32bits(float32(scale)))
+	out = append(out, quant.PackCodes(codes, 2)...)
+	return out, nil
+}
+
+// Decompress implements Compressor.
+func (t *TernGrad) Decompress(dst []float32, msg []byte) error {
+	hdr, rest, err := readHeader(msg, 2)
+	if err != nil {
+		return err
+	}
+	n := int(hdr[0])
+	scale := math.Float32frombits(hdr[1])
+	if n != len(dst) {
+		return fmt.Errorf("terngrad: message for %d elements, dst has %d", n, len(dst))
+	}
+	codes, err := quant.UnpackCodes(rest, n, 2)
+	if err != nil {
+		return err
+	}
+	parallel.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			switch codes[i] {
+			case 1:
+				dst[i] = scale
+			case 2:
+				dst[i] = -scale
+			default:
+				dst[i] = 0
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,94 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"fftgrad/internal/pack"
+	"fftgrad/internal/sparsify"
+)
+
+// TopK is the vanilla spatial top-k sparsification baseline: keep the
+// top-(1-θ) fraction of gradient entries by magnitude, ship them as FP32
+// values plus a position bitmap. Compression ratio ≈ 1/(1-θ) on the value
+// payload (the paper quotes 6.67x at θ=0.85), reduced by the 1-bit-per-
+// element bitmap.
+type TopK struct {
+	theta atomicTheta
+}
+
+// NewTopK creates a TopK compressor with drop ratio theta.
+func NewTopK(theta float64) *TopK {
+	t := &TopK{}
+	t.theta.Store(theta)
+	return t
+}
+
+// Name implements Compressor.
+func (*TopK) Name() string { return "topk" }
+
+// SetTheta implements ThetaSetter.
+func (t *TopK) SetTheta(theta float64) { t.theta.Store(theta) }
+
+// Theta returns the current drop ratio.
+func (t *TopK) Theta() float64 { return t.theta.Load() }
+
+// Compress implements Compressor.
+//
+// Wire format: u32 n | u32 kept | bitmap (⌈n/64⌉·8 bytes) | kept·f32.
+func (t *TopK) Compress(grad []float32) ([]byte, error) {
+	n := len(grad)
+	work := append([]float32(nil), grad...)
+	mask := sparsify.TopKSpatial(work, t.theta.Load())
+	sp := pack.PackMask(work, mask)
+
+	out := make([]byte, 0, 8+len(sp.Bitmap)*8+len(sp.Values)*4)
+	out = putHeader(out, uint32(n), uint32(len(sp.Values)))
+	for _, w := range sp.Bitmap {
+		out = le.AppendUint64(out, w)
+	}
+	for _, v := range sp.Values {
+		out = le.AppendUint32(out, math.Float32bits(v))
+	}
+	return out, nil
+}
+
+// Decompress implements Compressor.
+func (t *TopK) Decompress(dst []float32, msg []byte) error {
+	hdr, rest, err := readHeader(msg, 2)
+	if err != nil {
+		return err
+	}
+	n, kept := int(hdr[0]), int(hdr[1])
+	if n != len(dst) {
+		return fmt.Errorf("topk: message for %d elements, dst has %d", n, len(dst))
+	}
+	if kept > n {
+		return fmt.Errorf("topk: kept %d exceeds %d elements", kept, n)
+	}
+	words := pack.BitmapWords(n)
+	need := words*8 + kept*4
+	if len(rest) < need {
+		return fmt.Errorf("topk: message truncated: %d bytes after header, need %d", len(rest), need)
+	}
+	bitmap := make([]uint64, words)
+	for i := range bitmap {
+		bitmap[i] = le.Uint64(rest[8*i:])
+	}
+	rest = rest[words*8:]
+	values := make([]float32, kept)
+	for i := range values {
+		values[i] = math.Float32frombits(le.Uint32(rest[4*i:]))
+	}
+	sp := &pack.Sparse{N: n, Bitmap: bitmap, Values: values}
+	sp.Unpack(dst)
+	return nil
+}
+
+// atomicTheta stores a float64 with atomic load/store so schedules can
+// update θ while workers compress concurrently.
+type atomicTheta struct{ bits atomic.Uint64 }
+
+func (a *atomicTheta) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicTheta) Load() float64   { return math.Float64frombits(a.bits.Load()) }

@@ -1,0 +1,184 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestSynthImagesShape(t *testing.T) {
+	d := SynthImages(100, 10, 16, 0.3, 1)
+	if d.Len() != 100 || d.Classes != 10 {
+		t.Fatalf("len=%d classes=%d", d.Len(), d.Classes)
+	}
+	if d.SampleLen() != 3*16*16 {
+		t.Fatalf("sample len %d", d.SampleLen())
+	}
+	for _, l := range d.Labels {
+		if l < 0 || l >= 10 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	x, labels := d.Batch([]int{0, 5, 99})
+	if x.Dim(0) != 3 || x.Dim(1) != 3 || x.Dim(2) != 16 || x.Dim(3) != 16 {
+		t.Fatalf("batch shape %v", x.Shape)
+	}
+	if len(labels) != 3 || labels[0] != d.Labels[0] || labels[2] != d.Labels[99] {
+		t.Fatal("batch labels wrong")
+	}
+	// Batch data must match source rows.
+	for i := 0; i < d.SampleLen(); i++ {
+		if x.Data[d.SampleLen()+i] != d.X[5*d.SampleLen()+i] {
+			t.Fatal("batch gather wrong")
+		}
+	}
+}
+
+func TestSynthImagesDeterministic(t *testing.T) {
+	a := SynthImages(50, 5, 8, 0.2, 7)
+	b := SynthImages(50, 5, 8, 0.2, 7)
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatal("same seed must reproduce data")
+		}
+	}
+	c := SynthImages(50, 5, 8, 0.2, 8)
+	same := 0
+	for i := range a.X {
+		if a.X[i] == c.X[i] {
+			same++
+		}
+	}
+	if same > len(a.X)/2 {
+		t.Fatal("different seed should differ")
+	}
+}
+
+func TestSynthImagesClassSeparation(t *testing.T) {
+	// Same-class samples must be closer to each other than cross-class on
+	// average (otherwise nothing is learnable).
+	d := SynthImages(200, 4, 8, 0.3, 3)
+	sl := d.SampleLen()
+	dist := func(a, b int) float64 {
+		var s float64
+		for i := 0; i < sl; i++ {
+			df := float64(d.X[a*sl+i] - d.X[b*sl+i])
+			s += df * df
+		}
+		return s
+	}
+	var same, cross float64
+	var nSame, nCross int
+	for i := 0; i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			if d.Labels[i] == d.Labels[j] {
+				same += dist(i, j)
+				nSame++
+			} else {
+				cross += dist(i, j)
+				nCross++
+			}
+		}
+	}
+	if nSame == 0 || nCross == 0 {
+		t.Skip("degenerate label split")
+	}
+	if same/float64(nSame) >= cross/float64(nCross) {
+		t.Fatalf("classes not separated: same %g cross %g", same/float64(nSame), cross/float64(nCross))
+	}
+}
+
+func TestGaussianBlobs(t *testing.T) {
+	d := GaussianBlobs(300, 5, 16, 0.1, 2)
+	if d.Len() != 300 || d.SampleLen() != 16 {
+		t.Fatal("shape wrong")
+	}
+	x, _ := d.Batch([]int{1, 2})
+	if x.Dim(0) != 2 || x.Dim(1) != 16 {
+		t.Fatalf("batch shape %v", x.Shape)
+	}
+}
+
+func TestShard(t *testing.T) {
+	d := GaussianBlobs(103, 3, 4, 0.1, 5)
+	total := 0
+	seen := map[int]bool{}
+	for rank := 0; rank < 4; rank++ {
+		s := d.Shard(rank, 4)
+		total += s.Len()
+		// Verify shard content maps back to the parent dataset.
+		base := rank * (103 / 4)
+		for i := 0; i < s.Len(); i++ {
+			if s.Labels[i] != d.Labels[base+i] {
+				t.Fatalf("rank %d label %d mismatch", rank, i)
+			}
+			seen[base+i] = true
+		}
+	}
+	if total != 103 {
+		t.Fatalf("shards cover %d samples, want 103", total)
+	}
+	if len(seen) != 103 {
+		t.Fatalf("shards overlap or skip: %d unique", len(seen))
+	}
+}
+
+func TestShardPanics(t *testing.T) {
+	d := GaussianBlobs(10, 2, 2, 0.1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Shard(4, 4)
+}
+
+func TestIteratorCoversEpoch(t *testing.T) {
+	it := NewIterator(100, 10, 1)
+	seen := map[int]int{}
+	for b := 0; b < 10; b++ {
+		for _, i := range it.Next() {
+			seen[i]++
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("first epoch covered %d unique samples", len(seen))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("sample %d seen %d times in one epoch", i, c)
+		}
+	}
+	if it.Epoch() != 0 {
+		t.Fatalf("epoch counter %d", it.Epoch())
+	}
+	it.Next()
+	if it.Epoch() != 1 {
+		t.Fatalf("epoch should roll to 1, got %d", it.Epoch())
+	}
+}
+
+func TestIteratorDropsShortTail(t *testing.T) {
+	it := NewIterator(25, 10, 2)
+	it.Next()
+	it.Next()
+	// 5 leftover samples: next batch must start a new epoch of full size.
+	b := it.Next()
+	if len(b) != 10 {
+		t.Fatalf("batch size %d", len(b))
+	}
+	if it.Epoch() != 1 {
+		t.Fatalf("epoch %d", it.Epoch())
+	}
+}
+
+func TestIteratorDeterministic(t *testing.T) {
+	a := NewIterator(50, 5, 9)
+	b := NewIterator(50, 5, 9)
+	for i := 0; i < 20; i++ {
+		ba, bb := a.Next(), b.Next()
+		for j := range ba {
+			if ba[j] != bb[j] {
+				t.Fatal("iterators with same seed diverged")
+			}
+		}
+	}
+}

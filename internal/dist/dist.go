@@ -1,0 +1,487 @@
+// Package dist implements Bulk Synchronous Parallel data-parallel SGD
+// with pluggable gradient compression — the training harness of the
+// paper's evaluation (Sec. 4).
+//
+// Per iteration, every worker: computes a local sub-gradient on its data
+// shard, linearizes it, compresses it, allgathers everyone's compressed
+// messages (the paper uses allgather for *all* algorithms, including the
+// lossless baseline, because sparse allreduce does not exist in MPI/NCCL),
+// decompresses and averages all p messages, and applies an identical SGD
+// update. Parameters are re-broadcast from rank 0 every SyncEvery
+// iterations to eliminate floating-point drift.
+//
+// Compute and compression are measured on the actual CPU; communication is
+// priced through a netsim fabric model at the real message sizes — the
+// substitution that stands in for the paper's 8-GPU InfiniBand testbed
+// (see DESIGN.md).
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"fftgrad/internal/checkpoint"
+	"fftgrad/internal/comm"
+	"fftgrad/internal/compress"
+	"fftgrad/internal/data"
+	"fftgrad/internal/nn"
+	"fftgrad/internal/optim"
+	"fftgrad/internal/pack"
+	"fftgrad/internal/sparsify"
+)
+
+// Fabric prices collectives; netsim.Profile and netsim.Hierarchical both
+// satisfy it.
+type Fabric interface {
+	// Allgather returns the seconds to allgather m bytes per rank across
+	// n ranks.
+	Allgather(n, m int) float64
+	// Broadcast returns the seconds to broadcast m bytes to n ranks.
+	Broadcast(n, m int) float64
+}
+
+// Config describes one distributed training run.
+type Config struct {
+	Workers       int
+	Batch         int // per-worker batch size
+	Epochs        int
+	ItersPerEpoch int // 0 = one pass over each worker's shard
+	Seed          int64
+
+	Momentum float64 // 0 means no momentum; the paper uses 0.9
+	LR       optim.LRSchedule
+
+	// ThetaSchedule, when non-nil, drives the drop ratio of compressors
+	// implementing compress.ThetaSetter at every epoch boundary.
+	ThetaSchedule sparsify.Schedule
+
+	// SyncEvery is the parameter re-broadcast period in iterations
+	// (default 10, as in the paper).
+	SyncEvery int
+
+	Model func(seed int64) *nn.Network
+	Train *data.Dataset
+	Test  *data.Dataset
+
+	// NewCompressor builds one compressor instance per worker.
+	NewCompressor func() compress.Compressor
+
+	// UseSparseAllreduce exchanges gradients through the sparse ring
+	// allreduce (comm.SparseAllreduce) instead of allgathering compressed
+	// messages — the collective the paper's conclusion calls for. In this
+	// mode gradients are sparsified spatially at SparseTheta (driven by
+	// ThetaSchedule when set) and NewCompressor is ignored: the collective
+	// itself is the compression. Numerically this matches Top-k +
+	// allgather: both average the same sparsified vectors.
+	UseSparseAllreduce bool
+	// SparseTheta is the drop ratio for the sparse-allreduce path.
+	SparseTheta float64
+
+	// Fabric prices communication. Nil disables the timing model.
+	Fabric Fabric
+
+	// MeasureAlpha additionally allgathers raw FP32 gradients each
+	// iteration (excluded from timing) to measure the Assumption 3.2
+	// constant α = ‖v̄−v̂̄‖/‖v̄‖ (Fig. 12).
+	MeasureAlpha bool
+
+	// SampleGradients, when > 0, stores rank-0's raw flat gradient every
+	// SampleGradients iterations (for the histogram experiments).
+	SampleGradients int
+
+	// Trace records a per-iteration timing breakdown (rank 0) into
+	// Result.Trace — the profile view of where an iteration goes.
+	Trace bool
+
+	// CheckpointEvery, when > 0, invokes OnCheckpoint with rank-0's
+	// captured state every CheckpointEvery epochs. The callback runs on
+	// the worker goroutine; keep it fast or hand off.
+	CheckpointEvery int
+	OnCheckpoint    func(*checkpoint.State)
+
+	// Resume, when non-nil, restores parameters and optimizer momentum on
+	// every worker before training starts (kill-and-resume).
+	Resume *checkpoint.State
+}
+
+// IterTrace is one iteration's timing breakdown on rank 0.
+type IterTrace struct {
+	Iter      int
+	ComputeS  float64 // forward+backward+update (measured)
+	CompressS float64 // compress+decompress (measured)
+	CommS     float64 // modeled collective cost (0 without a Fabric)
+	MsgBytes  int
+	Theta     float64
+}
+
+// EpochStats records per-epoch training progress.
+type EpochStats struct {
+	Epoch     int
+	TrainLoss float64 // mean rank-0 shard loss over the epoch
+	TestAcc   float64 // top-1 accuracy on the test set (rank 0)
+	Theta     float64 // drop ratio in effect
+	LR        float64
+}
+
+// Result aggregates a full run.
+type Result struct {
+	Epochs      []EpochStats
+	Alpha       []float64   // per-iteration α when MeasureAlpha
+	GradSamples [][]float32 // raw gradient snapshots when SampleGradients > 0
+	Trace       []IterTrace // per-iteration breakdown when Config.Trace
+
+	GradSize         int     // flat gradient length
+	Iterations       int     // total iterations executed
+	AvgMsgBytes      float64 // mean compressed message size
+	CompressionRatio float64
+
+	ComputeSeconds  float64 // measured forward+backward+update (rank 0)
+	CompressSeconds float64 // measured compress+decompress (rank 0)
+	CommSeconds     float64 // modeled via Fabric (0 if Fabric nil)
+}
+
+// ModeledWallSeconds returns the end-to-end modeled wall time: measured
+// compute and compression plus modeled communication.
+func (r *Result) ModeledWallSeconds() float64 {
+	return r.ComputeSeconds + r.CompressSeconds + r.CommSeconds
+}
+
+// Throughput returns modeled training throughput in samples/second for
+// the given per-worker batch size and worker count.
+func (r *Result) Throughput(workers, batch int) float64 {
+	w := r.ModeledWallSeconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(r.Iterations*workers*batch) / w
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 32
+	}
+	if cfg.Epochs < 1 {
+		cfg.Epochs = 1
+	}
+	if cfg.SyncEvery < 1 {
+		cfg.SyncEvery = 10
+	}
+	if cfg.LR == nil {
+		cfg.LR = optim.ConstLR(0.01)
+	}
+	if cfg.NewCompressor == nil {
+		cfg.NewCompressor = func() compress.Compressor { return compress.FP32{} }
+	}
+	if cfg.ItersPerEpoch == 0 {
+		shard := cfg.Train.Len() / cfg.Workers
+		cfg.ItersPerEpoch = shard / cfg.Batch
+		if cfg.ItersPerEpoch < 1 {
+			cfg.ItersPerEpoch = 1
+		}
+	}
+	return cfg
+}
+
+// Train runs BSP data-parallel training and returns rank-0's statistics.
+func Train(c Config) (*Result, error) {
+	if c.Model == nil || c.Train == nil {
+		return nil, fmt.Errorf("dist: Model and Train dataset are required")
+	}
+	cfg := c.withDefaults()
+	p := cfg.Workers
+	cluster := comm.NewCluster(p)
+
+	results := make([]*Result, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for rank := 0; rank < p; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			results[rank], errs[rank] = runWorker(cfg, cluster.Rank(rank))
+		}(rank)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results[0], nil
+}
+
+func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
+	rank := cm.RankID()
+	p := cm.P()
+	isRoot := rank == 0
+
+	net := cfg.Model(cfg.Seed) // identical init on every rank
+	n := net.NumParams()
+	shard := cfg.Train.Shard(rank, p)
+	it := data.NewIterator(shard.Len(), cfg.Batch, cfg.Seed+int64(rank)*7919)
+	sgd := optim.NewSGD(cfg.LR.LR(0), cfg.Momentum, n)
+	if cfg.Resume != nil {
+		if err := cfg.Resume.Apply(net, sgd); err != nil {
+			return nil, fmt.Errorf("dist: rank %d resume: %w", rank, err)
+		}
+	}
+	comp := cfg.NewCompressor()
+
+	grad := make([]float32, n)
+	avg := make([]float32, n)
+	recon := make([]float32, n)
+	delta := make([]float32, n)
+	rawAvg := make([]float32, n)
+	loss := nn.SoftmaxCE{}
+
+	res := &Result{GradSize: n}
+	var totalMsgBytes float64
+	var lossSum float64
+	var lossCount int
+	totalIters := cfg.Epochs * cfg.ItersPerEpoch
+
+	fp32 := compress.FP32{}
+
+	for iter := 0; iter < totalIters; iter++ {
+		epoch := iter / cfg.ItersPerEpoch
+		sgd.LR = cfg.LR.LR(epoch)
+		theta := math.NaN()
+		if cfg.ThetaSchedule != nil {
+			theta = cfg.ThetaSchedule.Theta(epoch)
+			if ts, ok := comp.(compress.ThetaSetter); ok {
+				ts.SetTheta(theta)
+			}
+		}
+
+		// --- local gradient ---------------------------------------------
+		t0 := time.Now()
+		x, labels := shard.Batch(it.Next())
+		net.ZeroGrads()
+		logits := net.Forward(x, true)
+		l, dl := loss.Loss(logits, labels)
+		net.Backward(dl)
+		net.FlattenGrads(grad)
+		computeT := time.Since(t0)
+		if isRoot {
+			lossSum += l
+			lossCount++
+			if cfg.SampleGradients > 0 && iter%cfg.SampleGradients == 0 {
+				res.GradSamples = append(res.GradSamples, append([]float32(nil), grad...))
+			}
+		}
+
+		// --- compress + exchange + average ---------------------------------
+		var compressT, decompressT time.Duration
+		var msgBytes, maxBytes int
+		inv := 1 / float32(p)
+		if cfg.UseSparseAllreduce {
+			sparseTheta := cfg.SparseTheta
+			if cfg.ThetaSchedule != nil {
+				sparseTheta = theta
+			}
+			t0 = time.Now()
+			work := append(grad[:0:0], grad...)
+			mask := sparsify.TopKSpatial(work, sparseTheta)
+			sp := pack.PackMask(work, mask)
+			compressT = time.Since(t0)
+
+			reduced, moved := cm.SparseAllreduce(sp)
+
+			t0 = time.Now()
+			reduced.Unpack(avg)
+			for i := range avg {
+				avg[i] *= inv
+			}
+			decompressT = time.Since(t0)
+			// Per-rank sent volume normalized to an equivalent allgather
+			// message so ratios stay comparable across exchange modes.
+			msgBytes = moved / (p - 1 + boolToInt(p == 1))
+			maxBytes = msgBytes
+		} else {
+			t0 = time.Now()
+			msg, err := comp.Compress(grad)
+			if err != nil {
+				return nil, fmt.Errorf("dist: rank %d compress: %w", rank, err)
+			}
+			compressT = time.Since(t0)
+			msgBytes = len(msg)
+
+			msgs := cm.Allgather(msg)
+			for _, m := range msgs {
+				if len(m) > maxBytes {
+					maxBytes = len(m)
+				}
+			}
+
+			t0 = time.Now()
+			for i := range avg {
+				avg[i] = 0
+			}
+			for _, m := range msgs {
+				if err := comp.Decompress(recon, m); err != nil {
+					return nil, fmt.Errorf("dist: rank %d decompress: %w", rank, err)
+				}
+				for i, v := range recon {
+					avg[i] += v
+				}
+			}
+			for i := range avg {
+				avg[i] *= inv
+			}
+			decompressT = time.Since(t0)
+		}
+
+		// --- α measurement (off the timed path) ---------------------------
+		if cfg.MeasureAlpha {
+			rawMsg, err := fp32.Compress(grad)
+			if err != nil {
+				return nil, err
+			}
+			raws := cm.Allgather(rawMsg)
+			if isRoot {
+				for i := range rawAvg {
+					rawAvg[i] = 0
+				}
+				tmp := make([]float32, n)
+				for _, m := range raws {
+					if err := fp32.Decompress(tmp, m); err != nil {
+						return nil, err
+					}
+					for i, v := range tmp {
+						rawAvg[i] += v
+					}
+				}
+				for i := range rawAvg {
+					rawAvg[i] *= inv
+				}
+				var num, den float64
+				for i := range rawAvg {
+					d := float64(rawAvg[i] - avg[i])
+					num += d * d
+					den += float64(rawAvg[i]) * float64(rawAvg[i])
+				}
+				alpha := 0.0
+				if den > 0 {
+					alpha = math.Sqrt(num / den)
+				}
+				res.Alpha = append(res.Alpha, alpha)
+			} else {
+				cm.Barrier()
+			}
+			if isRoot {
+				cm.Barrier()
+			}
+		}
+
+		// --- update --------------------------------------------------------
+		t0 = time.Now()
+		sgd.Delta(delta, avg)
+		net.AddToParams(delta)
+		updateT := time.Since(t0)
+
+		// --- periodic parameter re-broadcast -------------------------------
+		var syncBytes int
+		if (iter+1)%cfg.SyncEvery == 0 {
+			var payload []byte
+			if isRoot {
+				flat := net.GetParams(make([]float32, n))
+				payload, _ = fp32.Compress(flat)
+			}
+			got := cm.Broadcast(payload, 0)
+			if !isRoot {
+				flat := make([]float32, n)
+				if err := fp32.Decompress(flat, got); err != nil {
+					return nil, err
+				}
+				net.SetParams(flat)
+			}
+			syncBytes = n * 4
+		}
+
+		// --- bookkeeping (rank 0) ------------------------------------------
+		if isRoot {
+			res.Iterations++
+			totalMsgBytes += float64(msgBytes)
+			res.ComputeSeconds += computeT.Seconds() + updateT.Seconds()
+			res.CompressSeconds += compressT.Seconds() + decompressT.Seconds()
+			var commS float64
+			if cfg.Fabric != nil {
+				commS = cfg.Fabric.Allgather(p, maxBytes)
+				if syncBytes > 0 {
+					commS += cfg.Fabric.Broadcast(p, syncBytes)
+				}
+				res.CommSeconds += commS
+			}
+			if cfg.Trace {
+				res.Trace = append(res.Trace, IterTrace{
+					Iter:      iter,
+					ComputeS:  computeT.Seconds() + updateT.Seconds(),
+					CompressS: compressT.Seconds() + decompressT.Seconds(),
+					CommS:     commS,
+					MsgBytes:  msgBytes,
+					Theta:     theta,
+				})
+			}
+		}
+
+		// --- epoch boundary -------------------------------------------------
+		if (iter+1)%cfg.ItersPerEpoch == 0 && isRoot {
+			stats := EpochStats{
+				Epoch:     epoch,
+				TrainLoss: lossSum / float64(lossCount),
+				LR:        sgd.LR,
+				Theta:     theta,
+			}
+			lossSum, lossCount = 0, 0
+			if cfg.Test != nil {
+				stats.TestAcc = evaluate(net, cfg.Test, cfg.Batch)
+			}
+			res.Epochs = append(res.Epochs, stats)
+			if cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil && (epoch+1)%cfg.CheckpointEvery == 0 {
+				cfg.OnCheckpoint(checkpoint.Capture(net, sgd, int64(epoch), int64(iter)))
+			}
+		}
+	}
+
+	if isRoot && res.Iterations > 0 {
+		res.AvgMsgBytes = totalMsgBytes / float64(res.Iterations)
+		res.CompressionRatio = float64(n*4) / res.AvgMsgBytes
+	}
+	return res, nil
+}
+
+// boolToInt avoids a divide-by-zero in the single-worker volume
+// normalization (moved is 0 there anyway).
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// evaluate computes top-1 accuracy over the full test set in eval mode.
+func evaluate(net *nn.Network, test *data.Dataset, batch int) float64 {
+	correct := 0.0
+	total := 0
+	idx := make([]int, 0, batch)
+	for s := 0; s < test.Len(); s += batch {
+		idx = idx[:0]
+		for j := s; j < s+batch && j < test.Len(); j++ {
+			idx = append(idx, j)
+		}
+		x, labels := test.Batch(idx)
+		logits := net.Forward(x, false)
+		correct += nn.Accuracy(logits, labels) * float64(len(idx))
+		total += len(idx)
+	}
+	if total == 0 {
+		return 0
+	}
+	return correct / float64(total)
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+
+	"fftgrad/internal/perfmodel"
+	"fftgrad/internal/stats"
+)
+
+// Fig10 sweeps the analytic model of Sec. 3.3: the minimal beneficial
+// compression ratio k (Eq. 4) as a function of network throughput, for
+// several packing/selection throughput configurations. Slow networks need
+// k barely above 1; the paper's 56 Gbps FDR needs k ≈ 30; and a slow
+// enough pipeline makes every ratio useless beyond a cutoff bandwidth.
+func Fig10(o Options) error {
+	base := perfmodel.GPUReference()
+	configs := []struct {
+		name   string
+		tp, ts float64
+	}{
+		{"Tp=34GB/s Ts=75GB/s (reference)", 34e9, 75e9},
+		{"Tp=15GB/s Ts=30GB/s", 15e9, 30e9},
+		{"Tp=8GB/s  Ts=12GB/s (slow kernels)", 8e9, 12e9},
+	}
+	gbps := []float64{1, 5, 10, 20, 40, 56, 100, 200}
+
+	var series []stats.Series
+	for _, c := range configs {
+		t := base
+		t.Tp, t.Ts = c.tp, c.ts
+		s := stats.Series{Name: c.name, X: gbps}
+		for _, g := range gbps {
+			k, err := perfmodel.MinBeneficialRatio(g*1e9/8, t)
+			switch {
+			case errors.Is(err, perfmodel.ErrNoBeneficialRatio):
+				s.Y = append(s.Y, math.Inf(1))
+			case err != nil:
+				return err
+			default:
+				s.Y = append(s.Y, k)
+			}
+		}
+		series = append(series, s)
+		limit := perfmodel.MaxTolerableTcomm(t) * 8 / 1e9
+		o.printf("%s: no ratio helps beyond %.1f Gbps\n", c.name, limit)
+	}
+	o.printf("\nminimal beneficial ratio k vs network speed (Gbps):\n%s",
+		stats.RenderSeries(series...))
+
+	// Shape checks from the paper's narrative.
+	ref := base
+	k10, err := perfmodel.MinBeneficialRatio(10e9/8, ref)
+	if err != nil {
+		return err
+	}
+	k56, err := perfmodel.MinBeneficialRatio(56e9/8, ref)
+	if err != nil {
+		return err
+	}
+	o.printf("\nCHECK 10GbE minimal k %.2f ≤ 2 (paper: k=2 suffices): %v\n", k10, k10 <= 2)
+	o.printf("CHECK 56Gb FDR minimal k %.1f ≈ 30 (paper: ~30): %v\n", k56, k56 > 10 && k56 < 60)
+	slow := base
+	slow.Tp, slow.Ts = 8e9, 12e9
+	_, err = perfmodel.MinBeneficialRatio(56e9/8, slow)
+	o.printf("CHECK slow kernels on FDR have no beneficial ratio: %v\n",
+		errors.Is(err, perfmodel.ErrNoBeneficialRatio))
+	return nil
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fftgrad/internal/models"
+	"fftgrad/internal/netsim"
+	"fftgrad/internal/stats"
+)
+
+// Fig11 reproduces the allgather latency scan from 2 to 32 GPUs on the
+// Comet-shaped cluster (4 GPUs/node over PCIe, FDR InfiniBand between
+// nodes) for the AlexNet (≈250 MB) and ResNet32 (≈2 MB) gradients. The
+// paper's observation: allgather cost grows almost linearly in the number
+// of GPUs, because the exchanged volume does.
+func Fig11(o Options) error {
+	cluster := netsim.CometCluster()
+	alex := models.AlexNetImageNetProfile().TotalGradBytes()
+	resnet := models.ResNet32CIFARProfile().TotalGradBytes()
+
+	gpus := []float64{2, 4, 8, 16, 32}
+	alexS := stats.Series{Name: "AlexNet ms", X: gpus}
+	resS := stats.Series{Name: "ResNet32 ms", X: gpus}
+	for _, g := range gpus {
+		alexS.Y = append(alexS.Y, cluster.Allgather(int(g), alex)*1e3)
+		resS.Y = append(resS.Y, cluster.Allgather(int(g), resnet)*1e3)
+	}
+	o.printf("allgather latency (AlexNet %d MB, ResNet32 %.2f MB gradients):\n%s",
+		alex>>20, float64(resnet)/(1<<20), stats.RenderSeries(alexS, resS))
+
+	// Linearity check across the inter-node regime (8 → 32 GPUs): the
+	// volume quadruples, the time should too (within 25%).
+	growth := alexS.Y[4] / alexS.Y[2]
+	o.printf("\nCHECK near-linear growth 8→32 GPUs: ×%.2f (ideal ×4.43): %v\n",
+		growth, growth > 3 && growth < 5.5)
+	o.printf("CHECK AlexNet costs more than ResNet32 everywhere: %v\n",
+		alexS.Y[0] > resS.Y[0] && alexS.Y[4] > resS.Y[4])
+	return nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fftgrad/internal/data"
+	"fftgrad/internal/models"
+	"fftgrad/internal/stats"
+)
+
+// Fig14 reproduces the wall-time-to-accuracy comparison on an 8-worker
+// cluster: every method trains the same real workload for the same number
+// of epochs; the x-axis maps each epoch to modeled full-scale wall time
+// (AlexNet profile, Comet cluster), so the plot answers "who reaches what
+// accuracy by when" — the paper's headline figure.
+func Fig14(o Options) error {
+	epochs := 6
+	if o.Quick {
+		epochs = 3
+	}
+	train, test := data.GaussianBlobs(3584, 8, 24, 0.9, o.Seed).Split(3072)
+	alex := models.AlexNetImageNetProfile()
+	const workers = 8
+	itersPerEpoch := float64(alex.BatchSize) // nominal; constant across methods
+
+	var series []stats.Series
+	finalAcc := map[string]float64{}
+	timeToEnd := map[string]float64{}
+	for _, m := range paperMethods() {
+		ratio, err := measuredRatio(m, 1<<20, o.Seed)
+		if err != nil {
+			return err
+		}
+		iter := fullScaleIterSeconds(alex, m, ratio, workers)
+		res, err := accuracyRun(o, m, train, test, epochs)
+		if err != nil {
+			return err
+		}
+		s := stats.Series{Name: m.name}
+		for _, ep := range res.Epochs {
+			wall := iter * itersPerEpoch * float64(ep.Epoch+1)
+			s.X = append(s.X, wall)
+			s.Y = append(s.Y, ep.TestAcc)
+		}
+		series = append(series, s)
+		finalAcc[m.name] = s.Y[len(s.Y)-1]
+		timeToEnd[m.name] = s.X[len(s.X)-1]
+	}
+
+	o.printf("modeled wall time (s, x) vs test accuracy (y), one row per epoch:\n")
+	for _, s := range series {
+		o.printf("\n%s:\n%s", s.Name, stats.RenderSeries(stats.Series{Name: "acc", X: s.X, Y: s.Y}))
+	}
+
+	o.printf("\nCHECK FFT finishes the budget fastest of the accurate methods: fft %.1fs vs fp32 %.1fs: %v\n",
+		timeToEnd["fft"], timeToEnd["fp32"], timeToEnd["fft"] < timeToEnd["fp32"])
+	o.printf("CHECK FFT final accuracy within 3%% of fp32: %v (%.3f vs %.3f)\n",
+		finalAcc["fft"] >= finalAcc["fp32"]-0.03, finalAcc["fft"], finalAcc["fp32"])
+	return nil
+}

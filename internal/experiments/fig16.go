@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fftgrad/internal/models"
+	"fftgrad/internal/stats"
+)
+
+// Fig16 reproduces the weak-scaling study from 2 to 32 GPUs: per-method
+// iteration throughput (samples/second), reported as speedup over one
+// GPU, for the AlexNet and ResNet32 full-scale profiles. Expected shape:
+// speedups are similar for ≤4 GPUs (intra-node PCIe is cheap); beyond
+// that, FFT sustains the highest throughput thanks to the highest
+// compression ratio; AlexNet (250 MB gradients) separates the methods far
+// more than ResNet32 (2 MB).
+func Fig16(o Options) error {
+	gpus := []int{1, 2, 4, 8, 16, 32}
+	const probe = 1 << 20
+
+	run := func(p *models.CommProfile) (map[string][]float64, error) {
+		compute := p.TotalFLOPs() / gpuEffFLOPS
+		out := map[string][]float64{}
+		var series []stats.Series
+		for _, m := range paperMethods() {
+			ratio, err := measuredRatio(m, probe, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			speedups := make([]float64, len(gpus))
+			for i, g := range gpus {
+				t := fullScaleIterSeconds(p, m, ratio, g)
+				// throughput(g) = g·batch/t; speedup = throughput/throughput(1)
+				speedups[i] = (float64(g) / t) * compute
+			}
+			out[m.name] = speedups
+			xs := make([]float64, len(gpus))
+			for i, g := range gpus {
+				xs[i] = float64(g)
+			}
+			series = append(series, stats.Series{Name: m.name, X: xs, Y: speedups})
+		}
+		o.printf("%s weak-scaling speedup over 1 GPU:\n%s\n", p.Name, stats.RenderSeries(series...))
+		return out, nil
+	}
+
+	alex, err := run(models.AlexNetImageNetProfile())
+	if err != nil {
+		return err
+	}
+	resnet, err := run(models.ResNet32CIFARProfile())
+	if err != nil {
+		return err
+	}
+
+	last := len(gpus) - 1
+	o.printf("CHECK FFT highest speedup at 32 GPUs on AlexNet: %v (fft %.1f topk %.1f qsgd %.1f tern %.1f fp32 %.1f)\n",
+		alex["fft"][last] >= alex["topk"][last] && alex["fft"][last] >= alex["qsgd"][last] &&
+			alex["fft"][last] >= alex["terngrad"][last] && alex["fft"][last] >= alex["fp32"][last],
+		alex["fft"][last], alex["topk"][last], alex["qsgd"][last], alex["terngrad"][last], alex["fp32"][last])
+	o.printf("CHECK FFT highest at 32 GPUs on ResNet32: %v\n",
+		resnet["fft"][last] >= resnet["topk"][last] && resnet["fft"][last] >= resnet["qsgd"][last] &&
+			resnet["fft"][last] >= resnet["terngrad"][last] && resnet["fft"][last] >= resnet["fp32"][last])
+	// ≤4 GPUs: methods within a small band of each other (PCIe is cheap).
+	spread4 := alex["fft"][2] - alex["fp32"][2]
+	o.printf("CHECK ≤4 GPUs speedups similar (fft-fp32 gap %.2f < 1.0): %v\n", spread4, spread4 < 1.0)
+	// Compression separates methods more on AlexNet than on ResNet32.
+	gapAlex := alex["fft"][last] / alex["fp32"][last]
+	gapRes := resnet["fft"][last] / resnet["fp32"][last]
+	o.printf("CHECK compression matters more for AlexNet (gap ×%.2f) than ResNet32 (×%.2f): %v\n",
+		gapAlex, gapRes, gapAlex > gapRes)
+	return nil
+}

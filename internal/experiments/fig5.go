@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fftgrad/internal/sparsify"
+	"fftgrad/internal/stats"
+)
+
+// Fig5 reproduces the head-to-head of FFT-domain top-k against direct
+// spatial top-k at the same drop ratio θ=0.9. The paper reports
+// err=0.0209 (FFT) vs err=0.0246 (top-k) on a sampled gradient; here we
+// measure relative L2 reconstruction error on correlated gradient fields
+// and check the same ordering, and that the FFT reconstruction keeps the
+// signal's distribution (no hard zeros).
+func Fig5(o Options) error {
+	const theta = 0.9
+	n := 1 << 16
+	trials := 5
+	if o.Quick {
+		n, trials = 1<<13, 2
+	}
+	f := sparsify.NewFFT()
+
+	t := &stats.Table{Headers: []string{"trial", "FFT relL2", "Top-k relL2", "FFT zeros", "Top-k zeros"}}
+	var fftSum, topkSum float64
+	ok := 0
+	for trial := 0; trial < trials; trial++ {
+		g := correlatedGradient(n, o.Seed+int64(trial))
+		rec, err := f.Roundtrip(g, theta)
+		if err != nil {
+			return err
+		}
+		fftErr := stats.RelL2(g, rec)
+		sp := append([]float32(nil), g...)
+		sparsify.TopKSpatial(sp, theta)
+		topkErr := stats.RelL2(g, sp)
+
+		fftSum += fftErr
+		topkSum += topkErr
+		if fftErr < topkErr {
+			ok++
+		}
+		t.AddRow(trial, fftErr, topkErr, countZeros(rec), countZeros(sp))
+	}
+	o.printf("FFT top-k vs direct top-k at θ=%.2f (n=%d):\n%s", theta, n, t.String())
+	o.printf("mean relL2: FFT %.4f vs Top-k %.4f (paper: 0.0209 vs 0.0246 absolute)\n",
+		fftSum/float64(trials), topkSum/float64(trials))
+	o.printf("CHECK FFT error below Top-k in %d/%d trials: %v\n", ok, trials, ok == trials)
+	return nil
+}
+
+func countZeros(x []float32) int {
+	z := 0
+	for _, v := range x {
+		if v == 0 {
+			z++
+		}
+	}
+	return z
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fftgrad/internal/quant"
+	"fftgrad/internal/stats"
+)
+
+// Fig9 demonstrates the adjustable representation range: tuning the
+// 10-bit quantizer to [-0.5, 0.5] and to [-5, 5] must move essentially
+// the whole representable set into the requested range while keeping the
+// near-zero-dense shape.
+func Fig9(o Options) error {
+	for _, rng := range []struct{ min, max float32 }{{-0.5, 0.5}, {-5, 5}} {
+		q, err := quant.Tune(10, rng.min, rng.max, nil)
+		if err != nil {
+			return err
+		}
+		vals := q.Representable()
+		inside := 0
+		for _, v := range vals {
+			if v >= rng.min && v <= rng.max {
+				inside++
+			}
+		}
+		frac := float64(inside) / float64(len(vals))
+
+		h := stats.NewHistogram(float64(rng.min), float64(rng.max), 20)
+		for _, v := range vals {
+			h.Add(float64(v))
+		}
+		o.printf("range [%g, %g]: m=%d eps=%.3g P=%d actualMin=%.4g actualMax=%.4g\n",
+			rng.min, rng.max, q.M, q.Eps, q.P(), q.ActualMin(), q.ActualMax())
+		o.printf("%s", h.Render(40))
+		o.printf("CHECK %.1f%% of representable values inside the requested range: %v\n",
+			frac*100, frac > 0.99)
+
+		// The distribution must peak near zero (Gaussian-like density).
+		centerMass := 0.0
+		for i := 0; i < len(h.Counts); i++ {
+			c := h.BinCenter(i)
+			if c > float64(rng.min)/4 && c < float64(rng.max)/4 {
+				centerMass += h.Density(i)
+			}
+		}
+		o.printf("CHECK central quarter of the range holds %.1f%% of values (>50%%): %v\n\n",
+			centerMass*100, centerMass > 0.5)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+// Package f16 implements IEEE-754 binary16 ("half precision") conversion in
+// software.
+//
+// The paper's compression pipeline converts full-precision (binary32)
+// gradients to half precision before the FFT, because half-precision FFT
+// roughly doubles throughput on recent GPUs and the information loss is
+// negligible for bounded gradients (Sec. 3.1.1). This package provides the
+// same conversion on the CPU with round-to-nearest-even semantics, matching
+// hardware behaviour, so that the end-to-end reconstruction error measured
+// by the experiments includes the fp16 step exactly as in the paper.
+package f16
+
+import (
+	"math"
+
+	"fftgrad/internal/parallel"
+)
+
+// Bits is a raw IEEE-754 binary16 value: 1 sign bit, 5 exponent bits,
+// 10 mantissa bits.
+type Bits uint16
+
+const (
+	signMask16 = 0x8000
+	expMask16  = 0x7C00
+	manMask16  = 0x03FF
+
+	// PositiveInfinity and NegativeInfinity are the binary16 infinities.
+	PositiveInfinity Bits = 0x7C00
+	NegativeInfinity Bits = 0xFC00
+
+	// MaxValue is the largest finite binary16 value, 65504.
+	MaxValue = 65504.0
+	// MinNormal is the smallest positive normal binary16 value, 2^-14.
+	MinNormal = 6.103515625e-05
+	// MinSubnormal is the smallest positive subnormal value, 2^-24.
+	MinSubnormal = 5.9604644775390625e-08
+)
+
+// FromFloat32 converts a float32 to binary16 with round-to-nearest-even,
+// the IEEE-754 default rounding mode and the mode used by GPU f32→f16
+// conversion instructions.
+func FromFloat32(f float32) Bits {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & signMask16
+	exp := int32(b>>23) & 0xFF
+	man := b & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN
+		if man != 0 {
+			// Preserve a quiet NaN; keep the top mantissa bit set.
+			return Bits(sign | expMask16 | 0x0200 | uint16(man>>13))
+		}
+		return Bits(sign | expMask16)
+	case exp == 0 && man == 0: // signed zero
+		return Bits(sign)
+	}
+
+	// Unbiased exponent of the float32 value.
+	e := exp - 127
+	switch {
+	case e > 15: // overflow to infinity
+		return Bits(sign | expMask16)
+	case e >= -14: // normal binary16
+		// 10 mantissa bits survive; round-to-nearest-even on the 13
+		// discarded bits.
+		halfExp := uint16(e+15) << 10
+		halfMan := uint16(man >> 13)
+		round := man & 0x1FFF
+		v := sign | halfExp | halfMan
+		if round > 0x1000 || (round == 0x1000 && halfMan&1 == 1) {
+			v++ // carry may roll into the exponent; that is correct
+		}
+		return Bits(v)
+	case e >= -24: // subnormal binary16
+		// Implicit leading 1 becomes explicit. The binary16 subnormal
+		// value is halfMan·2^-24, so halfMan = (1.man)·2^(e+24-23+...)
+		// = man32 >> (-e-1) with -e-1 in [14, 23].
+		man |= 0x800000
+		shift := uint(-e - 1)
+		halfMan := uint16(man >> shift)
+		dropped := man & (1<<shift - 1)
+		halfway := uint32(1) << (shift - 1)
+		v := sign | halfMan
+		if dropped > halfway || (dropped == halfway && halfMan&1 == 1) {
+			v++
+		}
+		return Bits(v)
+	default: // underflow to signed zero
+		return Bits(sign)
+	}
+}
+
+// Float32 converts a binary16 value back to float32 exactly (every binary16
+// value is representable in binary32).
+func (h Bits) Float32() float32 {
+	sign := uint32(h&signMask16) << 16
+	exp := uint32(h&expMask16) >> 10
+	man := uint32(h & manMask16)
+
+	switch exp {
+	case 0:
+		if man == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal: value = man * 2^-24. Normalize into binary32.
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= manMask16
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	case 0x1F:
+		if man == 0 {
+			return math.Float32frombits(sign | 0xFF<<23) // infinity
+		}
+		return math.Float32frombits(sign | 0xFF<<23 | man<<13 | 1<<22) // NaN
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | man<<13)
+	}
+}
+
+// IsNaN reports whether h encodes a NaN.
+func (h Bits) IsNaN() bool {
+	return h&expMask16 == expMask16 && h&manMask16 != 0
+}
+
+// IsInf reports whether h encodes +Inf or -Inf.
+func (h Bits) IsInf() bool {
+	return h&expMask16 == expMask16 && h&manMask16 == 0
+}
+
+// EncodeSlice converts src to binary16, writing into dst (which must be at
+// least len(src) long), in parallel. It returns dst[:len(src)].
+func EncodeSlice(dst []Bits, src []float32) []Bits {
+	dst = dst[:len(src)]
+	parallel.For(len(src), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = FromFloat32(src[i])
+		}
+	})
+	return dst
+}
+
+// DecodeSlice converts binary16 values back to float32 in parallel.
+// dst must be at least len(src) long; it returns dst[:len(src)].
+func DecodeSlice(dst []float32, src []Bits) []float32 {
+	dst = dst[:len(src)]
+	parallel.For(len(src), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = src[i].Float32()
+		}
+	})
+	return dst
+}
+
+// RoundTripSlice applies f32→f16→f32 in place, i.e. quantizes every element
+// of x to the nearest binary16 value. This is the "convert to half before
+// FFT" step of the compression pipeline.
+func RoundTripSlice(x []float32) {
+	parallel.For(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = FromFloat32(x[i]).Float32()
+		}
+	})
+}

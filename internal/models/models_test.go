@@ -1,0 +1,201 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fftgrad/internal/nn"
+	"fftgrad/internal/tensor"
+)
+
+func imageBatch(n int, seed int64) *tensor.Tensor {
+	r := rand.New(rand.NewSource(seed))
+	x := tensor.New(n, 3, 32, 32)
+	for i := range x.Data {
+		x.Data[i] = float32(r.NormFloat64() * 0.5)
+	}
+	return x
+}
+
+// forwardBackward smoke-tests a full training step and returns the flat
+// gradient for inspection.
+func forwardBackward(t *testing.T, net *nn.Network, batch int) []float32 {
+	t.Helper()
+	x := imageBatch(batch, 1)
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	net.ZeroGrads()
+	logits := net.Forward(x, true)
+	if logits.Dim(0) != batch || logits.Dim(1) != 10 {
+		t.Fatalf("logit shape %v", logits.Shape)
+	}
+	loss, dl := nn.SoftmaxCE{}.Loss(logits, labels)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss %g", loss)
+	}
+	net.Backward(dl)
+	g := net.FlattenGrads(make([]float32, net.NumParams()))
+	var nz int
+	for _, v := range g {
+		if v != v {
+			t.Fatal("NaN gradient")
+		}
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz < len(g)/10 {
+		t.Fatalf("gradient mostly zero: %d/%d", nz, len(g))
+	}
+	return g
+}
+
+func TestAlexNetStyle(t *testing.T) {
+	net := AlexNetStyle(10, 1, 42)
+	forwardBackward(t, net, 4)
+	// FC layers must dominate the parameter count (AlexNet structure).
+	params := net.Params()
+	var fc, conv int
+	for _, p := range params {
+		if len(p.Data) == 0 {
+			continue
+		}
+		if p.Name[0] == 'd' {
+			fc += len(p.Data)
+		} else {
+			conv += len(p.Data)
+		}
+	}
+	if fc <= conv {
+		t.Fatalf("AlexNet-style must be FC-heavy: fc=%d conv=%d", fc, conv)
+	}
+}
+
+func TestResNetStyle(t *testing.T) {
+	net := ResNetStyle(10, 2, 1, 42) // depth 14
+	forwardBackward(t, net, 4)
+}
+
+func TestResNet32Depth(t *testing.T) {
+	// blocksPerStage=5 must produce the ResNet-32 layer structure:
+	// 1 stem + 15 blocks (2 convs each) + 2 projections + fc.
+	net := ResNetStyle(10, 5, 1, 42)
+	convs := 0
+	for _, p := range net.Params() {
+		if p.Name[0] == 'c' && p.Name[len(p.Name)-1] == 'W' {
+			convs++
+		}
+	}
+	if convs != 1+15*2+2 {
+		t.Fatalf("conv layer count %d want 33", convs)
+	}
+}
+
+func TestVGGMini(t *testing.T) {
+	forwardBackward(t, VGGMini(10, 1, 42), 4)
+}
+
+func TestInceptionMini(t *testing.T) {
+	forwardBackward(t, InceptionMini(10, 1, 42), 4)
+}
+
+func TestMLP(t *testing.T) {
+	net := MLP(32, 64, 10, 42)
+	x := tensor.New(8, 32)
+	r := rand.New(rand.NewSource(2))
+	for i := range x.Data {
+		x.Data[i] = float32(r.NormFloat64())
+	}
+	labels := make([]int, 8)
+	net.ZeroGrads()
+	logits := net.Forward(x, true)
+	_, dl := nn.SoftmaxCE{}.Loss(logits, labels)
+	net.Backward(dl)
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := AlexNetStyle(10, 1, 7)
+	b := AlexNetStyle(10, 1, 7)
+	pa := a.GetParams(make([]float32, a.NumParams()))
+	pb := b.GetParams(make([]float32, b.NumParams()))
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same seed must give identical init")
+		}
+	}
+	c := AlexNetStyle(10, 1, 8)
+	pc := c.GetParams(make([]float32, c.NumParams()))
+	same := 0
+	for i := range pa {
+		if pa[i] == pc[i] {
+			same++
+		}
+	}
+	if same > len(pa)/2 {
+		t.Fatal("different seeds should give different init")
+	}
+}
+
+func TestAlexNetProfileMatchesPaper(t *testing.T) {
+	p := AlexNetImageNetProfile()
+	mb := float64(p.TotalGradBytes()) / (1 << 20)
+	// The paper quotes ≈250 MB; the classic ungrouped AlexNet is ≈244 MB.
+	if mb < 230 || mb > 260 {
+		t.Fatalf("AlexNet gradient %f MB, expected ≈250", mb)
+	}
+	// FC layers must hold >90% of bytes while convs hold >80% of FLOPs.
+	var fcBytes, convFLOPs float64
+	for _, l := range p.Layers {
+		if l.Name[0] == 'f' {
+			fcBytes += float64(l.GradBytes())
+		} else {
+			convFLOPs += l.FLOPs
+		}
+	}
+	if fcBytes/float64(p.TotalGradBytes()) < 0.9 {
+		t.Fatalf("FC byte share %.2f", fcBytes/float64(p.TotalGradBytes()))
+	}
+	if convFLOPs/p.TotalFLOPs() < 0.8 {
+		t.Fatalf("conv FLOP share %.2f", convFLOPs/p.TotalFLOPs())
+	}
+}
+
+func TestResNet32ProfileShape(t *testing.T) {
+	p := ResNet32CIFARProfile()
+	// He et al. report ≈0.46M params for CIFAR ResNet-32.
+	if p.TotalParams() < 400_000 || p.TotalParams() > 520_000 {
+		t.Fatalf("ResNet32 params %d, expected ≈464k", p.TotalParams())
+	}
+	// Every layer's gradient must be small: max layer ≈ 64·64·9 ≈ 37k
+	// params. That uniformity is what kills overlap.
+	for _, l := range p.Layers {
+		if l.ParamCount > 40_000 {
+			t.Fatalf("layer %s unexpectedly large: %d", l.Name, l.ParamCount)
+		}
+	}
+}
+
+func TestVGG16ProfileMatchesPaper(t *testing.T) {
+	p := VGG16ImageNetProfile()
+	mb := float64(p.TotalGradBytes()) / (1 << 20)
+	// The paper quotes 553 MB ≈ 138M params.
+	if mb < 520 || mb > 560 {
+		t.Fatalf("VGG16 gradient %f MB, expected ≈528-553", mb)
+	}
+}
+
+func BenchmarkResNetStyleIteration(b *testing.B) {
+	net := ResNetStyle(10, 2, 1, 1)
+	x := imageBatch(8, 1)
+	labels := make([]int, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		logits := net.Forward(x, true)
+		_, dl := nn.SoftmaxCE{}.Loss(logits, labels)
+		net.Backward(dl)
+	}
+}

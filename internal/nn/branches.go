@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fmt"
+
+	"fftgrad/internal/tensor"
+)
+
+// Branches is an Inception-style fan-out block: the input is fed to every
+// branch (a sub-pipeline of layers) and the branch outputs, which must
+// agree on every dimension except channels, are concatenated along the
+// channel axis. This is the "sparse fan-out connections" structure the
+// paper identifies as shrinking per-layer compute and therefore the
+// overlap opportunity (Sec. 2.1, Challenge II).
+type Branches struct {
+	Branch [][]Layer
+
+	outCh []int // cached per-branch channel counts for backward split
+}
+
+// NewBranches creates a fan-out block from the given branches.
+func NewBranches(branches ...[]Layer) *Branches {
+	if len(branches) == 0 {
+		panic("nn: Branches needs at least one branch")
+	}
+	return &Branches{Branch: branches}
+}
+
+// Name implements Layer.
+func (b *Branches) Name() string { return fmt.Sprintf("branches(%d)", len(b.Branch)) }
+
+// Params implements Layer.
+func (b *Branches) Params() []*Param {
+	var out []*Param
+	for _, br := range b.Branch {
+		for _, l := range br {
+			out = append(out, l.Params()...)
+		}
+	}
+	return out
+}
+
+// Forward implements Layer. x is [N,C,H,W].
+func (b *Branches) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(b.Branch))
+	for i, br := range b.Branch {
+		y := x
+		for _, l := range br {
+			y = l.Forward(y, train)
+		}
+		outs[i] = y
+	}
+	n, h, w := outs[0].Dim(0), outs[0].Dim(2), outs[0].Dim(3)
+	b.outCh = b.outCh[:0]
+	totalC := 0
+	for i, o := range outs {
+		if o.Dim(0) != n || o.Dim(2) != h || o.Dim(3) != w {
+			panic(fmt.Sprintf("nn: branch %d output %v incompatible with %v", i, o.Shape, outs[0].Shape))
+		}
+		b.outCh = append(b.outCh, o.Dim(1))
+		totalC += o.Dim(1)
+	}
+	y := tensor.New(n, totalC, h, w)
+	area := h * w
+	for s := 0; s < n; s++ {
+		cOff := 0
+		for _, o := range outs {
+			c := o.Dim(1)
+			src := o.Data[s*c*area : (s+1)*c*area]
+			dst := y.Data[(s*totalC+cOff)*area : (s*totalC+cOff+c)*area]
+			copy(dst, src)
+			cOff += c
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (b *Branches) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, totalC, h, w := dy.Dim(0), dy.Dim(1), dy.Dim(2), dy.Dim(3)
+	area := h * w
+	var dx *tensor.Tensor
+	cOff := 0
+	for i, br := range b.Branch {
+		c := b.outCh[i]
+		dBranch := tensor.New(n, c, h, w)
+		for s := 0; s < n; s++ {
+			src := dy.Data[(s*totalC+cOff)*area : (s*totalC+cOff+c)*area]
+			dst := dBranch.Data[s*c*area : (s+1)*c*area]
+			copy(dst, src)
+		}
+		cOff += c
+		d := dBranch
+		for j := len(br) - 1; j >= 0; j-- {
+			d = br[j].Backward(d)
+		}
+		if dx == nil {
+			dx = d.Clone()
+		} else {
+			for k := range dx.Data {
+				dx.Data[k] += d.Data[k]
+			}
+		}
+	}
+	return dx
+}

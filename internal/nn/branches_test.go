@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"fftgrad/internal/tensor"
+)
+
+func TestBranchesConcat(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	b := NewBranches(
+		[]Layer{NewConv2D(2, 3, 1, 1, 0, r)},
+		[]Layer{NewConv2D(2, 5, 3, 1, 1, r)},
+	)
+	x := randInput(r, 2, 2, 4, 4)
+	y := b.Forward(x, true)
+	if y.Dim(0) != 2 || y.Dim(1) != 8 || y.Dim(2) != 4 || y.Dim(3) != 4 {
+		t.Fatalf("concat shape %v", y.Shape)
+	}
+	if got := len(b.Params()); got != 4 {
+		t.Fatalf("params %d want 4", got)
+	}
+	dx := b.Backward(y.Clone())
+	if !tensor.SameShape(dx, x) {
+		t.Fatalf("backward shape %v", dx.Shape)
+	}
+}
+
+func TestBranchesIdentitySplit(t *testing.T) {
+	// Two empty branches: output = input stacked twice along channels;
+	// backward must sum the two gradient halves.
+	b := NewBranches([]Layer{}, []Layer{})
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	y := b.Forward(x, true)
+	if y.Dim(1) != 2 {
+		t.Fatalf("channels %d", y.Dim(1))
+	}
+	for i := 0; i < 4; i++ {
+		if y.Data[i] != x.Data[i] || y.Data[4+i] != x.Data[i] {
+			t.Fatalf("identity concat wrong at %d", i)
+		}
+	}
+	dy := tensor.FromSlice([]float32{1, 1, 1, 1, 2, 2, 2, 2}, 1, 2, 2, 2)
+	dx := b.Backward(dy)
+	for i := 0; i < 4; i++ {
+		if dx.Data[i] != 3 {
+			t.Fatalf("backward sum wrong at %d: %g", i, dx.Data[i])
+		}
+	}
+}
+
+func TestGradCheckBranches(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	net := Sequential(
+		NewBranches(
+			[]Layer{NewConv2D(2, 2, 1, 1, 0, r), NewReLU()},
+			[]Layer{NewConv2D(2, 3, 3, 1, 1, r)},
+		),
+		NewGlobalAvgPool(),
+		NewDense(5, 2, r),
+	)
+	x := randInput(r, 2, 2, 5, 5)
+	labels := []int{0, 1}
+	gradCheck(t, net, x, labels, 40, 0.1)
+}

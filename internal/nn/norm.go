@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fftgrad/internal/tensor"
+)
+
+// BatchNorm normalizes each channel of an NCHW tensor over (N, H, W) using
+// batch statistics during training and tracked running statistics during
+// evaluation (Ioffe & Szegedy 2015). ResNet-style models depend on it.
+type BatchNorm struct {
+	C       int
+	Eps     float64
+	Moment  float64 // running-stat update momentum (e.g. 0.9)
+	Gamma   *Param
+	Beta    *Param
+	RunMean []float32
+	RunVar  []float32
+
+	// forward caches
+	xhat    []float32
+	std     []float32 // per-channel 1/sqrt(var+eps)
+	inShape []int
+}
+
+// NewBatchNorm creates a batch-norm layer for c channels.
+func NewBatchNorm(c int) *BatchNorm {
+	bn := &BatchNorm{
+		C: c, Eps: 1e-5, Moment: 0.9,
+		Gamma:   newParam(fmt.Sprintf("bn%d.gamma", c), c),
+		Beta:    newParam(fmt.Sprintf("bn%d.beta", c), c),
+		RunMean: make([]float32, c),
+		RunVar:  make([]float32, c),
+	}
+	for i := range bn.Gamma.Data {
+		bn.Gamma.Data[i] = 1
+		bn.RunVar[i] = 1
+	}
+	return bn
+}
+
+// Name implements Layer.
+func (bn *BatchNorm) Name() string { return fmt.Sprintf("batchnorm(%d)", bn.C) }
+
+// Params implements Layer.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// Forward implements Layer. x is [N,C,H,W].
+func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != bn.C {
+		panic(fmt.Sprintf("nn: %s got %d channels", bn.Name(), c))
+	}
+	bn.inShape = append(bn.inShape[:0], x.Shape...)
+	y := tensor.New(x.Shape...)
+	if cap(bn.xhat) < x.Len() {
+		bn.xhat = make([]float32, x.Len())
+	}
+	bn.xhat = bn.xhat[:x.Len()]
+	if bn.std == nil {
+		bn.std = make([]float32, c)
+	}
+	area := h * w
+	cnt := float64(n * area)
+
+	for ch := 0; ch < c; ch++ {
+		var mean, variance float64
+		if train {
+			for s := 0; s < n; s++ {
+				plane := x.Data[(s*c+ch)*area : (s*c+ch+1)*area]
+				for _, v := range plane {
+					mean += float64(v)
+				}
+			}
+			mean /= cnt
+			for s := 0; s < n; s++ {
+				plane := x.Data[(s*c+ch)*area : (s*c+ch+1)*area]
+				for _, v := range plane {
+					d := float64(v) - mean
+					variance += d * d
+				}
+			}
+			variance /= cnt
+			bn.RunMean[ch] = float32(bn.Moment*float64(bn.RunMean[ch]) + (1-bn.Moment)*mean)
+			bn.RunVar[ch] = float32(bn.Moment*float64(bn.RunVar[ch]) + (1-bn.Moment)*variance)
+		} else {
+			mean = float64(bn.RunMean[ch])
+			variance = float64(bn.RunVar[ch])
+		}
+		invStd := float32(1 / math.Sqrt(variance+bn.Eps))
+		bn.std[ch] = invStd
+		g, b := bn.Gamma.Data[ch], bn.Beta.Data[ch]
+		m := float32(mean)
+		for s := 0; s < n; s++ {
+			base := (s*c + ch) * area
+			for i := 0; i < area; i++ {
+				xh := (x.Data[base+i] - m) * invStd
+				bn.xhat[base+i] = xh
+				y.Data[base+i] = g*xh + b
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer (training-mode gradient with batch statistics).
+func (bn *BatchNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, c := bn.inShape[0], bn.inShape[1]
+	area := bn.inShape[2] * bn.inShape[3]
+	cnt := float32(n * area)
+	dx := tensor.New(bn.inShape...)
+
+	for ch := 0; ch < c; ch++ {
+		var dgamma, dbeta float64
+		for s := 0; s < n; s++ {
+			base := (s*c + ch) * area
+			for i := 0; i < area; i++ {
+				dgamma += float64(dy.Data[base+i] * bn.xhat[base+i])
+				dbeta += float64(dy.Data[base+i])
+			}
+		}
+		bn.Gamma.Grad[ch] += float32(dgamma)
+		bn.Beta.Grad[ch] += float32(dbeta)
+
+		// dx = (γ/std/cnt) · (cnt·dy − Σdy − xhat·Σ(dy·xhat))
+		g := bn.Gamma.Data[ch]
+		scale := g * bn.std[ch] / cnt
+		sumDy := float32(dbeta)
+		sumDyXhat := float32(dgamma)
+		for s := 0; s < n; s++ {
+			base := (s*c + ch) * area
+			for i := 0; i < area; i++ {
+				dx.Data[base+i] = scale * (cnt*dy.Data[base+i] - sumDy - bn.xhat[base+i]*sumDyXhat)
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fftgrad/internal/parallel"
+	"fftgrad/internal/tensor"
+)
+
+// MaxPool2D is a square max pooling layer over NCHW tensors.
+type MaxPool2D struct {
+	Size, Stride int
+
+	inShape []int
+	argmax  []int32 // flat input index of each output element's maximum
+}
+
+// NewMaxPool2D creates a max-pooling layer. A stride of 0 defaults to size.
+func NewMaxPool2D(size, stride int) *MaxPool2D {
+	if stride == 0 {
+		stride = size
+	}
+	return &MaxPool2D{Size: size, Stride: stride}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return fmt.Sprintf("maxpool(%d,s%d)", p.Size, p.Stride) }
+
+// Params implements Layer.
+func (*MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-p.Size)/p.Stride + 1
+	ow := (w-p.Size)/p.Stride + 1
+	p.inShape = append(p.inShape[:0], x.Shape...)
+	y := tensor.New(n, c, oh, ow)
+	if cap(p.argmax) < y.Len() {
+		p.argmax = make([]int32, y.Len())
+	}
+	p.argmax = p.argmax[:y.Len()]
+
+	planes := n * c
+	parallel.ForGrain(planes, 4, func(lo, hi int) {
+		for pl := lo; pl < hi; pl++ {
+			in := x.Data[pl*h*w : (pl+1)*h*w]
+			outBase := pl * oh * ow
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					best := float32(math.Inf(-1))
+					bestIdx := int32(-1)
+					for di := 0; di < p.Size; di++ {
+						ih := i*p.Stride + di
+						for dj := 0; dj < p.Size; dj++ {
+							iw := j*p.Stride + dj
+							v := in[ih*w+iw]
+							if v > best {
+								best = v
+								bestIdx = int32(pl*h*w + ih*w + iw)
+							}
+						}
+					}
+					y.Data[outBase+i*ow+j] = best
+					p.argmax[outBase+i*ow+j] = bestIdx
+				}
+			}
+		}
+	})
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inShape...)
+	// Different output cells can share an argmax only within a plane when
+	// pooling windows overlap; planes are disjoint, so parallelize over
+	// planes and accumulate serially within one.
+	n, c := p.inShape[0], p.inShape[1]
+	planes := n * c
+	perPlane := dy.Len() / planes
+	parallel.ForGrain(planes, 4, func(lo, hi int) {
+		for pl := lo; pl < hi; pl++ {
+			for i := pl * perPlane; i < (pl+1)*perPlane; i++ {
+				dx.Data[p.argmax[i]] += dy.Data[i]
+			}
+		}
+	})
+	return dx
+}
+
+// GlobalAvgPool averages each channel plane to a single value:
+// [N,C,H,W] → [N,C].
+type GlobalAvgPool struct {
+	inShape []int
+}
+
+// NewGlobalAvgPool creates a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Name implements Layer.
+func (*GlobalAvgPool) Name() string { return "gap" }
+
+// Params implements Layer.
+func (*GlobalAvgPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	p.inShape = append(p.inShape[:0], x.Shape...)
+	y := tensor.New(n, c)
+	area := float32(h * w)
+	parallel.ForGrain(n*c, 16, func(lo, hi int) {
+		for pl := lo; pl < hi; pl++ {
+			var acc float32
+			plane := x.Data[pl*h*w : (pl+1)*h*w]
+			for _, v := range plane {
+				acc += v
+			}
+			y.Data[pl] = acc / area
+		}
+	})
+	return y
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	h, w := p.inShape[2], p.inShape[3]
+	dx := tensor.New(p.inShape...)
+	inv := 1 / float32(h*w)
+	parallel.ForGrain(dy.Len(), 16, func(lo, hi int) {
+		for pl := lo; pl < hi; pl++ {
+			g := dy.Data[pl] * inv
+			plane := dx.Data[pl*h*w : (pl+1)*h*w]
+			for i := range plane {
+				plane[i] = g
+			}
+		}
+	})
+	return dx
+}

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fftgrad/internal/parallel"
+	"fftgrad/internal/tensor"
+)
+
+// Residual is a residual block: y = ReLU(main(x) + shortcut(x)). With an
+// empty Shortcut the skip connection is the identity (He et al. 2016).
+// This is the structural element that makes ResNet-class models hard to
+// overlap with communication — many small convolutions instead of a few
+// large ones (Sec. 2.1, Challenge II).
+type Residual struct {
+	Main     []Layer
+	Shortcut []Layer
+
+	relu *ReLU
+}
+
+// NewResidual creates a residual block.
+func NewResidual(main []Layer, shortcut []Layer) *Residual {
+	return &Residual{Main: main, Shortcut: shortcut, relu: NewReLU()}
+}
+
+// Name implements Layer.
+func (*Residual) Name() string { return "residual" }
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	var out []*Param
+	for _, l := range r.Main {
+		out = append(out, l.Params()...)
+	}
+	for _, l := range r.Shortcut {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	m := x
+	for _, l := range r.Main {
+		m = l.Forward(m, train)
+	}
+	s := x
+	for _, l := range r.Shortcut {
+		s = l.Forward(s, train)
+	}
+	if !tensor.SameShape(m, s) {
+		panic("nn: residual branch shapes diverge; add a projection shortcut")
+	}
+	sum := tensor.New(m.Shape...)
+	parallel.For(m.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Data[i] = m.Data[i] + s.Data[i]
+		}
+	})
+	return r.relu.Forward(sum, train)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dsum := r.relu.Backward(dy)
+	dm := dsum
+	for i := len(r.Main) - 1; i >= 0; i-- {
+		dm = r.Main[i].Backward(dm)
+	}
+	ds := dsum
+	for i := len(r.Shortcut) - 1; i >= 0; i-- {
+		ds = r.Shortcut[i].Backward(ds)
+	}
+	dx := tensor.New(dm.Shape...)
+	parallel.For(dm.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dx.Data[i] = dm.Data[i] + ds.Data[i]
+		}
+	})
+	return dx
+}

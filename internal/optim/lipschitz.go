@@ -1,0 +1,65 @@
+package optim
+
+import "math"
+
+// LipschitzEstimator tracks a running estimate of the gradient's
+// Lipschitz constant L from consecutive (parameters, gradient) pairs:
+//
+//	L ≈ max_t ‖g_t − g_{t−1}‖ / ‖x_t − x_{t−1}‖
+//
+// Theorem 3.5's convergence condition for diminishing sparsification is
+// θ_t² = L·η_t; this estimator supplies the L that sparsify.LRCoupled
+// needs, turning the theorem into a closed loop: measure L online, set θ
+// from the learning-rate schedule.
+type LipschitzEstimator struct {
+	prevX, prevG []float32
+	est          float64
+	decay        float64
+	samples      int
+}
+
+// NewLipschitzEstimator creates an estimator. decay in (0, 1] smooths the
+// running maximum (1 = hard maximum, smaller values forget stale peaks —
+// useful because the local curvature drops as training approaches a
+// minimum).
+func NewLipschitzEstimator(decay float64) *LipschitzEstimator {
+	if decay <= 0 || decay > 1 {
+		decay = 1
+	}
+	return &LipschitzEstimator{decay: decay}
+}
+
+// Update feeds one (parameters, gradient) observation and returns the
+// current estimate. The first call only initializes state and returns 0.
+func (e *LipschitzEstimator) Update(x, g []float32) float64 {
+	if e.prevX == nil {
+		e.prevX = append([]float32(nil), x...)
+		e.prevG = append([]float32(nil), g...)
+		return 0
+	}
+	var dg2, dx2 float64
+	for i := range x {
+		dg := float64(g[i] - e.prevG[i])
+		dx := float64(x[i] - e.prevX[i])
+		dg2 += dg * dg
+		dx2 += dx * dx
+	}
+	copy(e.prevX, x)
+	copy(e.prevG, g)
+	if dx2 == 0 {
+		return e.est
+	}
+	ratio := math.Sqrt(dg2 / dx2)
+	e.est *= e.decay
+	if ratio > e.est {
+		e.est = ratio
+	}
+	e.samples++
+	return e.est
+}
+
+// Estimate returns the current L estimate (0 before two observations).
+func (e *LipschitzEstimator) Estimate() float64 { return e.est }
+
+// Samples returns how many difference pairs have been observed.
+func (e *LipschitzEstimator) Samples() int { return e.samples }

@@ -1,0 +1,99 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fftgrad/internal/sparsify"
+)
+
+// On a quadratic f(x) = ½·Σ c_i x_i², the gradient is c_i·x_i and the true
+// Lipschitz constant is max(c). The estimator must recover it.
+func TestLipschitzQuadratic(t *testing.T) {
+	c := []float32{0.5, 2, 5, 1} // L = 5
+	x := []float32{1, -1, 2, 0.5}
+	grad := func() []float32 {
+		g := make([]float32, len(x))
+		for i := range x {
+			g[i] = c[i] * x[i]
+		}
+		return g
+	}
+	e := NewLipschitzEstimator(1)
+	r := rand.New(rand.NewSource(1))
+	for step := 0; step < 200; step++ {
+		e.Update(x, grad())
+		for i := range x {
+			x[i] += float32(r.NormFloat64() * 0.1) // random walk probes directions
+		}
+	}
+	got := e.Estimate()
+	if got < 3.5 || got > 5.01 {
+		t.Fatalf("L estimate %.3f, true max-curvature 5", got)
+	}
+	if e.Samples() < 100 {
+		t.Fatalf("samples %d", e.Samples())
+	}
+}
+
+func TestLipschitzFirstCallAndNoMove(t *testing.T) {
+	e := NewLipschitzEstimator(1)
+	x := []float32{1, 2}
+	g := []float32{3, 4}
+	if got := e.Update(x, g); got != 0 {
+		t.Fatalf("first call should return 0, got %g", got)
+	}
+	// No parameter movement: estimate unchanged, no division by zero.
+	if got := e.Update(x, []float32{5, 6}); got != 0 {
+		t.Fatalf("zero displacement should keep estimate, got %g", got)
+	}
+}
+
+func TestLipschitzDecayForgets(t *testing.T) {
+	e := NewLipschitzEstimator(0.5)
+	// A single big-curvature observation...
+	e.Update([]float32{0}, []float32{0})
+	e.Update([]float32{1}, []float32{10}) // ratio 10
+	if e.Estimate() != 10 {
+		t.Fatalf("estimate %g", e.Estimate())
+	}
+	// ...decays as small-curvature observations accumulate.
+	for i := 0; i < 5; i++ {
+		e.Update([]float32{float32(2 + i)}, []float32{10}) // ratio 0
+	}
+	if e.Estimate() >= 1 {
+		t.Fatalf("decayed estimate %g should be < 1", e.Estimate())
+	}
+}
+
+func TestLipschitzBadDecayDefaults(t *testing.T) {
+	if e := NewLipschitzEstimator(-3); e.decay != 1 {
+		t.Fatal("bad decay should default to 1")
+	}
+}
+
+// The closed loop of Theorem 3.5: the measured L drives LRCoupled, which
+// must produce θ in (0,1) that shrinks when the learning rate drops.
+func TestLipschitzDrivesLRCoupled(t *testing.T) {
+	e := NewLipschitzEstimator(1)
+	e.Update([]float32{0, 0}, []float32{0, 0})
+	e.Update([]float32{1, 1}, []float32{2, 2}) // L ≈ 2
+	lr := func(epoch int) float64 {
+		if epoch < 10 {
+			return 0.05
+		}
+		return 0.005
+	}
+	sched := sparsify.LRCoupled{L: e.Estimate(), LR: lr, Cap: 0.95}
+	early, late := sched.Theta(0), sched.Theta(10)
+	if !(early > 0 && early < 1 && late > 0 && late < 1) {
+		t.Fatalf("θ out of range: %g %g", early, late)
+	}
+	if math.Abs(early-math.Sqrt(2*0.05)) > 1e-12 {
+		t.Fatalf("θ early %g want sqrt(0.1)", early)
+	}
+	if late >= early {
+		t.Fatalf("θ must shrink with the learning rate: %g -> %g", early, late)
+	}
+}

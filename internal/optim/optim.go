@@ -1,0 +1,104 @@
+// Package optim implements the optimizer and schedules used throughout
+// the paper's evaluation: SGD with momentum 0.9 and piecewise-constant
+// learning rates (Sec. 4, "Training setup").
+//
+// The optimizer operates on the flat gradient vector that the compression
+// pipeline produces, keeping the data path identical with and without
+// compression.
+package optim
+
+import "fmt"
+
+// SGD is stochastic gradient descent with classical momentum:
+//
+//	v ← μ·v + g;   Δθ = −η·v
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity []float32
+}
+
+// NewSGD creates an optimizer for a flat parameter vector of length n.
+func NewSGD(lr, momentum float64, n int) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make([]float32, n)}
+}
+
+// Delta consumes the (averaged) flat gradient and writes the parameter
+// update −η·v into dst, which must have the same length. Returns dst.
+func (s *SGD) Delta(dst, grad []float32) []float32 {
+	if len(grad) != len(s.velocity) || len(dst) != len(s.velocity) {
+		panic(fmt.Sprintf("optim: gradient length %d != optimizer size %d", len(grad), len(s.velocity)))
+	}
+	mu := float32(s.Momentum)
+	lr := float32(s.LR)
+	for i, g := range grad {
+		v := mu*s.velocity[i] + g
+		s.velocity[i] = v
+		dst[i] = -lr * v
+	}
+	return dst
+}
+
+// Reset zeroes the momentum buffer (used when parameters are re-broadcast
+// from rank 0 and local state must not leak stale momentum).
+func (s *SGD) Reset() {
+	for i := range s.velocity {
+		s.velocity[i] = 0
+	}
+}
+
+// State returns a copy of the momentum buffer for checkpointing.
+func (s *SGD) State() []float32 {
+	return append([]float32(nil), s.velocity...)
+}
+
+// Restore overwrites the momentum buffer from a checkpointed state.
+func (s *SGD) Restore(v []float32) {
+	if len(v) != len(s.velocity) {
+		panic(fmt.Sprintf("optim: velocity length %d != optimizer size %d", len(v), len(s.velocity)))
+	}
+	copy(s.velocity, v)
+}
+
+// LRSchedule yields the learning rate for a 0-based epoch.
+type LRSchedule interface {
+	LR(epoch int) float64
+}
+
+// ConstLR is a fixed learning rate.
+type ConstLR float64
+
+// LR implements LRSchedule.
+func (c ConstLR) LR(epoch int) float64 { return float64(c) }
+
+// PiecewiseLR drops the learning rate at fixed epoch boundaries, e.g. the
+// paper's AlexNet schedule {0.01 for [0,30), 0.001 for [30,60), 0.0001
+// after} is PiecewiseLR{Boundaries: []int{30, 60}, Values: []float64{0.01,
+// 0.001, 0.0001}}.
+type PiecewiseLR struct {
+	Boundaries []int     // ascending epoch boundaries, len = len(Values)-1
+	Values     []float64 // len(Boundaries)+1 rates
+}
+
+// LR implements LRSchedule.
+func (p PiecewiseLR) LR(epoch int) float64 {
+	if len(p.Values) != len(p.Boundaries)+1 {
+		panic("optim: PiecewiseLR needs len(Values) == len(Boundaries)+1")
+	}
+	for i, b := range p.Boundaries {
+		if epoch < b {
+			return p.Values[i]
+		}
+	}
+	return p.Values[len(p.Values)-1]
+}
+
+// AlexNetPaperLR is the paper's AlexNet learning-rate schedule.
+func AlexNetPaperLR() PiecewiseLR {
+	return PiecewiseLR{Boundaries: []int{30, 60}, Values: []float64{0.01, 0.001, 0.0001}}
+}
+
+// ResNet32PaperLR is the paper's ResNet32 learning-rate schedule.
+func ResNet32PaperLR() PiecewiseLR {
+	return PiecewiseLR{Boundaries: []int{130}, Values: []float64{0.01, 0.001}}
+}

@@ -1,0 +1,33 @@
+package pack
+
+import "testing"
+
+// FuzzDecodeBitmapRLE feeds arbitrary bytes to the RLE decoder: errors
+// are fine, panics and over-allocation are not, and any stream that
+// decodes must re-encode to a stream that decodes to the same bitmap.
+func FuzzDecodeBitmapRLE(f *testing.F) {
+	f.Add(EncodeBitmapRLE([]uint64{0, ^uint64(0), 0xDEADBEEF}), uint16(3))
+	f.Add([]byte{rleZeroRun, 5}, uint16(5))
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0xFF}, uint16(4))
+
+	f.Fuzz(func(t *testing.T, data []byte, wordsRaw uint16) {
+		words := int(wordsRaw) % 4096
+		bm, err := DecodeBitmapRLE(data, words)
+		if err != nil {
+			return
+		}
+		if len(bm) != words {
+			t.Fatalf("decoded %d words, want %d", len(bm), words)
+		}
+		back, err := DecodeBitmapRLE(EncodeBitmapRLE(bm), words)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		for i := range bm {
+			if back[i] != bm[i] {
+				t.Fatal("re-encode changed the bitmap")
+			}
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package pack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fftgrad/internal/topk"
+)
+
+func sparseVector(n int, density float64, seed int64) []float32 {
+	r := rand.New(rand.NewSource(seed))
+	x := make([]float32, n)
+	for i := range x {
+		if r.Float64() < density {
+			x[i] = float32(r.NormFloat64())
+			if x[i] == 0 {
+				x[i] = 1
+			}
+		}
+	}
+	return x
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 100000} {
+		x := sparseVector(n, 0.1, int64(n))
+		p := PackNonzero(x)
+		dst := make([]float32, n)
+		for i := range dst {
+			dst[i] = 99 // must be overwritten
+		}
+		p.Unpack(dst)
+		for i := range x {
+			if dst[i] != x[i] {
+				t.Fatalf("n=%d index %d: %g != %g", n, i, dst[i], x[i])
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	x := sparseVector(200000, 0.15, 7)
+	par := PackNonzero(x)
+	ser := PackNonzeroSerial(x)
+	if par.N != ser.N || len(par.Values) != len(ser.Values) {
+		t.Fatalf("shape mismatch: %d/%d values vs %d/%d", par.N, len(par.Values), ser.N, len(ser.Values))
+	}
+	for i := range par.Bitmap {
+		if par.Bitmap[i] != ser.Bitmap[i] {
+			t.Fatalf("bitmap word %d differs", i)
+		}
+	}
+	for i := range par.Values {
+		if par.Values[i] != ser.Values[i] {
+			t.Fatalf("value %d differs: %g vs %g", i, par.Values[i], ser.Values[i])
+		}
+	}
+	d1 := make([]float32, len(x))
+	d2 := make([]float32, len(x))
+	par.Unpack(d1)
+	par.UnpackSerial(d2)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("unpack mismatch at %d", i)
+		}
+	}
+}
+
+func TestPackMaskIgnoresUnselected(t *testing.T) {
+	x := []float32{1, 2, 3, 4, 5}
+	bitmap := make([]uint64, 1)
+	bitmap[0] = 0b10101 // keep indices 0, 2, 4
+	p := PackMask(x, bitmap)
+	want := []float32{1, 3, 5}
+	if len(p.Values) != len(want) {
+		t.Fatalf("got %d values", len(p.Values))
+	}
+	for i := range want {
+		if p.Values[i] != want[i] {
+			t.Fatalf("value %d: %g want %g", i, p.Values[i], want[i])
+		}
+	}
+	dst := make([]float32, 5)
+	p.Unpack(dst)
+	wantDense := []float32{1, 0, 3, 0, 5}
+	for i := range wantDense {
+		if dst[i] != wantDense[i] {
+			t.Fatalf("dense %d: %g want %g", i, dst[i], wantDense[i])
+		}
+	}
+}
+
+func TestPackMaskBadBitmapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PackMask(make([]float32, 100), make([]uint64, 1))
+}
+
+func TestUnpackBadLengthPanics(t *testing.T) {
+	p := PackNonzero([]float32{1, 0, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Unpack(make([]float32, 2))
+}
+
+// Property: pack∘unpack is the identity on any float32 vector whose zeros
+// are exact (non-zero values survive, zeros stay zero).
+func TestPackRoundTripProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		p := PackNonzero(vals)
+		dst := make([]float32, len(vals))
+		p.Unpack(dst)
+		for i := range vals {
+			// NaN != NaN, compare bitwise semantics via equality on
+			// non-NaN and self-inequality on NaN.
+			if vals[i] != vals[i] {
+				if dst[i] == dst[i] {
+					return false
+				}
+				continue
+			}
+			if dst[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireBytesAndRatio(t *testing.T) {
+	// 6400 elements, 64 kept: bitmap = 100 words = 800 bytes,
+	// values = 256 bytes. Original 25600 bytes.
+	n := 6400
+	x := make([]float32, n)
+	for i := 0; i < 64; i++ {
+		x[i*100] = 1
+	}
+	p := PackNonzero(x)
+	if got, want := p.WireBytes(), 800+256; got != want {
+		t.Fatalf("WireBytes %d want %d", got, want)
+	}
+	wantRatio := float64(n*4) / float64(800+256)
+	if got := p.CompressionRatio(); got != wantRatio {
+		t.Fatalf("ratio %g want %g", got, wantRatio)
+	}
+}
+
+// Fig. 6 behaviour: even with *everything* dropped, the bitmap bounds the
+// ratio at 32; and the marginal gain beyond ratio ~20 is small.
+func TestBitmapBoundsRatio(t *testing.T) {
+	n := 64000
+	empty := PackNonzero(make([]float32, n))
+	if got := empty.CompressionRatio(); got != 32 {
+		t.Fatalf("all-dropped ratio %g want 32", got)
+	}
+	// θ=0.05 (keep 5%): ratio = 32n / (n + 32·0.05n) = 32/2.6 ≈ 12.3
+	x := sparseVector(n, 0.05, 1)
+	p := PackNonzero(x)
+	if r := p.CompressionRatio(); r < 10 || r > 14 {
+		t.Fatalf("5%% density ratio %g out of expected band", r)
+	}
+}
+
+func TestPackWithTopKMask(t *testing.T) {
+	n := 10000
+	r := rand.New(rand.NewSource(3))
+	x := make([]float32, n)
+	mags := make([]float64, n)
+	for i := range x {
+		x[i] = float32(r.NormFloat64())
+		m := float64(x[i])
+		if m < 0 {
+			m = -m
+		}
+		mags[i] = m
+	}
+	k := 1000
+	mask := topk.MaskTopK(mags, k)
+	p := PackMask(x, mask)
+	if len(p.Values) != k {
+		t.Fatalf("expected %d packed values, got %d", k, len(p.Values))
+	}
+}
+
+func BenchmarkPackParallel(b *testing.B) {
+	// 25M floats = 100 MB, the message size in the paper's packing claim.
+	x := sparseVector(25_000_000, 0.15, 1)
+	b.SetBytes(int64(len(x) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackNonzero(x)
+	}
+}
+
+func BenchmarkPackSerial(b *testing.B) {
+	x := sparseVector(25_000_000, 0.15, 1)
+	b.SetBytes(int64(len(x) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackNonzeroSerial(x)
+	}
+}
+
+func BenchmarkUnpackParallel(b *testing.B) {
+	x := sparseVector(25_000_000, 0.15, 1)
+	p := PackNonzero(x)
+	dst := make([]float32, len(x))
+	b.SetBytes(int64(len(x) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Unpack(dst)
+	}
+}

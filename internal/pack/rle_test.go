@@ -1,0 +1,150 @@
+package pack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRLERoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, words := range []int{0, 1, 10, 1000} {
+		for _, density := range []float64{0, 0.001, 0.1, 0.5, 1} {
+			bm := make([]uint64, words)
+			for w := range bm {
+				for b := 0; b < 64; b++ {
+					if r.Float64() < density {
+						bm[w] |= 1 << uint(b)
+					}
+				}
+			}
+			enc := EncodeBitmapRLE(bm)
+			dec, err := DecodeBitmapRLE(enc, words)
+			if err != nil {
+				t.Fatalf("words=%d density=%g: %v", words, density, err)
+			}
+			for w := range bm {
+				if dec[w] != bm[w] {
+					t.Fatalf("words=%d density=%g word %d mismatch", words, density, w)
+				}
+			}
+		}
+	}
+}
+
+func TestRLERoundTripProperty(t *testing.T) {
+	f := func(bm []uint64) bool {
+		dec, err := DecodeBitmapRLE(EncodeBitmapRLE(bm), len(bm))
+		if err != nil {
+			return false
+		}
+		for i := range bm {
+			if dec[i] != bm[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLECompressesSparseBitmaps(t *testing.T) {
+	// Word-level RLE: with bit density d, a word is all-zero with
+	// probability (1-d)^64 — at d=1% that is only ~53%, so expect a
+	// modest squeeze; at d=0.1% (94% zero words) a strong one.
+	words := 10000
+	fill := func(perMille int) []uint64 {
+		bm := make([]uint64, words)
+		r := rand.New(rand.NewSource(int64(perMille)))
+		for i := 0; i < words*64*perMille/1000; i++ {
+			pos := r.Intn(words * 64)
+			bm[pos>>6] |= 1 << (uint(pos) & 63)
+		}
+		return bm
+	}
+	if enc := EncodeBitmapRLE(fill(10)); len(enc) >= words*8*3/4 {
+		t.Fatalf("1%% bitmap: %d vs %d raw", len(enc), words*8)
+	}
+	if enc := EncodeBitmapRLE(fill(1)); len(enc) >= words*8/4 {
+		t.Fatalf("0.1%% bitmap should compress >4x: %d vs %d raw", len(enc), words*8)
+	}
+	// All-zero compresses to a few bytes.
+	if l := len(EncodeBitmapRLE(make([]uint64, words))); l > 8 {
+		t.Fatalf("all-zero bitmap encoded to %d bytes", l)
+	}
+}
+
+func TestRLEBoundedExpansion(t *testing.T) {
+	// Dense random bitmap: all literal words; overhead must stay small.
+	words := 5000
+	r := rand.New(rand.NewSource(3))
+	bm := make([]uint64, words)
+	for w := range bm {
+		bm[w] = r.Uint64() | 1 // avoid zero words
+		if bm[w] == ^uint64(0) {
+			bm[w]--
+		}
+	}
+	enc := EncodeBitmapRLE(bm)
+	if len(enc) > words*8+16 {
+		t.Fatalf("dense bitmap expanded too much: %d vs %d raw", len(enc), words*8)
+	}
+}
+
+func TestRLEDecodeErrors(t *testing.T) {
+	bm := []uint64{0, ^uint64(0), 0x1234}
+	enc := EncodeBitmapRLE(bm)
+	if _, err := DecodeBitmapRLE(enc, 2); err == nil {
+		t.Fatal("word-count mismatch should error")
+	}
+	if _, err := DecodeBitmapRLE(enc[:len(enc)-3], 3); err == nil {
+		t.Fatal("truncation should error")
+	}
+	if _, err := DecodeBitmapRLE([]byte{0xFF, 0x01}, 3); err == nil {
+		t.Fatal("unknown token should error")
+	}
+	if _, err := DecodeBitmapRLE([]byte{rleZeroRun}, 3); err == nil {
+		t.Fatal("missing varint should error")
+	}
+	// A run longer than the bitmap must be rejected.
+	if _, err := DecodeBitmapRLE([]byte{rleZeroRun, 0xFF, 0x01}, 3); err == nil {
+		t.Fatal("overlong run should error")
+	}
+}
+
+// The Fig. 6 improvement: at very high sparsity, the RLE wire size pushes
+// the achievable ratio past the raw-bitmap ceiling of 32.
+func TestRLELiftsRatioCeiling(t *testing.T) {
+	n := 640000
+	x := make([]float32, n)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < n/1000; i++ { // 0.1% density
+		x[r.Intn(n)] = 1
+	}
+	sp := PackNonzero(x)
+	raw := float64(n*4) / float64(sp.WireBytes())
+	rle := float64(n*4) / float64(sp.WireBytesRLE())
+	if raw > 32 {
+		t.Fatalf("raw ratio %f should be capped at 32", raw)
+	}
+	if rle < 100 {
+		t.Fatalf("RLE ratio %f should blow past the 32 ceiling at 0.1%% density", rle)
+	}
+}
+
+func BenchmarkEncodeBitmapRLE(b *testing.B) {
+	words := 1 << 17 // 8M-bit bitmap
+	bm := make([]uint64, words)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < words*64/20; i++ {
+		pos := r.Intn(words * 64)
+		bm[pos>>6] |= 1 << (uint(pos) & 63)
+	}
+	b.SetBytes(int64(words * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeBitmapRLE(bm)
+	}
+}

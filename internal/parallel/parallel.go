@@ -1,0 +1,104 @@
+// Package parallel provides small work-partitioning helpers used by the
+// numeric kernels in this repository. All compression primitives in the
+// paper (precision conversion, FFT, top-k selection, packing) are described
+// as embarrassingly parallel GPU kernels; on the CPU we express the same
+// structure as a blocked parallel-for over GOMAXPROCS workers.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minParallelWork is the smallest per-invocation element count for which
+// spawning goroutines pays for itself. Below it, For runs serially.
+const minParallelWork = 4096
+
+// Workers returns the degree of parallelism used by this package.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For splits [0,n) into contiguous chunks and invokes body(lo, hi) for each
+// chunk, possibly concurrently. body must be safe to run concurrently on
+// disjoint ranges. It blocks until all chunks complete.
+func For(n int, body func(lo, hi int)) {
+	ForGrain(n, minParallelWork, body)
+}
+
+// ForGrain is For with an explicit minimum grain size: no chunk will be
+// smaller than grain except possibly the last, and work below grain runs
+// serially on the calling goroutine.
+func ForGrain(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p := Workers()
+	if p == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > p {
+		chunks = p
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Chunks returns the boundaries that ForGrain would use for n elements,
+// as a slice of [lo,hi) pairs. Useful for two-pass algorithms (e.g. the
+// parallel prefix sum in internal/prefix) that need the same partition in
+// both passes.
+func Chunks(n, grain int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p := Workers()
+	if p == 1 || n <= grain {
+		return [][2]int{{0, n}}
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > p {
+		chunks = p
+	}
+	size := (n + chunks - 1) / chunks
+	out := make([][2]int, 0, chunks)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// Run executes the given thunks concurrently and waits for all of them.
+func Run(fns ...func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}

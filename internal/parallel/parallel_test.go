@@ -1,0 +1,119 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 4096, 4097, 100000} {
+		seen := make([]int32, n)
+		For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForGrainRespectsGrain(t *testing.T) {
+	// Work below the grain must execute as a single serial chunk.
+	calls := 0
+	ForGrain(100, 1000, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("expected single chunk [0,100), got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("expected 1 call, got %d", calls)
+	}
+}
+
+func TestForNegativeAndZero(t *testing.T) {
+	called := false
+	For(0, func(lo, hi int) { called = true })
+	For(-5, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body must not be called for n <= 0")
+	}
+}
+
+func TestChunksPartition(t *testing.T) {
+	check := func(n int) bool {
+		if n < 0 {
+			n = -n
+		}
+		n = n % 100000
+		cs := Chunks(n, 64)
+		if n == 0 {
+			return len(cs) == 0
+		}
+		// Chunks must tile [0,n) contiguously.
+		next := 0
+		for _, c := range cs {
+			if c[0] != next || c[1] <= c[0] {
+				return false
+			}
+			next = c[1]
+		}
+		return next == n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunksBoundedByWorkers(t *testing.T) {
+	cs := Chunks(1<<20, 1)
+	if len(cs) > Workers() {
+		t.Fatalf("got %d chunks for %d workers", len(cs), Workers())
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var a, b, c int32
+	Run(
+		func() { atomic.StoreInt32(&a, 1) },
+		func() { atomic.StoreInt32(&b, 2) },
+		func() { atomic.StoreInt32(&c, 3) },
+	)
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("thunks did not all run: %d %d %d", a, b, c)
+	}
+}
+
+func TestForSumMatchesSerial(t *testing.T) {
+	const n = 1 << 17
+	var parSum int64
+	For(n, func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		atomic.AddInt64(&parSum, local)
+	})
+	want := int64(n) * int64(n-1) / 2
+	if parSum != want {
+		t.Fatalf("parallel sum %d != %d", parSum, want)
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	buf := make([]float32, 1<<20)
+	b.SetBytes(int64(len(buf) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		For(len(buf), func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				buf[j] = buf[j]*0.5 + 1
+			}
+		})
+	}
+}

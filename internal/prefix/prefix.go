@@ -1,0 +1,92 @@
+// Package prefix implements sequential and parallel prefix sums (scans).
+//
+// The paper's sparse-packing algorithm (Sec. 3.2) performs a parallel
+// prefix sum on the status vector to compute the output location of every
+// surviving element; on a V100 the authors report a 689x speedup over the
+// single-threaded scan. The parallel implementation here is the classic
+// blocked two-pass scan: per-block local sums, an exclusive scan over block
+// totals, then a per-block local scan seeded with the block offset.
+package prefix
+
+import "fftgrad/internal/parallel"
+
+// grain is the minimum per-block element count for the parallel scan; two
+// passes over the data mean parallelism needs a larger grain than a map-style
+// kernel to pay off.
+const grain = 8192
+
+// SumInt32Serial writes the inclusive prefix sum of src into dst and
+// returns the total. dst and src may alias. len(dst) must equal len(src).
+func SumInt32Serial(dst, src []int32) int32 {
+	var acc int32
+	for i, v := range src {
+		acc += v
+		dst[i] = acc
+	}
+	return acc
+}
+
+// SumInt32 writes the inclusive prefix sum of src into dst in parallel and
+// returns the total. dst and src may alias. len(dst) must equal len(src).
+func SumInt32(dst, src []int32) int32 {
+	n := len(src)
+	if len(dst) != n {
+		panic("prefix: len(dst) != len(src)")
+	}
+	blocks := parallel.Chunks(n, grain)
+	if len(blocks) <= 1 {
+		return SumInt32Serial(dst, src)
+	}
+
+	// Pass 1: each block computes its local total.
+	totals := make([]int32, len(blocks))
+	parallel.ForGrain(len(blocks), 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			var acc int32
+			for i := blocks[b][0]; i < blocks[b][1]; i++ {
+				acc += src[i]
+			}
+			totals[b] = acc
+		}
+	})
+
+	// Exclusive scan over block totals (small, serial).
+	var running int32
+	offsets := make([]int32, len(blocks))
+	for b, t := range totals {
+		offsets[b] = running
+		running += t
+	}
+
+	// Pass 2: per-block inclusive scan seeded with the block offset.
+	parallel.ForGrain(len(blocks), 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			acc := offsets[b]
+			for i := blocks[b][0]; i < blocks[b][1]; i++ {
+				acc += src[i]
+				dst[i] = acc
+			}
+		}
+	})
+	return running
+}
+
+// CountBits computes the inclusive prefix sum of the bits of a bitmap:
+// dst[i] = number of set bits in bitmap[0..i] (treating the bitmap as a bit
+// vector of length n). It returns the population count. This is the exact
+// scan the packing algorithm needs when the status vector is stored as a
+// bitmap rather than one int per element.
+func CountBits(dst []int32, bitmap []uint64, n int) int32 {
+	if len(dst) != n {
+		panic("prefix: len(dst) != n")
+	}
+	src := make([]int32, n)
+	parallel.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if bitmap[i>>6]&(1<<(uint(i)&63)) != 0 {
+				src[i] = 1
+			}
+		}
+	})
+	return SumInt32(dst, src)
+}

@@ -1,0 +1,129 @@
+package prefix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumInt32MatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 100, 8191, 8192, 8193, 1 << 18} {
+		src := make([]int32, n)
+		for i := range src {
+			src[i] = int32(r.Intn(5))
+		}
+		want := make([]int32, n)
+		wTot := SumInt32Serial(want, src)
+		got := make([]int32, n)
+		gTot := SumInt32(got, src)
+		if gTot != wTot {
+			t.Fatalf("n=%d total %d != %d", n, gTot, wTot)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d index %d: %d != %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSumInt32Aliased(t *testing.T) {
+	src := []int32{1, 2, 3, 4, 5}
+	SumInt32(src, src)
+	want := []int32{1, 3, 6, 10, 15}
+	for i := range want {
+		if src[i] != want[i] {
+			t.Fatalf("aliased scan wrong at %d: %d != %d", i, src[i], want[i])
+		}
+	}
+}
+
+func TestSumInt32LengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	SumInt32(make([]int32, 3), make([]int32, 4))
+}
+
+// Property: the last element of an inclusive scan equals the sum, and the
+// scan is monotone for non-negative input.
+func TestScanProperties(t *testing.T) {
+	f := func(vals []uint8) bool {
+		src := make([]int32, len(vals))
+		var sum int32
+		for i, v := range vals {
+			src[i] = int32(v)
+			sum += int32(v)
+		}
+		dst := make([]int32, len(src))
+		tot := SumInt32(dst, src)
+		if tot != sum {
+			return false
+		}
+		prev := int32(0)
+		for _, v := range dst {
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return len(dst) == 0 || dst[len(dst)-1] == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountBits(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 100001
+	bitmap := make([]uint64, (n+63)/64)
+	want := make([]int32, n)
+	var acc int32
+	for i := 0; i < n; i++ {
+		if r.Intn(3) == 0 {
+			bitmap[i>>6] |= 1 << (uint(i) & 63)
+			acc++
+		}
+		want[i] = acc
+	}
+	dst := make([]int32, n)
+	tot := CountBits(dst, bitmap, n)
+	if tot != acc {
+		t.Fatalf("popcount %d != %d", tot, acc)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("index %d: %d != %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func BenchmarkSumInt32Serial(b *testing.B) {
+	src := make([]int32, 1<<22)
+	for i := range src {
+		src[i] = int32(i & 1)
+	}
+	dst := make([]int32, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SumInt32Serial(dst, src)
+	}
+}
+
+func BenchmarkSumInt32Parallel(b *testing.B) {
+	src := make([]int32, 1<<22)
+	for i := range src {
+		src[i] = int32(i & 1)
+	}
+	dst := make([]int32, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SumInt32(dst, src)
+	}
+}

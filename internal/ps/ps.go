@@ -1,0 +1,316 @@
+// Package ps implements Parameter-Server (PS) data-parallel training, the
+// alternative parallelization scheme of the paper's Fig. 1: workers push
+// (optionally compressed) gradients to a central server, the server
+// updates the global parameters, and workers pull them back.
+//
+// The paper's Background section identifies the PS trade-off this package
+// makes measurable: client-server structure gives easy fault tolerance
+// and elasticity, but the server's link becomes a congestion point — at p
+// workers the server moves p gradient messages in and p parameter copies
+// out per iteration, where BSP's ring spreads that volume over all links.
+// CongestionCost prices exactly that, and the tests compare it against
+// the BSP collective costs from internal/netsim.
+package ps
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fftgrad/internal/compress"
+	"fftgrad/internal/data"
+	"fftgrad/internal/netsim"
+	"fftgrad/internal/nn"
+	"fftgrad/internal/optim"
+)
+
+// Config describes one PS training run.
+type Config struct {
+	Workers       int
+	Batch         int
+	Epochs        int
+	ItersPerEpoch int // 0 = one pass over each worker's shard
+	Seed          int64
+
+	Momentum float64
+	LR       optim.LRSchedule
+
+	Model func(seed int64) *nn.Network
+	Train *data.Dataset
+	Test  *data.Dataset
+
+	// NewCompressor builds one compressor per worker for the push path
+	// (pulls ship FP32 parameters, as real PS deployments do).
+	NewCompressor func() compress.Compressor
+
+	// Async applies each gradient as it arrives (stale gradients, no
+	// iteration barrier) instead of synchronously averaging all p pushes.
+	Async bool
+
+	// Fabric prices the star-topology communication. Nil disables timing.
+	Fabric *netsim.Profile
+}
+
+// Result aggregates a PS run.
+type Result struct {
+	Epochs []EpochStats
+
+	GradSize         int
+	Iterations       int // gradient pushes applied by the server
+	AvgPushBytes     float64
+	CompressionRatio float64
+
+	ComputeSeconds float64 // measured across workers (sum of rank-0 share)
+	CommSeconds    float64 // modeled star-topology cost
+}
+
+// EpochStats records per-epoch progress (evaluated on the server's
+// global parameters).
+type EpochStats struct {
+	Epoch     int
+	TrainLoss float64
+	TestAcc   float64
+	LR        float64
+}
+
+// CongestionCost returns the modeled per-iteration communication time of
+// a PS star at p workers: the server's single link carries p pushes of
+// pushBytes inbound and p pulls of paramBytes outbound.
+func CongestionCost(fabric netsim.Profile, p, pushBytes, paramBytes int) float64 {
+	in := float64(p) * (fabric.Latency + float64(pushBytes)/fabric.Bandwidth)
+	out := float64(p) * (fabric.Latency + float64(paramBytes)/fabric.Bandwidth)
+	return in + out
+}
+
+type push struct {
+	rank int
+	msg  []byte
+	loss float64
+}
+
+// Train runs PS training and returns the server's statistics.
+func Train(cfg Config) (*Result, error) {
+	if cfg.Model == nil || cfg.Train == nil {
+		return nil, fmt.Errorf("ps: Model and Train dataset are required")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 32
+	}
+	if cfg.Epochs < 1 {
+		cfg.Epochs = 1
+	}
+	if cfg.LR == nil {
+		cfg.LR = optim.ConstLR(0.01)
+	}
+	if cfg.NewCompressor == nil {
+		cfg.NewCompressor = func() compress.Compressor { return compress.FP32{} }
+	}
+	if cfg.ItersPerEpoch == 0 {
+		shard := cfg.Train.Len() / cfg.Workers
+		cfg.ItersPerEpoch = shard / cfg.Batch
+		if cfg.ItersPerEpoch < 1 {
+			cfg.ItersPerEpoch = 1
+		}
+	}
+
+	p := cfg.Workers
+	global := cfg.Model(cfg.Seed) // the server's authoritative parameters
+	n := global.NumParams()
+	sgd := optim.NewSGD(cfg.LR.LR(0), cfg.Momentum, n)
+	serverComp := cfg.NewCompressor() // decode side on the server
+
+	pushes := make(chan push, p)
+	// pulls[r] receives a fresh parameter copy for worker r.
+	pulls := make([]chan []float32, p)
+	for i := range pulls {
+		pulls[i] = make(chan []float32, 1)
+	}
+	workerIters := cfg.Epochs * cfg.ItersPerEpoch
+	totalPushes := workerIters * p
+
+	res := &Result{GradSize: n}
+	var totalPushBytes float64
+
+	// --- server loop -----------------------------------------------------
+	var serverWG sync.WaitGroup
+	serverWG.Add(1)
+	serverErr := make(chan error, 1)
+	go func() {
+		defer serverWG.Done()
+		grad := make([]float32, n)
+		accum := make([]float32, n)
+		delta := make([]float32, n)
+		var lossSum float64
+		var lossCount int
+		pending := 0
+		applied := 0
+
+		snapshot := func() []float32 {
+			return global.GetParams(make([]float32, n))
+		}
+		// Initial pull for everyone.
+		for r := 0; r < p; r++ {
+			pulls[r] <- snapshot()
+		}
+
+		for applied < totalPushes {
+			pu := <-pushes
+			totalPushBytes += float64(len(pu.msg))
+			if err := serverComp.Decompress(grad, pu.msg); err != nil {
+				serverErr <- fmt.Errorf("ps: server decompress: %w", err)
+				return
+			}
+			lossSum += pu.loss
+			lossCount++
+			applied++
+			epoch := (applied - 1) / (cfg.ItersPerEpoch * p)
+			sgd.LR = cfg.LR.LR(epoch)
+
+			if cfg.Async {
+				// Apply immediately (stale gradient), reply with fresh
+				// params. The contribution is scaled by 1/p so one round
+				// of p asynchronous pushes moves the parameters as far as
+				// one synchronous averaged step — without this, async
+				// training at p workers runs at an effective learning
+				// rate p times too large and diverges.
+				inv := 1 / float32(p)
+				for i := range grad {
+					grad[i] *= inv
+				}
+				sgd.Delta(delta, grad)
+				global.AddToParams(delta)
+				pulls[pu.rank] <- snapshot()
+			} else {
+				for i, v := range grad {
+					accum[i] += v
+				}
+				pending++
+				if pending == p {
+					inv := 1 / float32(p)
+					for i := range accum {
+						accum[i] *= inv
+					}
+					sgd.Delta(delta, accum)
+					global.AddToParams(delta)
+					for i := range accum {
+						accum[i] = 0
+					}
+					pending = 0
+					fresh := snapshot()
+					for r := 0; r < p; r++ {
+						pulls[r] <- fresh
+					}
+				}
+			}
+
+			// Epoch bookkeeping on the server.
+			if applied%(cfg.ItersPerEpoch*p) == 0 {
+				stats := EpochStats{
+					Epoch:     epoch,
+					TrainLoss: lossSum / float64(lossCount),
+					LR:        sgd.LR,
+				}
+				lossSum, lossCount = 0, 0
+				if cfg.Test != nil {
+					stats.TestAcc = evaluate(global, cfg.Test, cfg.Batch)
+				}
+				res.Epochs = append(res.Epochs, stats)
+			}
+		}
+	}()
+
+	// --- workers ----------------------------------------------------------
+	var wg sync.WaitGroup
+	workerErrs := make([]error, p)
+	var computeMu sync.Mutex
+	for rank := 0; rank < p; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			replica := cfg.Model(cfg.Seed)
+			shard := cfg.Train.Shard(rank, p)
+			it := data.NewIterator(shard.Len(), cfg.Batch, cfg.Seed+int64(rank)*104729)
+			comp := cfg.NewCompressor()
+			grad := make([]float32, n)
+			loss := nn.SoftmaxCE{}
+
+			for iter := 0; iter < workerIters; iter++ {
+				params := <-pulls[rank]
+				replica.SetParams(params)
+
+				t0 := time.Now()
+				x, labels := shard.Batch(it.Next())
+				replica.ZeroGrads()
+				logits := replica.Forward(x, true)
+				l, dl := loss.Loss(logits, labels)
+				replica.Backward(dl)
+				replica.FlattenGrads(grad)
+				el := time.Since(t0).Seconds()
+				if rank == 0 {
+					computeMu.Lock()
+					res.ComputeSeconds += el
+					computeMu.Unlock()
+				}
+
+				msg, err := comp.Compress(grad)
+				if err != nil {
+					workerErrs[rank] = err
+					return
+				}
+				pushes <- push{rank: rank, msg: msg, loss: l}
+				if !cfg.Async && iter == workerIters-1 {
+					// The final synchronous broadcast is consumed nowhere;
+					// drain it so the server can exit cleanly.
+					defer func() { <-pulls[rank] }()
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+	serverWG.Wait()
+	select {
+	case err := <-serverErr:
+		return nil, err
+	default:
+	}
+	for _, err := range workerErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res.Iterations = totalPushes
+	if totalPushes > 0 {
+		res.AvgPushBytes = totalPushBytes / float64(totalPushes)
+		res.CompressionRatio = float64(n*4) / res.AvgPushBytes
+	}
+	if cfg.Fabric != nil {
+		perIter := CongestionCost(*cfg.Fabric, p, int(res.AvgPushBytes), n*4)
+		res.CommSeconds = perIter * float64(workerIters)
+	}
+	return res, nil
+}
+
+// evaluate computes top-1 accuracy of the global model.
+func evaluate(net *nn.Network, test *data.Dataset, batch int) float64 {
+	correct := 0.0
+	total := 0
+	idx := make([]int, 0, batch)
+	for s := 0; s < test.Len(); s += batch {
+		idx = idx[:0]
+		for j := s; j < s+batch && j < test.Len(); j++ {
+			idx = append(idx, j)
+		}
+		x, labels := test.Batch(idx)
+		logits := net.Forward(x, false)
+		correct += nn.Accuracy(logits, labels) * float64(len(idx))
+		total += len(idx)
+	}
+	if total == 0 {
+		return 0
+	}
+	return correct / float64(total)
+}

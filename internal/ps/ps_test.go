@@ -1,0 +1,186 @@
+package ps
+
+import (
+	"math"
+	"testing"
+
+	"fftgrad/internal/compress"
+	"fftgrad/internal/data"
+	"fftgrad/internal/dist"
+	"fftgrad/internal/feedback"
+	"fftgrad/internal/models"
+	"fftgrad/internal/netsim"
+	"fftgrad/internal/nn"
+	"fftgrad/internal/optim"
+)
+
+func blobCfg(seed int64) Config {
+	train, test := data.GaussianBlobs(2560, 4, 16, 0.25, seed).Split(2048)
+	fabric := netsim.InfiniBandFDR
+	return Config{
+		Workers: 4, Batch: 16, Epochs: 3, Seed: seed,
+		Momentum: 0.9,
+		LR:       optim.ConstLR(0.05),
+		Model:    func(s int64) *nn.Network { return models.MLP(16, 32, 4, s) },
+		Train:    train, Test: test,
+		Fabric: &fabric,
+	}
+}
+
+func TestSyncPSConverges(t *testing.T) {
+	res, err := Train(blobCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 3 {
+		t.Fatalf("epochs %d", len(res.Epochs))
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	if last.TestAcc < 0.9 {
+		t.Fatalf("sync PS accuracy %.3f", last.TestAcc)
+	}
+	if last.TrainLoss >= res.Epochs[0].TrainLoss {
+		t.Fatalf("loss did not fall: %v", res.Epochs)
+	}
+	if res.CommSeconds <= 0 || res.ComputeSeconds <= 0 {
+		t.Fatalf("timing missing: comm=%g compute=%g", res.CommSeconds, res.ComputeSeconds)
+	}
+}
+
+func TestIterationAccounting(t *testing.T) {
+	cfg := blobCfg(2)
+	cfg.ItersPerEpoch = 10
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Epochs * cfg.ItersPerEpoch * cfg.Workers
+	if res.Iterations != want {
+		t.Fatalf("pushes %d want %d", res.Iterations, want)
+	}
+}
+
+func TestSyncPSDeterministic(t *testing.T) {
+	a, err := Train(blobCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(blobCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Epochs {
+		if a.Epochs[i].TestAcc != b.Epochs[i].TestAcc {
+			t.Fatalf("sync PS must be deterministic: epoch %d %.4f vs %.4f",
+				i, a.Epochs[i].TestAcc, b.Epochs[i].TestAcc)
+		}
+	}
+}
+
+func TestAsyncPSConverges(t *testing.T) {
+	cfg := blobCfg(4)
+	cfg.Async = true
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	// Async with stale gradients still converges on this task, though not
+	// necessarily to the synchronous accuracy.
+	if last.TestAcc < 0.8 {
+		t.Fatalf("async PS accuracy %.3f", last.TestAcc)
+	}
+}
+
+func TestPSWithCompression(t *testing.T) {
+	cfg := blobCfg(5)
+	cfg.NewCompressor = func() compress.Compressor { return compress.NewFFT(0.5) }
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressionRatio < 1.5 {
+		t.Fatalf("ratio %.2f", res.CompressionRatio)
+	}
+	if res.Epochs[len(res.Epochs)-1].TestAcc < 0.85 {
+		t.Fatalf("accuracy %.3f", res.Epochs[len(res.Epochs)-1].TestAcc)
+	}
+	base, err := Train(blobCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommSeconds >= base.CommSeconds {
+		t.Fatalf("compressed push path should cost less: %g vs %g", res.CommSeconds, base.CommSeconds)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Train(Config{}); err == nil {
+		t.Fatal("empty config should error")
+	}
+}
+
+// The paper's structural claim: the PS star congests at the server while
+// BSP's ring spreads volume — at equal message sizes and worker counts,
+// the PS per-iteration communication must exceed the ring allreduce cost,
+// and the gap must widen with p.
+func TestCongestionVsRing(t *testing.T) {
+	fabric := netsim.InfiniBandFDR
+	m := 6 << 20 // ResNet32-scale gradient
+	prevGap := 0.0
+	for _, p := range []int{4, 8, 16, 32} {
+		star := CongestionCost(fabric, p, m, m)
+		ring := fabric.RingAllreduce(p, m)
+		if star <= ring {
+			t.Fatalf("p=%d: star %.5f should exceed ring %.5f", p, star, ring)
+		}
+		gap := star / ring
+		if gap < prevGap {
+			t.Fatalf("congestion gap should widen with p: %.2f then %.2f", prevGap, gap)
+		}
+		prevGap = gap
+	}
+}
+
+// Sync PS with FP32 must match BSP training quality on the same task
+// (both are exact synchronous SGD; trajectories differ only through
+// gradient-averaging order).
+func TestSyncPSMatchesBSPQuality(t *testing.T) {
+	psRes, err := Train(blobCfg(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := data.GaussianBlobs(2560, 4, 16, 0.25, 6).Split(2048)
+	bspRes, err := dist.Train(dist.Config{
+		Workers: 4, Batch: 16, Epochs: 3, Seed: 6,
+		Momentum: 0.9,
+		LR:       optim.ConstLR(0.05),
+		Model:    func(s int64) *nn.Network { return models.MLP(16, 32, 4, s) },
+		Train:    train, Test: test,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := psRes.Epochs[len(psRes.Epochs)-1].TestAcc
+	ba := bspRes.Epochs[len(bspRes.Epochs)-1].TestAcc
+	if math.Abs(pa-ba) > 0.05 {
+		t.Fatalf("sync PS %.3f and BSP %.3f should agree", pa, ba)
+	}
+}
+
+// PS composes with the feedback wrappers: each worker owns a stateful
+// compressor instance and the server decodes with a stateless one.
+func TestPSWithErrorFeedback(t *testing.T) {
+	cfg := blobCfg(7)
+	cfg.Momentum = 0
+	cfg.NewCompressor = func() compress.Compressor {
+		return feedback.New(compress.NewTopK(0.95))
+	}
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs[len(res.Epochs)-1].TestAcc < 0.8 {
+		t.Fatalf("PS + error feedback accuracy %.3f", res.Epochs[len(res.Epochs)-1].TestAcc)
+	}
+}

@@ -1,0 +1,70 @@
+package quant
+
+import "fmt"
+
+// PackCodes packs len(codes) N-bit codes into a little-endian bit stream.
+// Each code must fit in n bits (higher bits are masked off). The result is
+// ⌈len(codes)·n/8⌉ bytes — this is where the 32/N compression factor of
+// the quantization stage comes from.
+func PackCodes(codes []uint32, n int) []byte {
+	if n < 1 || n > 32 {
+		panic(fmt.Sprintf("quant: bad code width %d", n))
+	}
+	mask := uint64(1)<<uint(n) - 1
+	if n == 32 {
+		mask = 0xFFFFFFFF
+	}
+	totalBits := len(codes) * n
+	out := make([]byte, (totalBits+7)/8)
+	var acc uint64
+	accBits := 0
+	bytePos := 0
+	for _, c := range codes {
+		acc |= (uint64(c) & mask) << uint(accBits)
+		accBits += n
+		for accBits >= 8 {
+			out[bytePos] = byte(acc)
+			acc >>= 8
+			accBits -= 8
+			bytePos++
+		}
+	}
+	if accBits > 0 {
+		out[bytePos] = byte(acc)
+	}
+	return out
+}
+
+// UnpackCodes reads count N-bit codes from a little-endian bit stream
+// produced by PackCodes.
+func UnpackCodes(data []byte, count, n int) ([]uint32, error) {
+	if n < 1 || n > 32 {
+		return nil, fmt.Errorf("quant: bad code width %d", n)
+	}
+	need := (count*n + 7) / 8
+	if len(data) < need {
+		return nil, fmt.Errorf("quant: bit stream too short: %d bytes, need %d", len(data), need)
+	}
+	mask := uint64(1)<<uint(n) - 1
+	if n == 32 {
+		mask = 0xFFFFFFFF
+	}
+	out := make([]uint32, count)
+	var acc uint64
+	accBits := 0
+	bytePos := 0
+	for i := 0; i < count; i++ {
+		for accBits < n {
+			acc |= uint64(data[bytePos]) << uint(accBits)
+			bytePos++
+			accBits += 8
+		}
+		out[i] = uint32(acc & mask)
+		acc >>= uint(n)
+		accBits -= n
+	}
+	return out, nil
+}
+
+// CodeBytes returns the packed size in bytes of count N-bit codes.
+func CodeBytes(count, n int) int { return (count*n + 7) / 8 }

@@ -1,0 +1,91 @@
+package quant
+
+import "math"
+
+// Stochastic rounding makes the range quantizer *unbiased*: instead of
+// rounding to the nearest representable value, a value between two
+// representable neighbors rounds up with probability proportional to its
+// position in the gap, so E[Decode(EncodeStochastic(x))] == x for values
+// inside the covered range. Unbiasedness is what QSGD and TernGrad buy
+// with their randomized quantization; this brings the same property to
+// the range-based format for workloads where deterministic rounding bias
+// accumulates (e.g. very long runs without error feedback).
+
+// EncodeStochastic maps f to a code using stochastic rounding driven by
+// the uniform random u ∈ [0, 1).
+func (q *RangeQuantizer) EncodeStochastic(f float32, u float64) uint32 {
+	switch {
+	case f != f:
+		return 0
+	case f >= q.Eps:
+		if f > q.Max {
+			f = q.Max
+		}
+		code := q.magKeyStochastic(f, u) - q.pbase + 1
+		if code > q.pcount {
+			code = q.pcount
+		}
+		return code
+	case f <= -q.Eps:
+		if f < q.Min {
+			f = q.Min
+		}
+		code := q.magKeyStochastic(-f, u) - q.pbase + 1
+		if code > q.ncount {
+			code = q.ncount
+		}
+		return q.pcount + code
+	case f > 0:
+		// Dead zone (0, eps): round to eps with probability f/eps.
+		if u < float64(f)/float64(q.Eps) {
+			return 1
+		}
+		return 0
+	case f < 0:
+		if u < float64(-f)/float64(q.Eps) {
+			return q.pcount + 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// magKeyStochastic returns the shifted-bits key of positive magnitude m,
+// rounding up with probability equal to the fractional position in the
+// gap.
+func (q *RangeQuantizer) magKeyStochastic(m float32, u float64) uint32 {
+	key := math.Float32bits(m) >> q.shift
+	low := math.Float32frombits(key << q.shift)
+	high := math.Float32frombits((key + 1) << q.shift)
+	if high == low {
+		return key
+	}
+	frac := (float64(m) - float64(low)) / (float64(high) - float64(low))
+	if u < frac {
+		key++
+	}
+	return key
+}
+
+// EncodeSliceStochastic quantizes src with stochastic rounding, deriving
+// per-element uniforms from the seed so encoding is deterministic for a
+// given (seed, index) and safe to parallelize.
+func (q *RangeQuantizer) EncodeSliceStochastic(dst []uint32, src []float32, seed uint64) []uint32 {
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = q.EncodeStochastic(v, uniform01(seed, i))
+	}
+	return dst
+}
+
+// uniform01 maps (seed, index) to a uniform float64 in [0, 1) via a
+// splitmix64 hash (stateless, parallel-safe).
+func uniform01(seed uint64, i int) float64 {
+	x := seed ^ uint64(i)*0xA24BAED4963EE407
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

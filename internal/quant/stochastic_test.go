@@ -1,0 +1,120 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Stochastic rounding must be unbiased: the expectation of the decoded
+// value equals the input, for values inside the representable range and
+// inside the dead zone alike.
+func TestStochasticUnbiased(t *testing.T) {
+	q, err := Tune(8, -1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	cases := []float32{0.3, -0.17, 0.042, q.Eps * 0.4, -q.Eps * 0.7, 0.9}
+	const trials = 40000
+	for _, v := range cases {
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(q.Decode(q.EncodeStochastic(v, r.Float64())))
+		}
+		mean := sum / trials
+		// Tolerance: a few times the gap size at |v|, or eps for the dead
+		// zone, scaled by the Monte-Carlo error.
+		tol := math.Max(math.Abs(float64(v))*0.02, float64(q.Eps)*0.1)
+		if math.Abs(mean-float64(v)) > tol {
+			t.Errorf("v=%g: mean %g off by %g (tol %g)", v, mean, mean-float64(v), tol)
+		}
+	}
+}
+
+// Deterministic rounding is biased inside the dead zone (always 0);
+// stochastic rounding transmits the right mass on average — the concrete
+// difference between the two modes.
+func TestStochasticDeadZone(t *testing.T) {
+	q, err := Tune(8, -1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := q.Eps / 2
+	if q.Encode(v) != 0 {
+		t.Fatal("deterministic rounding should zero the dead zone")
+	}
+	r := rand.New(rand.NewSource(2))
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if q.EncodeStochastic(v, r.Float64()) != 0 {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("eps/2 should round up half the time, got %.3f", frac)
+	}
+}
+
+// Stochastic output must land on the same code grid as deterministic
+// encoding (one of the two neighbors).
+func TestStochasticStaysOnGrid(t *testing.T) {
+	q, err := Tune(10, -1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		v := float32(r.NormFloat64() * 0.2)
+		code := q.EncodeStochastic(v, r.Float64())
+		dec := q.Decode(code)
+		// Re-encoding the decoded value deterministically must be a fixed
+		// point — i.e. dec is representable.
+		if q.Decode(q.Encode(dec)) != dec {
+			t.Fatalf("v=%g: stochastic decode %g not on the grid", v, dec)
+		}
+	}
+}
+
+func TestStochasticSliceDeterministicPerSeed(t *testing.T) {
+	q, err := Tune(8, -1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	src := make([]float32, 2000)
+	for i := range src {
+		src[i] = float32(r.NormFloat64() * 0.1)
+	}
+	a := q.EncodeSliceStochastic(make([]uint32, len(src)), src, 42)
+	b := q.EncodeSliceStochastic(make([]uint32, len(src)), src, 42)
+	c := q.EncodeSliceStochastic(make([]uint32, len(src)), src, 43)
+	same := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce codes")
+		}
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds should differ somewhere")
+	}
+}
+
+func TestStochasticNaNAndClamp(t *testing.T) {
+	q, err := Tune(8, -1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.EncodeStochastic(float32(math.NaN()), 0.5) != 0 {
+		t.Fatal("NaN must encode to 0")
+	}
+	big := q.Decode(q.EncodeStochastic(50, 0.999))
+	if big != q.ActualMax() && big != q.Decode(q.Encode(q.Max)) {
+		t.Fatalf("overflow clamp decoded to %g", big)
+	}
+}

@@ -1,0 +1,120 @@
+package sparsify
+
+import (
+	"fmt"
+	"sync"
+
+	"fftgrad/internal/cfft"
+	"fftgrad/internal/parallel"
+	"fftgrad/internal/topk"
+)
+
+// RealSpectrum is the sparsified DCT representation of a gradient: N real
+// coefficients (vs the FFT's N/2+1 complex bins), with a keep bitmap.
+type RealSpectrum struct {
+	L    int       // original gradient length
+	N    int       // padded power-of-two transform length
+	Bins []float64 // full coefficient vector (len N); dropped bins zero
+	Mask []uint64  // keep bitmap over the N bins
+	Kept int
+}
+
+// DCT analyzes and synthesizes gradients through the type-II discrete
+// cosine transform — the real-coefficient ablation of the paper's FFT
+// sparsifier (each kept bin costs one quantized value instead of two).
+// Safe for concurrent use.
+type DCT struct {
+	mu    sync.Mutex
+	plans map[int]*cfft.DCTPlan
+}
+
+// NewDCT returns an empty DCT sparsifier; plans are created lazily.
+func NewDCT() *DCT { return &DCT{plans: make(map[int]*cfft.DCTPlan)} }
+
+func (d *DCT) plan(n int) *cfft.DCTPlan {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.plans[n]
+	if !ok {
+		p = cfft.NewDCTPlan(n)
+		d.plans[n] = p
+	}
+	return p
+}
+
+// Analyze transforms x (zero-padded to the next power of two) with the
+// DCT-II and keeps only the top-(1-θ) fraction of coefficients by
+// magnitude. x is not modified.
+func (d *DCT) Analyze(x []float32, theta float64) (*RealSpectrum, error) {
+	l := len(x)
+	if l < 2 {
+		return nil, fmt.Errorf("sparsify: gradient too short (%d)", l)
+	}
+	n := cfft.NextPow2(l)
+	if n < 2 {
+		n = 2
+	}
+	plan := d.plan(n)
+
+	sig := make([]float64, n)
+	parallel.For(l, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sig[i] = float64(x[i])
+		}
+	})
+	bins := make([]float64, n)
+	plan.Forward(bins, sig)
+
+	k := KeepCount(n, theta)
+	mags := make([]float64, n)
+	parallel.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := bins[i]
+			if v < 0 {
+				v = -v
+			}
+			mags[i] = v
+		}
+	})
+	mask := topk.MaskTopK(mags, k)
+	for i := 0; i < n; i++ {
+		if mask[i>>6]&(1<<(uint(i)&63)) == 0 {
+			bins[i] = 0
+		}
+	}
+	return &RealSpectrum{L: l, N: n, Bins: bins, Mask: mask, Kept: k}, nil
+}
+
+// Synthesize reconstructs the (lossy) gradient from a sparsified DCT
+// spectrum. dst must have length spec.L.
+func (d *DCT) Synthesize(dst []float32, spec *RealSpectrum) error {
+	if len(dst) != spec.L {
+		return fmt.Errorf("sparsify: dst length %d != gradient length %d", len(dst), spec.L)
+	}
+	plan := d.plan(spec.N)
+	if plan.N() != len(spec.Bins) {
+		return fmt.Errorf("sparsify: spectrum length %d inconsistent with N=%d", len(spec.Bins), spec.N)
+	}
+	sig := make([]float64, spec.N)
+	plan.Inverse(sig, spec.Bins)
+	parallel.For(spec.L, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = float32(sig[i])
+		}
+	})
+	return nil
+}
+
+// Roundtrip sparsifies x at ratio theta through the DCT domain and
+// returns the reconstruction.
+func (d *DCT) Roundtrip(x []float32, theta float64) ([]float32, error) {
+	spec, err := d.Analyze(x, theta)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, len(x))
+	if err := d.Synthesize(out, spec); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

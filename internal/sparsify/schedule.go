@@ -1,0 +1,59 @@
+package sparsify
+
+import "math"
+
+// Schedule yields the drop-out ratio θ to use at a given epoch. The paper
+// proves (Thm. 3.4) that a fixed large θ leaves a convergence-error floor
+// of θ²·2ησ²/b, and (Thm. 3.5) that a diminishing θ with θ_t² = L·η_t
+// restores exact convergence; Fig. 13 shows dropping θ to 0 mid-training
+// recovers accuracy after an aggressive start.
+type Schedule interface {
+	// Theta returns the drop ratio for the given 0-based epoch.
+	Theta(epoch int) float64
+}
+
+// Const is a fixed-θ schedule (Theorem 3.4 regime).
+type Const float64
+
+// Theta implements Schedule.
+func (c Const) Theta(epoch int) float64 { return float64(c) }
+
+// StepDrop uses θ = Initial until epoch DropEpoch, then θ = Final. With
+// Final = 0 this is the paper's accuracy-recovery schedule of Fig. 13.
+type StepDrop struct {
+	Initial   float64
+	Final     float64
+	DropEpoch int
+}
+
+// Theta implements Schedule.
+func (s StepDrop) Theta(epoch int) float64 {
+	if epoch >= s.DropEpoch {
+		return s.Final
+	}
+	return s.Initial
+}
+
+// LRCoupled ties the drop ratio to the learning-rate schedule via the
+// Theorem 3.5 condition θ_t² = L·η_t, clamped to [0, Cap].
+type LRCoupled struct {
+	L   float64                 // Lipschitz-constant estimate
+	LR  func(epoch int) float64 // the training learning-rate schedule
+	Cap float64                 // maximum θ (e.g. 0.95); 0 means 1.0
+}
+
+// Theta implements Schedule.
+func (s LRCoupled) Theta(epoch int) float64 {
+	th := math.Sqrt(s.L * s.LR(epoch))
+	cap := s.Cap
+	if cap == 0 {
+		cap = 1
+	}
+	if th > cap {
+		th = cap
+	}
+	if th < 0 {
+		th = 0
+	}
+	return th
+}

@@ -1,0 +1,174 @@
+// Package sparsify implements the two gradient sparsification strategies
+// the paper compares (Sec. 3.1.1): direct spatial Top-k thresholding, and
+// the paper's FFT-based Top-k which drops low-magnitude *frequency*
+// coefficients so the reconstructed gradient keeps the distribution of the
+// original signal (Fig. 5).
+//
+// θ (theta) is the drop-out ratio throughout: θ = 0.85 drops 85% of the
+// components and keeps the top 15% by magnitude.
+package sparsify
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"fftgrad/internal/cfft"
+	"fftgrad/internal/parallel"
+	"fftgrad/internal/topk"
+)
+
+// KeepCount returns the number of components kept from total at drop ratio
+// theta: ceil((1-θ)·total), clamped to [0, total].
+func KeepCount(total int, theta float64) int {
+	if theta <= 0 {
+		return total
+	}
+	if theta >= 1 {
+		return 0
+	}
+	// The 1e-9 guard absorbs float error in (1-θ)·total (e.g. 0.15·100 =
+	// 15.000000000000002) without changing genuinely fractional counts.
+	k := int(math.Ceil((1-theta)*float64(total) - 1e-9))
+	if k > total {
+		k = total
+	}
+	return k
+}
+
+// TopKSpatial zeroes all but the top-(1-θ) fraction of x by magnitude, in
+// place, and returns the keep bitmap (one bit per element). This is the
+// vanilla Top-k baseline (Aji & Heafield 2017) without error accumulation.
+func TopKSpatial(x []float32, theta float64) []uint64 {
+	n := len(x)
+	k := KeepCount(n, theta)
+	mags := make([]float64, n)
+	parallel.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := float64(x[i])
+			if m < 0 {
+				m = -m
+			}
+			mags[i] = m
+		}
+	})
+	mask := topk.MaskTopK(mags, k)
+	parallel.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if mask[i>>6]&(1<<(uint(i)&63)) == 0 {
+				x[i] = 0
+			}
+		}
+	})
+	return mask
+}
+
+// Spectrum is the sparsified frequency-domain representation of a gradient:
+// the padded transform length, the surviving complex bins, and the bitmap
+// saying which bins survived.
+type Spectrum struct {
+	L    int          // original gradient length
+	N    int          // padded power-of-two transform length
+	Bins []complex128 // full half-spectrum (len N/2+1); dropped bins zero
+	Mask []uint64     // keep bitmap over the N/2+1 bins
+	Kept int          // number of surviving bins
+}
+
+// NumBins returns the number of half-spectrum bins, N/2+1.
+func (s *Spectrum) NumBins() int { return s.N/2 + 1 }
+
+// FFT analyzes and synthesizes gradients as 1-D real signals. It caches
+// one RealPlan per padded length and is safe for concurrent use.
+type FFT struct {
+	mu    sync.Mutex
+	plans map[int]*cfft.RealPlan
+}
+
+// NewFFT returns an empty sparsifier; plans are created lazily.
+func NewFFT() *FFT { return &FFT{plans: make(map[int]*cfft.RealPlan)} }
+
+func (f *FFT) plan(n int) *cfft.RealPlan {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.plans[n]
+	if !ok {
+		p = cfft.NewRealPlan(n)
+		f.plans[n] = p
+	}
+	return p
+}
+
+// Analyze transforms x (zero-padded to the next power of two) into the
+// frequency domain and keeps only the top-(1-θ) fraction of bins by
+// complex magnitude, zeroing the rest. x is not modified.
+func (f *FFT) Analyze(x []float32, theta float64) (*Spectrum, error) {
+	l := len(x)
+	if l < 2 {
+		return nil, fmt.Errorf("sparsify: gradient too short (%d)", l)
+	}
+	n := cfft.NextPow2(l)
+	if n < 2 {
+		n = 2
+	}
+	plan := f.plan(n)
+
+	sig := make([]float64, n)
+	parallel.For(l, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sig[i] = float64(x[i])
+		}
+	})
+	bins := make([]complex128, plan.SpectrumLen())
+	plan.Forward(bins, sig)
+
+	nb := len(bins)
+	k := KeepCount(nb, theta)
+	mags := make([]float64, nb)
+	parallel.For(nb, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			re, im := real(bins[i]), imag(bins[i])
+			mags[i] = re*re + im*im // monotone in |z|; avoids sqrt
+		}
+	})
+	mask := topk.MaskTopK(mags, k)
+	for i := 0; i < nb; i++ {
+		if mask[i>>6]&(1<<(uint(i)&63)) == 0 {
+			bins[i] = 0
+		}
+	}
+	return &Spectrum{L: l, N: n, Bins: bins, Mask: mask, Kept: k}, nil
+}
+
+// Synthesize reconstructs the (lossy) gradient from a sparsified spectrum.
+// dst must have length spec.L.
+func (f *FFT) Synthesize(dst []float32, spec *Spectrum) error {
+	if len(dst) != spec.L {
+		return fmt.Errorf("sparsify: dst length %d != gradient length %d", len(dst), spec.L)
+	}
+	plan := f.plan(spec.N)
+	if plan.SpectrumLen() != len(spec.Bins) {
+		return fmt.Errorf("sparsify: spectrum length %d inconsistent with N=%d", len(spec.Bins), spec.N)
+	}
+	sig := make([]float64, spec.N)
+	plan.Inverse(sig, spec.Bins)
+	parallel.For(spec.L, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = float32(sig[i])
+		}
+	})
+	return nil
+}
+
+// Roundtrip sparsifies x at ratio theta through the frequency domain and
+// returns the reconstruction — the "FFT Top-k" curve of Fig. 5.
+func (f *FFT) Roundtrip(x []float32, theta float64) ([]float32, error) {
+	spec, err := f.Analyze(x, theta)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, len(x))
+	if err := f.Synthesize(out, spec); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

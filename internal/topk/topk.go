@@ -1,0 +1,256 @@
+// Package topk implements k-th order-statistic selection used to threshold
+// gradients (spatial Top-k sparsification) and gradient frequencies
+// (FFT-based sparsification).
+//
+// The paper implements the selection with either sorting or a GPU k-select;
+// it cites bucketSelect (Alabi et al., 2012). This package provides three
+// interchangeable strategies with identical semantics:
+//
+//   - KthLargest: iterative quickselect with median-of-three pivots, O(n)
+//     expected time, operating on a scratch copy.
+//   - KthLargestBucket: the bucketSelect analogue — a parallel histogram
+//     over the value range, recursing into the bucket containing the k-th
+//     element. Data-parallel and cache-friendly for large n.
+//   - KthLargestSort: full sort, O(n log n); the reference used in tests.
+package topk
+
+import (
+	"sort"
+
+	"fftgrad/internal/parallel"
+)
+
+// KthLargestSort returns the k-th largest element (1-based, so k=1 is the
+// maximum) of x by full sorting. It is the reference implementation.
+func KthLargestSort(x []float64, k int) float64 {
+	checkK(len(x), k)
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	return s[len(s)-k]
+}
+
+// KthLargest returns the k-th largest element (1-based) of x using
+// iterative quickselect on a scratch copy. Expected O(n).
+func KthLargest(x []float64, k int) float64 {
+	checkK(len(x), k)
+	s := append([]float64(nil), x...)
+	// Select index len-k in ascending order.
+	target := len(s) - k
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		p := partition(s, lo, hi)
+		switch {
+		case p == target:
+			return s[p]
+		case p < target:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return s[target]
+}
+
+// partition performs Hoare-style partitioning around a median-of-three
+// pivot and returns the final pivot index (Lomuto placement).
+func partition(s []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// median of three to s[hi]
+	if s[mid] < s[lo] {
+		s[mid], s[lo] = s[lo], s[mid]
+	}
+	if s[hi] < s[lo] {
+		s[hi], s[lo] = s[lo], s[hi]
+	}
+	if s[hi] < s[mid] {
+		s[hi], s[mid] = s[mid], s[hi]
+	}
+	s[mid], s[hi] = s[hi], s[mid]
+	pivot := s[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if s[j] < pivot {
+			s[i], s[j] = s[j], s[i]
+			i++
+		}
+	}
+	s[i], s[hi] = s[hi], s[i]
+	return i
+}
+
+// bucketCount is the histogram width per refinement round of the
+// bucket-select strategy.
+const bucketCount = 1024
+
+// KthLargestBucket returns the k-th largest element (1-based) of x using
+// iterative range-refinement with parallel histograms (the CPU analogue of
+// GPU bucketSelect). Exact: it terminates by scanning the final bucket.
+func KthLargestBucket(x []float64, k int) float64 {
+	checkK(len(x), k)
+
+	lo, hi := parMinMax(x)
+	if lo == hi {
+		return lo
+	}
+	// remaining = how many of the largest elements we still need to skip
+	// inside the current [lo, hi] range.
+	remaining := k
+	cur := x
+	scratch := make([]float64, 0, len(x)/bucketCount*4+64)
+
+	for round := 0; ; round++ {
+		width := (hi - lo) / bucketCount
+		if width <= 0 || len(cur) <= 4096 || round > 64 {
+			// Degenerate range or small candidate set: finish exactly.
+			return KthLargest(cur, remaining)
+		}
+		hist := histogram(cur, lo, width)
+		// Walk buckets from the top (largest values) down.
+		b := bucketCount - 1
+		for ; b >= 0; b-- {
+			if int(hist[b]) >= remaining {
+				break
+			}
+			remaining -= int(hist[b])
+		}
+		if b < 0 {
+			// Numerical edge (all counted); fall back.
+			return KthLargest(cur, k)
+		}
+		bLo := lo + float64(b)*width
+		bHi := bLo + width
+		if b == bucketCount-1 {
+			bHi = hi
+		}
+		// Gather candidates in [bLo, bHi] (inclusive upper edge for the
+		// top bucket to catch the maximum).
+		scratch = scratch[:0]
+		for _, v := range cur {
+			if v >= bLo && (v < bHi || (b == bucketCount-1 && v <= bHi)) {
+				scratch = append(scratch, v)
+			}
+		}
+		if len(scratch) == len(cur) {
+			// No progress (heavy ties); finish exactly.
+			return KthLargest(cur, remaining)
+		}
+		cur = append([]float64(nil), scratch...)
+		lo, hi = bLo, bHi
+	}
+}
+
+// histogram bins cur into bucketCount buckets of the given width starting
+// at lo, in parallel. Values above the last bucket edge (the maximum) are
+// clamped into the top bucket.
+func histogram(cur []float64, lo, width float64) [bucketCount]int64 {
+	chunks := parallel.Chunks(len(cur), 16384)
+	partial := make([][bucketCount]int64, len(chunks))
+	parallel.ForGrain(len(chunks), 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			h := &partial[c]
+			for i := chunks[c][0]; i < chunks[c][1]; i++ {
+				b := int((cur[i] - lo) / width)
+				if b < 0 {
+					b = 0
+				}
+				if b >= bucketCount {
+					b = bucketCount - 1
+				}
+				h[b]++
+			}
+		}
+	})
+	var total [bucketCount]int64
+	for c := range partial {
+		for b := 0; b < bucketCount; b++ {
+			total[b] += partial[c][b]
+		}
+	}
+	return total
+}
+
+func parMinMax(x []float64) (lo, hi float64) {
+	chunks := parallel.Chunks(len(x), 16384)
+	los := make([]float64, len(chunks))
+	his := make([]float64, len(chunks))
+	parallel.ForGrain(len(chunks), 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			l, h := x[chunks[c][0]], x[chunks[c][0]]
+			for i := chunks[c][0] + 1; i < chunks[c][1]; i++ {
+				v := x[i]
+				if v < l {
+					l = v
+				}
+				if v > h {
+					h = v
+				}
+			}
+			los[c], his[c] = l, h
+		}
+	})
+	lo, hi = los[0], his[0]
+	for c := 1; c < len(chunks); c++ {
+		if los[c] < lo {
+			lo = los[c]
+		}
+		if his[c] > hi {
+			hi = his[c]
+		}
+	}
+	return lo, hi
+}
+
+func checkK(n, k int) {
+	if n == 0 {
+		panic("topk: empty input")
+	}
+	if k < 1 || k > n {
+		panic("topk: k out of range")
+	}
+}
+
+// MaskTopK sets exactly k bits in the returned bitmap (length ⌈n/64⌉ words)
+// marking the k largest-magnitude entries of x. Ties at the threshold are
+// broken by lower index. k == 0 returns an all-zero bitmap; k >= len(x)
+// marks everything.
+func MaskTopK(x []float64, k int) []uint64 {
+	n := len(x)
+	bitmap := make([]uint64, (n+63)/64)
+	if k <= 0 || n == 0 {
+		return bitmap
+	}
+	if k >= n {
+		for i := 0; i < n; i++ {
+			bitmap[i>>6] |= 1 << (uint(i) & 63)
+		}
+		return bitmap
+	}
+	mags := make([]float64, n)
+	parallel.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := x[i]
+			if v < 0 {
+				v = -v
+			}
+			mags[i] = v
+		}
+	})
+	thr := KthLargestBucket(mags, k)
+
+	// First pass: everything strictly above the threshold is kept.
+	kept := 0
+	for i := 0; i < n; i++ {
+		if mags[i] > thr {
+			bitmap[i>>6] |= 1 << (uint(i) & 63)
+			kept++
+		}
+	}
+	// Second pass: fill remaining slots with threshold-equal entries.
+	for i := 0; i < n && kept < k; i++ {
+		if mags[i] == thr {
+			bitmap[i>>6] |= 1 << (uint(i) & 63)
+			kept++
+		}
+	}
+	return bitmap
+}

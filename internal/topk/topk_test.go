@@ -1,0 +1,221 @@
+package topk
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSlice(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	return x
+}
+
+func TestSelectorsAgree(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 1000, 50000} {
+		x := randSlice(n, int64(n))
+		for _, k := range []int{1, (n + 1) / 2, n} {
+			want := KthLargestSort(x, k)
+			if got := KthLargest(x, k); got != want {
+				t.Errorf("quickselect n=%d k=%d: %g want %g", n, k, got, want)
+			}
+			if got := KthLargestBucket(x, k); got != want {
+				t.Errorf("bucket n=%d k=%d: %g want %g", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestSelectorsWithTies(t *testing.T) {
+	x := make([]float64, 10000)
+	r := rand.New(rand.NewSource(42))
+	for i := range x {
+		x[i] = float64(r.Intn(5)) // heavy ties
+	}
+	for _, k := range []int{1, 100, 5000, 9999, 10000} {
+		want := KthLargestSort(x, k)
+		if got := KthLargest(x, k); got != want {
+			t.Errorf("quickselect ties k=%d: %g want %g", k, got, want)
+		}
+		if got := KthLargestBucket(x, k); got != want {
+			t.Errorf("bucket ties k=%d: %g want %g", k, got, want)
+		}
+	}
+}
+
+func TestSelectorsAllEqual(t *testing.T) {
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = 3.14
+	}
+	if got := KthLargestBucket(x, 500); got != 3.14 {
+		t.Errorf("all-equal bucket select: %g", got)
+	}
+	if got := KthLargest(x, 500); got != 3.14 {
+		t.Errorf("all-equal quickselect: %g", got)
+	}
+}
+
+func TestSelectorsPropertyAgreement(t *testing.T) {
+	f := func(vals []float64, kraw uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if v != v { // NaN would poison ordering; not a valid input
+				return true
+			}
+		}
+		k := int(kraw)%len(vals) + 1
+		want := KthLargestSort(vals, k)
+		return KthLargest(vals, k) == want && KthLargestBucket(vals, k) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKPanics(t *testing.T) {
+	for _, k := range []int{0, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d should panic", k)
+				}
+			}()
+			KthLargest([]float64{1, 2, 3}, k)
+		}()
+	}
+}
+
+func popcount(bm []uint64) int {
+	total := 0
+	for _, w := range bm {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+func TestMaskTopKExactCount(t *testing.T) {
+	x := randSlice(12345, 5)
+	for _, k := range []int{0, 1, 100, 6000, 12344, 12345, 20000} {
+		bm := MaskTopK(x, k)
+		want := k
+		if want > len(x) {
+			want = len(x)
+		}
+		if got := popcount(bm); got != want {
+			t.Errorf("k=%d: popcount %d want %d", k, got, want)
+		}
+	}
+}
+
+func TestMaskTopKSelectsLargest(t *testing.T) {
+	x := []float64{0.1, -5, 0.2, 4, -0.3, 3}
+	bm := MaskTopK(x, 3)
+	// Largest magnitudes: -5 (idx 1), 4 (idx 3), 3 (idx 5).
+	wantIdx := []int{1, 3, 5}
+	for _, i := range wantIdx {
+		if bm[0]&(1<<uint(i)) == 0 {
+			t.Errorf("index %d should be kept", i)
+		}
+	}
+	if got := popcount(bm); got != 3 {
+		t.Errorf("popcount %d want 3", got)
+	}
+}
+
+func TestMaskTopKWithTies(t *testing.T) {
+	x := []float64{1, -1, 1, -1, 1}
+	bm := MaskTopK(x, 3)
+	if got := popcount(bm); got != 3 {
+		t.Fatalf("ties must still yield exactly k bits, got %d", got)
+	}
+	// Ties broken by lower index: indices 0,1,2.
+	for i := 0; i < 3; i++ {
+		if bm[0]&(1<<uint(i)) == 0 {
+			t.Errorf("tie-break should keep index %d", i)
+		}
+	}
+}
+
+// Property: every kept magnitude >= every dropped magnitude.
+func TestMaskTopKDominance(t *testing.T) {
+	f := func(vals []float64, kraw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if v != v {
+				return true
+			}
+		}
+		k := int(kraw) % (len(vals) + 1)
+		bm := MaskTopK(vals, k)
+		minKept := -1.0
+		maxDropped := -1.0
+		first := true
+		for i, v := range vals {
+			m := v
+			if m < 0 {
+				m = -m
+			}
+			if bm[i>>6]&(1<<(uint(i)&63)) != 0 {
+				if first || m < minKept {
+					minKept = m
+					first = false
+				}
+			} else if m > maxDropped {
+				maxDropped = m
+			}
+		}
+		if k == 0 || k >= len(vals) {
+			return true
+		}
+		return minKept >= maxDropped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkQuickselect1M(b *testing.B) {
+	x := randSlice(1<<20, 1)
+	b.SetBytes(int64(len(x) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KthLargest(x, len(x)/10)
+	}
+}
+
+func BenchmarkBucketSelect1M(b *testing.B) {
+	x := randSlice(1<<20, 1)
+	b.SetBytes(int64(len(x) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KthLargestBucket(x, len(x)/10)
+	}
+}
+
+func BenchmarkSortSelect1M(b *testing.B) {
+	x := randSlice(1<<20, 1)
+	b.SetBytes(int64(len(x) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KthLargestSort(x, len(x)/10)
+	}
+}
+
+func BenchmarkMaskTopK1M(b *testing.B) {
+	x := randSlice(1<<20, 1)
+	b.SetBytes(int64(len(x) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaskTopK(x, len(x)/10)
+	}
+}
