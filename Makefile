@@ -1,8 +1,16 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples fmt
+.PHONY: all build vet test race bench experiments examples fmt check
 
 all: build vet test
+
+# check is the CI gate: vet, build, full test suite, then a short race
+# pass over the packages that share caches/pools across goroutines.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/
 
 build:
 	$(GO) build ./...

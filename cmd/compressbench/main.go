@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"fftgrad/internal/cfft"
@@ -34,17 +35,28 @@ func main() {
 	}
 	bytes := float64(n * 4)
 
+	// rate reports the best throughput over iters repetitions plus the
+	// steady-state heap allocations of one call (the Mallocs delta of the
+	// final repetition, after a warm-up call has populated plan caches,
+	// tuned quantizers and scratch pools).
 	rate := func(name string, fn func()) float64 {
+		fn() // warm caches and pools; measure the steady state only
 		best := 0.0
+		var allocs uint64
+		var ms runtime.MemStats
 		for i := 0; i < *iters; i++ {
+			runtime.ReadMemStats(&ms)
+			m0 := ms.Mallocs
 			start := time.Now()
 			fn()
 			el := time.Since(start).Seconds()
+			runtime.ReadMemStats(&ms)
+			allocs = ms.Mallocs - m0
 			if rps := bytes / el; rps > best {
 				best = rps
 			}
 		}
-		fmt.Printf("%-28s %8.2f GB/s\n", name, best/1e9)
+		fmt.Printf("%-28s %8.2f GB/s %8d allocs/op\n", name, best/1e9, allocs)
 		return best
 	}
 
@@ -84,6 +96,23 @@ func main() {
 	fftc := compress.NewFFT(0.85)
 	rate("full FFT pipeline", func() {
 		if _, err := fftc.Compress(grad); err != nil {
+			panic(err)
+		}
+	})
+
+	// Steady-state round trip with reused buffers — the zero-allocation
+	// path distributed training runs every iteration (note the parallel
+	// fan-out spawns goroutines, so allocs/op here is per-worker closure
+	// overhead, not data-path allocation; run with GOMAXPROCS=1 to see 0).
+	rec := make([]float32, n)
+	var msg []byte
+	rate("FFT round trip (reused)", func() {
+		var err error
+		msg, err = fftc.AppendCompress(msg[:0], grad)
+		if err != nil {
+			panic(err)
+		}
+		if err := fftc.DecompressInto(rec, msg); err != nil {
 			panic(err)
 		}
 	})

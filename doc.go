@@ -14,6 +14,37 @@
 //   - internal/experiments + cmd/fftpaper — paper figure regeneration
 //   - examples/         — runnable walkthroughs
 //
+// # Buffer reuse and the zero-allocation contract
+//
+// The compression hot path is designed to allocate nothing in the steady
+// state. Every Compressor also implements the append-style pair
+//
+//	AppendCompress(dst []byte, grad []float32) ([]byte, error)
+//	DecompressInto(dst []float32, msg []byte) error
+//
+// (compress.Appender / compress.IntoDecompressor; the package-level
+// compress.AppendCompress and compress.DecompressInto helpers fall back
+// to the allocating path for third-party implementations). The contract:
+//
+//   - AppendCompress appends the message to dst and returns the extended
+//     slice, exactly like the standard library's append-style encoders.
+//     Passing a retained buffer's msg[:0] reuses its capacity; after the
+//     first few calls have grown it, compression allocates nothing.
+//   - The returned message does not alias grad, and DecompressInto does
+//     not retain msg — callers may reuse both buffers on the next
+//     iteration, subject to whoever else is still reading them (see
+//     internal/dist for the double-buffering this implies under
+//     Allgather's aliasing).
+//   - Temporaries inside the pipeline come from internal/scratch, a set
+//     of typed, size-classed pools; FFT/DCT plans and tuned quantizers
+//     are cached per size, so repeated same-shape gradients hit every
+//     cache.
+//
+// The contract is enforced by testing.AllocsPerRun regression gates in
+// internal/compress (TestZeroAllocRoundTrip: 0 allocs/op for the FFT,
+// DCT, Top-k and FP32 round trips) and reported by cmd/compressbench's
+// allocs/op column.
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results.
 package fftgrad

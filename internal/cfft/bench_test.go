@@ -1,0 +1,131 @@
+package cfft
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Sizes match real layer gradients: 2^16 (small dense layer) through 2^22
+// (large embedding / conv block).
+var benchSizes = []int{1 << 16, 1 << 18, 1 << 20, 1 << 22}
+
+func BenchmarkPlanForward(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			plan := PlanFor(n)
+			src := make([]complex128, n)
+			dst := make([]complex128, n)
+			for i := range src {
+				src[i] = complex(math.Sin(float64(i)), 0)
+			}
+			b.SetBytes(int64(n * 16))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan.Forward(dst, src)
+			}
+		})
+	}
+}
+
+func BenchmarkRealPlanForward(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			plan := RealPlanFor(n)
+			src := make([]float64, n)
+			spec := make([]complex128, plan.SpectrumLen())
+			for i := range src {
+				src[i] = math.Sin(float64(i))
+			}
+			b.SetBytes(int64(n * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan.Forward(spec, src)
+			}
+		})
+	}
+}
+
+func BenchmarkBluestein(b *testing.B) {
+	// Odd lengths force the chirp-z path; sized near the pow2 ladder.
+	for _, n := range []int{1<<16 + 1, 1<<18 + 3, 1<<20 + 1} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := make([]complex128, n)
+			dst := make([]complex128, n)
+			for i := range src {
+				src[i] = complex(math.Sin(float64(i)), 0)
+			}
+			bluestein(dst, src, false) // warm the chirp cache
+			b.SetBytes(int64(n * 16))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bluestein(dst, src, false)
+			}
+		})
+	}
+}
+
+// TestPlanForConcurrent hammers the global caches from many goroutines to
+// prove the publish-once slots hand every caller the same plan.
+func TestPlanForConcurrent(t *testing.T) {
+	const n = 1 << 10
+	ch := make(chan *Plan, 16)
+	for g := 0; g < 16; g++ {
+		go func() { ch <- PlanFor(n) }()
+	}
+	first := <-ch
+	for g := 1; g < 16; g++ {
+		if p := <-ch; p != first {
+			t.Fatal("PlanFor returned different plans for the same length")
+		}
+	}
+	if RealPlanFor(n) != RealPlanFor(n) {
+		t.Fatal("RealPlanFor not cached")
+	}
+	if DCTPlanFor(n) != DCTPlanFor(n) {
+		t.Fatal("DCTPlanFor not cached")
+	}
+}
+
+func TestPaddedLen(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024}, {1024, 1024},
+	}
+	for _, c := range cases {
+		if got := PaddedLen(c.n); got != c.want {
+			t.Errorf("PaddedLen(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestBluesteinMatchesPow2Neighbor checks the cached-kernel chirp-z path
+// against the radix-2 path via the defining DFT property on a small case.
+func TestBluesteinCachedKernel(t *testing.T) {
+	const n = 12
+	src := make([]complex128, n)
+	for i := range src {
+		src[i] = complex(float64(i%5)-2, float64(i%3)-1)
+	}
+	got := FFT(src)
+	// Direct O(n²) DFT reference.
+	for k := 0; k < n; k++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(j*k) / float64(n)
+			want += src[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		if d := got[k] - want; math.Hypot(real(d), imag(d)) > 1e-9 {
+			t.Fatalf("bin %d: got %v, want %v", k, got[k], want)
+		}
+	}
+	// Round trip through the cached inverse kernel.
+	back := IFFT(got)
+	for i := range back {
+		if d := back[i] - src[i]; math.Hypot(real(d), imag(d)) > 1e-9 {
+			t.Fatalf("ifft[%d]: got %v, want %v", i, back[i], src[i])
+		}
+	}
+}

@@ -15,8 +15,11 @@ package cfft
 import (
 	"math"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"fftgrad/internal/parallel"
+	"fftgrad/internal/scratch"
 )
 
 // Plan holds the precomputed state (twiddle factors and the bit-reversal
@@ -38,6 +41,79 @@ func NextPow2(n int) int {
 		return 1
 	}
 	return 1 << bits.Len(uint(n-1))
+}
+
+// PaddedLen returns the transform length the gradient pipeline uses for an
+// n-element signal: the smallest power of two >= max(n, 2). This is the
+// single source of truth shared by the sparsifiers and the compressor wire
+// formats (which validate header lengths against it).
+func PaddedLen(n int) int {
+	if n < 2 {
+		return 2
+	}
+	return NextPow2(n)
+}
+
+// planCaches hold one process-wide plan per power-of-two length, indexed
+// by log2(n). Plans are immutable once built, so a lock-free
+// publish-once-per-slot cache lets every FFT()/IFFT() call and every
+// sparsifier share twiddle tables and bit-reversal permutations instead of
+// rebuilding them per call.
+var (
+	planCache     [bits.UintSize]atomic.Pointer[Plan]
+	realPlanCache [bits.UintSize]atomic.Pointer[RealPlan]
+	dctPlanCache  [bits.UintSize]atomic.Pointer[DCTPlan]
+)
+
+// PlanFor returns the shared plan for power-of-two length n, building and
+// caching it on first use. Safe for concurrent use; the steady state is
+// one atomic load.
+func PlanFor(n int) *Plan {
+	i := cacheSlot(n)
+	if p := planCache[i].Load(); p != nil {
+		return p
+	}
+	p := NewPlan(n)
+	if planCache[i].CompareAndSwap(nil, p) {
+		return p
+	}
+	return planCache[i].Load()
+}
+
+// RealPlanFor returns the shared real-transform plan for power-of-two
+// length n >= 2, building and caching it on first use.
+func RealPlanFor(n int) *RealPlan {
+	i := cacheSlot(n)
+	if p := realPlanCache[i].Load(); p != nil {
+		return p
+	}
+	p := NewRealPlan(n)
+	if realPlanCache[i].CompareAndSwap(nil, p) {
+		return p
+	}
+	return realPlanCache[i].Load()
+}
+
+// DCTPlanFor returns the shared DCT plan for power-of-two length n >= 2,
+// building and caching it on first use.
+func DCTPlanFor(n int) *DCTPlan {
+	i := cacheSlot(n)
+	if p := dctPlanCache[i].Load(); p != nil {
+		return p
+	}
+	p := NewDCTPlan(n)
+	if dctPlanCache[i].CompareAndSwap(nil, p) {
+		return p
+	}
+	return dctPlanCache[i].Load()
+}
+
+// cacheSlot maps a power-of-two length to its cache index.
+func cacheSlot(n int) int {
+	if !IsPow2(n) {
+		panic("cfft: plan length must be a power of two")
+	}
+	return bits.TrailingZeros(uint(n))
 }
 
 // NewPlan creates a transform plan for length n, which must be a positive
@@ -112,13 +188,16 @@ func (p *Plan) transform(dst, src []complex128, inverse bool) {
 		blocks := n / size
 		// Parallelize across independent butterfly blocks when the work
 		// is large. Each block touches a disjoint [start,start+size) range.
+		// The capture-free For1 body keeps serial execution allocation-free.
 		if n >= 1<<15 && blocks > 1 {
-			parallel.ForGrain(blocks, 4, func(lo, hi int) {
-				for b := lo; b < hi; b++ {
-					start := b * size
-					butterflies(dst[start:start+size], p.twiddle, half, step, inverse)
-				}
-			})
+			parallel.ForGrain1(blocks, 4,
+				stageCtx{dst: dst, twiddle: p.twiddle, size: size, half: half, step: step, inverse: inverse},
+				func(s stageCtx, lo, hi int) {
+					for b := lo; b < hi; b++ {
+						start := b * s.size
+						butterflies(s.dst[start:start+s.size], s.twiddle, s.half, s.step, s.inverse)
+					}
+				})
 		} else {
 			for b := 0; b < blocks; b++ {
 				start := b * size
@@ -126,6 +205,15 @@ func (p *Plan) transform(dst, src []complex128, inverse bool) {
 			}
 		}
 	}
+}
+
+// stageCtx carries one butterfly stage's parameters through For1 by value,
+// so the loop body captures nothing.
+type stageCtx struct {
+	dst, twiddle []complex128
+	size, half   int
+	step         int
+	inverse      bool
 }
 
 // butterflies applies one radix-2 stage within a single block.
@@ -144,7 +232,9 @@ func butterflies(block []complex128, twiddle []complex128, half, step int, inver
 
 // FFT computes the unnormalized forward DFT of x, of any positive length,
 // returning a new slice. Power-of-two lengths use the radix-2 path;
-// other lengths use Bluestein's algorithm.
+// other lengths use Bluestein's algorithm. Plans and chirp tables come
+// from the process-wide caches, so repeated calls of one length only pay
+// for the transform arithmetic plus the returned slice.
 func FFT(x []complex128) []complex128 {
 	n := len(x)
 	out := make([]complex128, n)
@@ -152,7 +242,7 @@ func FFT(x []complex128) []complex128 {
 		return out
 	}
 	if IsPow2(n) {
-		NewPlan(n).Forward(out, x)
+		PlanFor(n).Forward(out, x)
 		return out
 	}
 	bluestein(out, x, false)
@@ -168,7 +258,7 @@ func IFFT(x []complex128) []complex128 {
 		return out
 	}
 	if IsPow2(n) {
-		NewPlan(n).Inverse(out, x)
+		PlanFor(n).Inverse(out, x)
 		return out
 	}
 	bluestein(out, x, true)
@@ -179,49 +269,89 @@ func IFFT(x []complex128) []complex128 {
 	return out
 }
 
-// bluestein computes the (unnormalized) DFT of arbitrary length via the
-// chirp-z transform: x[j]·a[j] convolved with b, where a and b are chirps.
-func bluestein(dst, src []complex128, inverse bool) {
-	n := len(src)
-	m := NextPow2(2*n - 1)
-	plan := NewPlan(m)
+// bluePlan is the cached per-(length, direction) state of Bluestein's
+// chirp-z transform: the chirp vector and the forward transform of the
+// mirrored conjugate chirp (the convolution kernel), which never change
+// for a given length. Caching fb also removes one of the two forward
+// transforms the naive formulation pays per call.
+type bluePlan struct {
+	m     int          // padded convolution length, NextPow2(2n-1)
+	plan  *Plan        // shared plan of length m
+	chirp []complex128 // chirp[j] = exp(sign·πi j² / n), len n
+	fb    []complex128 // Forward(b) where b is the mirrored conj chirp, len m
+}
 
+// blueCache maps (n<<1 | inverseBit) to its *bluePlan.
+var blueCache sync.Map
+
+// bluePlanFor returns the cached chirp state for length n in the given
+// direction, building it on first use.
+func bluePlanFor(n int, inverse bool) *bluePlan {
+	key := n<<1 | btoi(inverse)
+	if v, ok := blueCache.Load(key); ok {
+		return v.(*bluePlan)
+	}
+	m := NextPow2(2*n - 1)
+	bp := &bluePlan{m: m, plan: PlanFor(m), chirp: make([]complex128, n)}
 	sign := -1.0
 	if inverse {
 		sign = 1.0
 	}
-	// chirp[j] = exp(sign·πi j² / n)
-	chirp := make([]complex128, n)
 	for j := 0; j < n; j++ {
 		// j² mod 2n avoids precision loss for large j.
 		jj := (int64(j) * int64(j)) % int64(2*n)
 		ang := sign * math.Pi * float64(jj) / float64(n)
-		chirp[j] = complex(math.Cos(ang), math.Sin(ang))
+		bp.chirp[j] = complex(math.Cos(ang), math.Sin(ang))
 	}
-
-	a := make([]complex128, m)
 	b := make([]complex128, m)
 	for j := 0; j < n; j++ {
-		a[j] = src[j] * chirp[j]
-		c := complex(real(chirp[j]), -imag(chirp[j])) // conj
+		c := complex(real(bp.chirp[j]), -imag(bp.chirp[j])) // conj
 		b[j] = c
 		if j != 0 {
 			b[m-j] = c
 		}
 	}
+	bp.fb = make([]complex128, m)
+	bp.plan.Forward(bp.fb, b)
+	actual, _ := blueCache.LoadOrStore(key, bp)
+	return actual.(*bluePlan)
+}
 
-	fa := make([]complex128, m)
-	fb := make([]complex128, m)
-	parallel.Run(
-		func() { plan.Forward(fa, a) },
-		func() { plan.Forward(fb, b) },
-	)
-	for i := 0; i < m; i++ {
-		fa[i] *= fb[i]
+func btoi(b bool) int {
+	if b {
+		return 1
 	}
-	plan.Inverse(fa, fa)
+	return 0
+}
+
+// bluestein computes the (unnormalized) DFT of arbitrary length via the
+// chirp-z transform: x[j]·a[j] convolved with b, where a and b are chirps.
+// The chirp and the kernel spectrum are cached per length; the two work
+// buffers are borrowed from the scratch pools.
+func bluestein(dst, src []complex128, inverse bool) {
+	n := len(src)
+	bp := bluePlanFor(n, inverse)
+	m := bp.m
+
+	fab := scratch.Complex128s(m)
+	ab := scratch.Complex128s(m)
+	defer scratch.PutComplex128s(fab)
+	defer scratch.PutComplex128s(ab)
+	a, fa := *ab, *fab
+
+	for j := 0; j < n; j++ {
+		a[j] = src[j] * bp.chirp[j]
+	}
+	for j := n; j < m; j++ {
+		a[j] = 0
+	}
+	bp.plan.Forward(fa, a)
+	for i := 0; i < m; i++ {
+		fa[i] *= bp.fb[i]
+	}
+	bp.plan.Inverse(fa, fa)
 	for k := 0; k < n; k++ {
-		dst[k] = fa[k] * chirp[k]
+		dst[k] = fa[k] * bp.chirp[k]
 	}
 }
 
@@ -265,7 +395,9 @@ func (rp *RealPlan) Forward(spec []complex128, x []float64) {
 		panic("cfft: bad real forward lengths")
 	}
 	h := n / 2
-	z := make([]complex128, h)
+	zb := scratch.Complex128s(h)
+	defer scratch.PutComplex128s(zb)
+	z := *zb
 	for j := 0; j < h; j++ {
 		z[j] = complex(x[2*j], x[2*j+1])
 	}
@@ -303,7 +435,9 @@ func (rp *RealPlan) Inverse(x []float64, spec []complex128) {
 		panic("cfft: bad real inverse lengths")
 	}
 	h := n / 2
-	z := make([]complex128, h)
+	zb := scratch.Complex128s(h)
+	defer scratch.PutComplex128s(zb)
+	z := *zb
 	// Retangle: Z[k] = E[k] + i·conj(w^k)·O[k] where E,O derive from spec.
 	for k := 0; k < h; k++ {
 		xk := spec[k]

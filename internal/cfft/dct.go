@@ -1,6 +1,10 @@
 package cfft
 
-import "math"
+import (
+	"math"
+
+	"fftgrad/internal/scratch"
+)
 
 // DCTPlan computes the type-II discrete cosine transform (and its
 // inverse, DCT-III) of power-of-two lengths via a mirrored 2n-point real
@@ -43,12 +47,15 @@ func (p *DCTPlan) Forward(dst, src []float64) {
 		panic("cfft: bad DCT forward lengths")
 	}
 	// Even-symmetric extension: y = [x0..x_{n-1}, x_{n-1}..x0].
-	y := make([]float64, 2*n)
+	yb := scratch.Float64s(2 * n)
+	specb := scratch.Complex128s(p.rp.SpectrumLen())
+	defer scratch.PutFloat64s(yb)
+	defer scratch.PutComplex128s(specb)
+	y, spec := *yb, *specb
 	copy(y, src)
 	for j := 0; j < n; j++ {
 		y[2*n-1-j] = src[j]
 	}
-	spec := make([]complex128, p.rp.SpectrumLen())
 	p.rp.Forward(spec, y)
 	// Y[k] = e^{iπk/2n} · 2·C[k]  ⇒  C[k] = Re(Y[k]·e^{-iπk/2n}) / 2.
 	for k := 0; k < n; k++ {
@@ -65,7 +72,11 @@ func (p *DCTPlan) Inverse(dst, src []float64) {
 		panic("cfft: bad DCT inverse lengths")
 	}
 	// Rebuild the half spectrum of the mirrored signal and invert it.
-	spec := make([]complex128, p.rp.SpectrumLen())
+	specb := scratch.Complex128s(p.rp.SpectrumLen())
+	yb := scratch.Float64s(2 * n)
+	defer scratch.PutComplex128s(specb)
+	defer scratch.PutFloat64s(yb)
+	spec, y := *specb, *yb
 	for k := 0; k < n; k++ {
 		// Y[k] = 2·C[k]·e^{iπk/2n} = 2·C[k]·conj(tw[k])
 		c := p.tw[k]
@@ -73,7 +84,6 @@ func (p *DCTPlan) Inverse(dst, src []float64) {
 	}
 	spec[n] = 0 // the k=n bin of an even-symmetric signal is always zero
 	spec[0] = complex(real(spec[0]), 0)
-	y := make([]float64, 2*n)
 	p.rp.Inverse(y, spec)
 	copy(dst, y[:n])
 }

@@ -13,6 +13,8 @@ package comm
 import (
 	"fmt"
 	"sync"
+
+	"fftgrad/internal/scratch"
 )
 
 // Cluster coordinates p ranks running in one process.
@@ -20,7 +22,7 @@ type Cluster struct {
 	p          int
 	barrier    *barrier
 	slots      [][]byte // allgather / broadcast staging, one slot per rank
-	ring       []chan []float32
+	ring       []chan *[]float32
 	sparseRing []chan sparseSeg
 }
 
@@ -33,11 +35,11 @@ func NewCluster(p int) *Cluster {
 		p:          p,
 		barrier:    newBarrier(p),
 		slots:      make([][]byte, p),
-		ring:       make([]chan []float32, p),
+		ring:       make([]chan *[]float32, p),
 		sparseRing: make([]chan sparseSeg, p),
 	}
 	for i := range c.ring {
-		c.ring[i] = make(chan []float32, 1)
+		c.ring[i] = make(chan *[]float32, 1)
 		c.sparseRing[i] = make(chan sparseSeg, 1)
 	}
 	return c
@@ -110,35 +112,49 @@ func (c *Comm) Allreduce(x []float32) {
 	}
 	n := len(x)
 	// Chunk boundaries: chunk i covers [bounds[i], bounds[i+1]).
-	bounds := make([]int, p+1)
+	boundsb := scratch.Ints(p + 1)
+	defer scratch.PutInts(boundsb)
+	bounds := *boundsb
 	for i := 0; i <= p; i++ {
 		bounds[i] = i * n / p
 	}
 	next := cl.ring[(c.rank+1)%p]
 	prev := cl.ring[c.rank]
 
+	// Each step's message buffer is borrowed from the scratch pool by the
+	// sender and returned by the receiver once accumulated — ownership
+	// transfers through the channel, so no rank ever reuses a buffer its
+	// neighbor might still be reading, and the steady state allocates
+	// nothing.
+
 	// Phase 1: reduce-scatter. After step s, rank r has accumulated the
 	// chunk (r - s + p) % p from s+1 ranks.
 	for s := 0; s < p-1; s++ {
 		sendIdx := (c.rank - s + p) % p
-		buf := append([]float32(nil), x[bounds[sendIdx]:bounds[sendIdx+1]]...)
-		next <- buf
-		recv := <-prev
+		chunk := x[bounds[sendIdx]:bounds[sendIdx+1]]
+		bufb := scratch.Float32s(len(chunk))
+		copy(*bufb, chunk)
+		next <- bufb
+		recvb := <-prev
 		recvIdx := (c.rank - s - 1 + p) % p
 		dst := x[bounds[recvIdx]:bounds[recvIdx+1]]
-		for i, v := range recv {
+		for i, v := range *recvb {
 			dst[i] += v
 		}
+		scratch.PutFloat32s(recvb)
 	}
 	// Phase 2: allgather of the fully-reduced chunks. Rank r owns chunk
 	// (r+1) % p after phase 1.
 	for s := 0; s < p-1; s++ {
 		sendIdx := (c.rank + 1 - s + p) % p
-		buf := append([]float32(nil), x[bounds[sendIdx]:bounds[sendIdx+1]]...)
-		next <- buf
-		recv := <-prev
+		chunk := x[bounds[sendIdx]:bounds[sendIdx+1]]
+		bufb := scratch.Float32s(len(chunk))
+		copy(*bufb, chunk)
+		next <- bufb
+		recvb := <-prev
 		recvIdx := (c.rank - s + p) % p
-		copy(x[bounds[recvIdx]:bounds[recvIdx+1]], recv)
+		copy(x[bounds[recvIdx]:bounds[recvIdx+1]], *recvb)
+		scratch.PutFloat32s(recvb)
 	}
 }
 

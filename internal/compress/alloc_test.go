@@ -1,0 +1,167 @@
+package compress
+
+import (
+	"bytes"
+	"math"
+	"runtime/debug"
+	"testing"
+)
+
+// allocGrad builds a deterministic pseudo-gradient with mixed scales.
+func allocGrad(n int) []float32 {
+	g := make([]float32, n)
+	for i := range g {
+		g[i] = float32(math.Sin(float64(i)*0.7) * math.Exp(-float64(i%997)/500))
+	}
+	return g
+}
+
+// roundTripAllocs measures steady-state allocations of one
+// AppendCompress + DecompressInto cycle with reused buffers, after
+// warming every cache (pools, plans, tuned quantizers) first.
+func roundTripAllocs(t *testing.T, c Compressor) float64 {
+	t.Helper()
+	a, okA := c.(Appender)
+	d, okD := c.(IntoDecompressor)
+	if !okA || !okD {
+		t.Fatalf("%s does not implement the allocation-free interfaces", c.Name())
+	}
+	grad := allocGrad(5000)
+	rec := make([]float32, len(grad))
+	var msg []byte
+	var err error
+	for i := 0; i < 3; i++ { // warm pools, plan caches, quantizer tuning
+		msg, err = a.AppendCompress(msg[:0], grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.DecompressInto(rec, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A GC pass during measurement would clear the scratch pools and make
+	// the next iteration re-allocate; disable GC for the measurement.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	return testing.AllocsPerRun(50, func() {
+		msg, err = a.AppendCompress(msg[:0], grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.DecompressInto(rec, msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestZeroAllocRoundTrip is the PR's acceptance gate: the steady-state
+// AppendCompress + DecompressInto round trip must report 0 allocs/op for
+// the paper's compressor and the Top-k baseline. AllocsPerRun pins
+// GOMAXPROCS to 1, so the parallel fan-out paths (which do allocate, per
+// goroutine spawned) are measured in their serial form — the property
+// asserted here is that nothing on the data path allocates.
+func TestZeroAllocRoundTrip(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	for _, c := range []Compressor{NewFFT(0.85), NewDCT(0.85), NewTopK(0.85), FP32{}} {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			if n := roundTripAllocs(t, c); n != 0 {
+				t.Errorf("%s: steady-state round trip allocates %.2f allocs/op, want 0", c.Name(), n)
+			}
+		})
+	}
+}
+
+// TestAppendCompressMatchesCompress checks that the append path emits
+// byte-identical messages to Compress for the deterministic compressors,
+// and that appending to a non-empty dst preserves the prefix.
+func TestAppendCompressMatchesCompress(t *testing.T) {
+	grad := allocGrad(5000)
+	for _, c := range []Compressor{
+		NewFFT(0.85), NewDCT(0.85), NewTopK(0.85), FP32{},
+		NewChunked(1024, func() Compressor { return NewFFT(0.85) }),
+	} {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			a := c.(Appender)
+			want, err := c.Compress(grad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prefix := []byte("prefix")
+			got, err := a.AppendCompress(append([]byte(nil), prefix...), grad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.HasPrefix(got, prefix) {
+				t.Fatalf("AppendCompress clobbered the existing dst prefix")
+			}
+			if !bytes.Equal(got[len(prefix):], want) {
+				t.Fatalf("AppendCompress message differs from Compress (%d vs %d bytes)",
+					len(got)-len(prefix), len(want))
+			}
+		})
+	}
+}
+
+// TestStochasticAppendDecodes covers QSGD and TernGrad, whose messages
+// differ call-to-call by design (a fresh stochastic seed per message):
+// the append path's output must decode through the regular path, and the
+// reconstruction must match a decode of the same bytes.
+func TestStochasticAppendDecodes(t *testing.T) {
+	grad := allocGrad(5000)
+	for _, c := range []Compressor{NewQSGD(4), NewTernGrad()} {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			a := c.(Appender)
+			msg, err := a.AppendCompress(nil, grad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec1 := make([]float32, len(grad))
+			if err := c.Decompress(rec1, msg); err != nil {
+				t.Fatal(err)
+			}
+			rec2 := make([]float32, len(grad))
+			if err := c.(IntoDecompressor).DecompressInto(rec2, msg); err != nil {
+				t.Fatal(err)
+			}
+			for i := range rec1 {
+				if rec1[i] != rec2[i] {
+					t.Fatalf("Decompress and DecompressInto disagree at %d: %v vs %v", i, rec1[i], rec2[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAppendCompressHelper exercises the package-level fallback for a
+// Compressor that implements neither fast-path interface.
+func TestAppendCompressHelper(t *testing.T) {
+	grad := allocGrad(100)
+	c := plainCompressor{NewTopK(0.5)}
+	prefix := []byte{1, 2, 3}
+	msg, err := AppendCompress(c, append([]byte(nil), prefix...), grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(msg, prefix) {
+		t.Fatal("fallback AppendCompress lost the dst prefix")
+	}
+	rec := make([]float32, len(grad))
+	if err := DecompressInto(c, rec, msg[len(prefix):]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// plainCompressor hides the fast-path interfaces of an inner compressor.
+type plainCompressor struct{ inner *TopK }
+
+func (p plainCompressor) Name() string { return "plain" }
+func (p plainCompressor) Compress(grad []float32) ([]byte, error) {
+	return p.inner.Compress(grad)
+}
+func (p plainCompressor) Decompress(dst []float32, msg []byte) error {
+	return p.inner.Decompress(dst, msg)
+}

@@ -31,6 +31,37 @@ type Chunked struct {
 
 	mu     sync.Mutex
 	inners []Compressor // one per bucket, created on first use
+
+	scratch sync.Pool // *chunkedScratch, reused across calls
+}
+
+// chunkedScratch holds the per-call bucket slices. Pooling it (rather than
+// hanging one instance off the compressor) keeps concurrent Compress calls
+// on one Chunked safe while still reusing each bucket's message buffer —
+// the capacity in bufs[b] is where steady-state inner compressions land
+// without allocating.
+type chunkedScratch struct {
+	msgs [][]byte
+	bufs [][]byte // retained capacities backing msgs
+	errs []error
+}
+
+func (s *chunkedScratch) resize(buckets int) {
+	for len(s.bufs) < buckets {
+		s.bufs = append(s.bufs, nil)
+	}
+	if cap(s.msgs) < buckets {
+		s.msgs = make([][]byte, buckets)
+	}
+	s.msgs = s.msgs[:buckets]
+	if cap(s.errs) < buckets {
+		s.errs = make([]error, buckets)
+	}
+	s.errs = s.errs[:buckets]
+	for i := 0; i < buckets; i++ {
+		s.msgs[i] = nil
+		s.errs[i] = nil
+	}
 }
 
 // NewChunked wraps the compressors produced by newInner, bucketing
@@ -78,67 +109,107 @@ func (c *Chunked) pool(buckets int) []Compressor {
 	return c.inners[:buckets]
 }
 
-// bucketBounds returns the [start, end) ranges of each bucket. A trailing
-// 1-element remainder is folded into the previous bucket because the
-// transform-based inner compressors need at least 2 elements.
-func (c *Chunked) bucketBounds(n int) [][2]int {
+// numBuckets returns how many buckets an n-element gradient splits into. A
+// trailing 1-element remainder is folded into the previous bucket because
+// the transform-based inner compressors need at least 2 elements.
+func (c *Chunked) numBuckets(n int) int {
 	if n == 0 {
+		return 0
+	}
+	buckets := (n + c.ChunkSize - 1) / c.ChunkSize
+	if buckets > 1 && n%c.ChunkSize == 1 {
+		buckets--
+	}
+	return buckets
+}
+
+// bucketBound returns bucket b's [lo, hi) range for an n-element gradient;
+// the last bucket absorbs a 1-element remainder.
+func (c *Chunked) bucketBound(b, n int) (lo, hi int) {
+	lo = b * c.ChunkSize
+	hi = lo + c.ChunkSize
+	if hi > n || n-hi == 1 {
+		hi = n
+	}
+	return lo, hi
+}
+
+// bucketBounds returns the [start, end) ranges of each bucket.
+func (c *Chunked) bucketBounds(n int) [][2]int {
+	buckets := c.numBuckets(n)
+	if buckets == 0 {
 		return nil
 	}
-	var out [][2]int
-	for start := 0; start < n; start += c.ChunkSize {
-		end := start + c.ChunkSize
-		if end > n {
-			end = n
-		}
-		if n-end == 1 {
-			end = n
-		}
-		out = append(out, [2]int{start, end})
-		if end == n {
-			break
-		}
+	out := make([][2]int, buckets)
+	for b := range out {
+		lo, hi := c.bucketBound(b, n)
+		out[b] = [2]int{lo, hi}
 	}
 	return out
 }
 
-// Compress implements Compressor. Buckets compress concurrently.
+// chunkedCtx threads the per-call state through ForGrain1 by value so the
+// bucket loop captures nothing.
+type chunkedCtx struct {
+	c      *Chunked
+	sc     *chunkedScratch
+	inners []Compressor
+	grad   []float32 // compress source, nil when decompressing
+	dst    []float32 // decompress target, nil when compressing
+	n      int
+}
+
+// Compress implements Compressor; see FFT.Compress.
 func (c *Chunked) Compress(grad []float32) ([]byte, error) {
+	return c.AppendCompress(nil, grad)
+}
+
+// AppendCompress implements Appender. Buckets compress concurrently, each
+// into its own retained buffer, then concatenate into dst.
+func (c *Chunked) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	n := len(grad)
-	bounds := c.bucketBounds(n)
-	buckets := len(bounds)
+	buckets := c.numBuckets(n)
 	if buckets == 0 {
-		return putHeader(nil, uint32(c.ChunkSize), 0), nil
+		return putHeader(dst, uint32(c.ChunkSize), 0), nil
 	}
 	inners := c.pool(buckets)
-	msgs := make([][]byte, buckets)
-	errs := make([]error, buckets)
-	parallel.ForGrain(buckets, 1, func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			msgs[b], errs[b] = inners[b].Compress(grad[bounds[b][0]:bounds[b][1]])
-		}
-	})
-	for _, err := range errs {
+	sc, _ := c.scratch.Get().(*chunkedScratch)
+	if sc == nil {
+		sc = new(chunkedScratch)
+	}
+	defer c.scratch.Put(sc)
+	sc.resize(buckets)
+	parallel.ForGrain1(buckets, 1, chunkedCtx{c: c, sc: sc, inners: inners, grad: grad, n: n},
+		func(ctx chunkedCtx, blo, bhi int) {
+			for b := blo; b < bhi; b++ {
+				lo, hi := ctx.c.bucketBound(b, ctx.n)
+				ctx.sc.msgs[b], ctx.sc.errs[b] = AppendCompress(ctx.inners[b], ctx.sc.bufs[b][:0], ctx.grad[lo:hi])
+			}
+		})
+	for b, err := range sc.errs {
 		if err != nil {
 			return nil, err
 		}
+		sc.bufs[b] = sc.msgs[b] // retain grown capacity for the next call
 	}
-	total := 8
-	for _, m := range msgs {
-		total += 4 + len(m)
+	dst = putHeader(dst, uint32(c.ChunkSize), uint32(buckets))
+	for _, m := range sc.msgs {
+		dst = le.AppendUint32(dst, uint32(len(m)))
+		dst = append(dst, m...)
 	}
-	out := make([]byte, 0, total)
-	out = putHeader(out, uint32(c.ChunkSize), uint32(buckets))
-	for _, m := range msgs {
-		out = le.AppendUint32(out, uint32(len(m)))
-		out = append(out, m...)
-	}
-	return out, nil
+	return dst, nil
 }
 
-// Decompress implements Compressor. Buckets decompress concurrently.
+// Decompress implements Compressor.
 func (c *Chunked) Decompress(dst []float32, msg []byte) error {
-	hdr, rest, err := readHeader(msg, 2)
+	return c.DecompressInto(dst, msg)
+}
+
+// DecompressInto implements IntoDecompressor. Buckets decompress
+// concurrently.
+func (c *Chunked) DecompressInto(dst []float32, msg []byte) error {
+	var hdr [2]uint32
+	rest, err := readHeaderInto(hdr[:], msg)
 	if err != nil {
 		return err
 	}
@@ -146,11 +217,19 @@ func (c *Chunked) Decompress(dst []float32, msg []byte) error {
 	if chunkSize != c.ChunkSize {
 		return fmt.Errorf("chunked: message chunk size %d, compressor uses %d", chunkSize, c.ChunkSize)
 	}
-	bounds := c.bucketBounds(len(dst))
-	if buckets != len(bounds) {
-		return fmt.Errorf("chunked: %d buckets for %d elements, want %d", buckets, len(dst), len(bounds))
+	n := len(dst)
+	if buckets != c.numBuckets(n) {
+		return fmt.Errorf("chunked: %d buckets for %d elements, want %d", buckets, n, c.numBuckets(n))
 	}
-	payloads := make([][]byte, buckets)
+	if buckets == 0 {
+		return nil
+	}
+	sc, _ := c.scratch.Get().(*chunkedScratch)
+	if sc == nil {
+		sc = new(chunkedScratch)
+	}
+	defer c.scratch.Put(sc)
+	sc.resize(buckets)
 	for b := 0; b < buckets; b++ {
 		if len(rest) < 4 {
 			return fmt.Errorf("chunked: truncated at bucket %d length", b)
@@ -160,17 +239,18 @@ func (c *Chunked) Decompress(dst []float32, msg []byte) error {
 		if len(rest) < l {
 			return fmt.Errorf("chunked: truncated in bucket %d payload", b)
 		}
-		payloads[b] = rest[:l]
+		sc.msgs[b] = rest[:l]
 		rest = rest[l:]
 	}
 	inners := c.pool(buckets)
-	errs := make([]error, buckets)
-	parallel.ForGrain(buckets, 1, func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			errs[b] = inners[b].Decompress(dst[bounds[b][0]:bounds[b][1]], payloads[b])
-		}
-	})
-	for _, err := range errs {
+	parallel.ForGrain1(buckets, 1, chunkedCtx{c: c, sc: sc, inners: inners, dst: dst, n: n},
+		func(ctx chunkedCtx, blo, bhi int) {
+			for b := blo; b < bhi; b++ {
+				lo, hi := ctx.c.bucketBound(b, ctx.n)
+				ctx.sc.errs[b] = DecompressInto(ctx.inners[b], ctx.dst[lo:hi], ctx.sc.msgs[b])
+			}
+		})
+	for _, err := range sc.errs {
 		if err != nil {
 			return err
 		}

@@ -42,6 +42,54 @@ type ThetaSetter interface {
 	SetTheta(theta float64)
 }
 
+// Appender is the allocation-free compression interface implemented by
+// every compressor in this package. AppendCompress appends the wire
+// message for grad to dst and returns the extended slice, exactly as the
+// append built-in: dst may be nil, and callers reusing one buffer across
+// iterations (dst = msg[:0]) pay no allocation once its capacity has
+// grown to the steady-state message size.
+//
+// Ownership: the returned slice may alias dst's array (and does whenever
+// capacity sufficed); the caller owns it and must not assume dst is still
+// valid independently. grad is never modified and never aliased by the
+// result.
+type Appender interface {
+	AppendCompress(dst []byte, grad []float32) ([]byte, error)
+}
+
+// IntoDecompressor is implemented by compressors whose decode path reuses
+// caller and pooled scratch memory. DecompressInto has the same contract
+// as Decompress — reconstruct into dst, len(dst) equal to the original
+// gradient length — and additionally guarantees that, after a warm-up
+// call per gradient size, decoding performs zero heap allocations. msg is
+// read-only and may alias network buffers; dst is fully overwritten.
+type IntoDecompressor interface {
+	DecompressInto(dst []float32, msg []byte) error
+}
+
+// AppendCompress compresses grad through c, appending to dst. It uses the
+// allocation-free path when c implements Appender and falls back to
+// Compress+append otherwise.
+func AppendCompress(c Compressor, dst []byte, grad []float32) ([]byte, error) {
+	if a, ok := c.(Appender); ok {
+		return a.AppendCompress(dst, grad)
+	}
+	msg, err := c.Compress(grad)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, msg...), nil
+}
+
+// DecompressInto decompresses msg through c into dst, using the
+// scratch-reusing path when available.
+func DecompressInto(c Compressor, dst []float32, msg []byte) error {
+	if d, ok := c.(IntoDecompressor); ok {
+		return d.DecompressInto(dst, msg)
+	}
+	return c.Decompress(dst, msg)
+}
+
 // Ratio returns the compression ratio achieved by a message for a gradient
 // of n float32 values: original bytes / message bytes.
 func Ratio(n int, msg []byte) float64 {
@@ -65,15 +113,26 @@ func putHeader(buf []byte, vals ...uint32) []byte {
 // readHeader reads count uint32 words, returning the values and the rest
 // of the buffer.
 func readHeader(msg []byte, count int) ([]uint32, []byte, error) {
-	need := 4 * count
-	if len(msg) < need {
-		return nil, nil, fmt.Errorf("compress: message truncated: %d bytes, need %d header bytes", len(msg), need)
-	}
 	vals := make([]uint32, count)
-	for i := range vals {
-		vals[i] = le.Uint32(msg[4*i:])
+	rest, err := readHeaderInto(vals, msg)
+	if err != nil {
+		return nil, nil, err
 	}
-	return vals, msg[need:], nil
+	return vals, rest, nil
+}
+
+// readHeaderInto reads len(dst) uint32 words into dst, returning the rest
+// of the buffer. Decoders pass a stack array so header parsing is
+// allocation-free.
+func readHeaderInto(dst []uint32, msg []byte) ([]byte, error) {
+	need := 4 * len(dst)
+	if len(msg) < need {
+		return nil, fmt.Errorf("compress: message truncated: %d bytes, need %d header bytes", len(msg), need)
+	}
+	for i := range dst {
+		dst[i] = le.Uint32(msg[4*i:])
+	}
+	return msg[need:], nil
 }
 
 // splitmix64 is a tiny stateless hash used to derive per-element uniform

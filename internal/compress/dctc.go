@@ -5,9 +5,11 @@ import (
 	"math"
 	"sync"
 
+	"fftgrad/internal/cfft"
 	"fftgrad/internal/f16"
 	"fftgrad/internal/pack"
 	"fftgrad/internal/quant"
+	"fftgrad/internal/scratch"
 	"fftgrad/internal/sparsify"
 )
 
@@ -31,10 +33,8 @@ type DCT struct {
 
 	theta atomicTheta
 	sp    *sparsify.DCT
-
-	mu       sync.Mutex
-	q        *quant.RangeQuantizer
-	qTunedAt float64
+	qc    quantCache
+	specs sync.Pool // *sparsify.RealSpectrum reused across AppendCompress calls
 }
 
 // NewDCT creates a DCT compressor with drop ratio theta, 10-bit range
@@ -54,40 +54,41 @@ func (c *DCT) SetTheta(theta float64) { c.theta.Store(theta) }
 // Theta returns the current drop ratio.
 func (c *DCT) Theta() float64 { return c.theta.Load() }
 
-func (c *DCT) quantizer(absMax float64, sample []float32) (*quant.RangeQuantizer, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.q != nil && absMax <= c.qTunedAt*2 && absMax >= c.qTunedAt/2 {
-		return c.q, nil
-	}
-	lim := float32(absMax * 1.001)
-	q, err := quant.Tune(c.QuantBits, -lim, lim, sample)
-	if err != nil {
-		return nil, err
-	}
-	c.q = q
-	c.qTunedAt = absMax
-	return q, nil
+// Compress implements Compressor; see FFT.Compress.
+func (c *DCT) Compress(grad []float32) ([]byte, error) {
+	return c.AppendCompress(nil, grad)
 }
 
-// Compress implements Compressor.
+// AppendCompress implements Appender.
 //
 // Wire format (u32 unless noted):
 //
 //	L | paddedN | kept | quantBits | quantM | f32 eps | f32 qmin | f32 qmax
 //	| bin bitmap (⌈N/64⌉·8 bytes) | packed codes (kept · quantBits bits)
-func (c *DCT) Compress(grad []float32) ([]byte, error) {
+func (c *DCT) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	n := len(grad)
-	work := append([]float32(nil), grad...)
+	workb := scratch.Float32s(n)
+	defer scratch.PutFloat32s(workb)
+	work := *workb
+	copy(work, grad)
 	if c.UseHalf {
 		f16.RoundTripSlice(work)
 	}
-	spec, err := c.sp.Analyze(work, c.theta.Load())
-	if err != nil {
+	spec, _ := c.specs.Get().(*sparsify.RealSpectrum)
+	if spec == nil {
+		spec = new(sparsify.RealSpectrum)
+	}
+	defer c.specs.Put(spec)
+	if err := c.sp.AnalyzeInto(spec, work, c.theta.Load()); err != nil {
 		return nil, err
 	}
+	if spec.Kept == 0 {
+		return putHeader(dst, uint32(n), uint32(spec.N), 0, 0, 0, 0, 0, 0), nil
+	}
 
-	vals := make([]float32, 0, spec.Kept)
+	valsb := scratch.Float32s(spec.Kept)
+	defer scratch.PutFloat32s(valsb)
+	vals := (*valsb)[:0]
 	var absMax float64
 	for i, b := range spec.Bins {
 		if spec.Mask[i>>6]&(1<<(uint(i)&63)) == 0 {
@@ -99,35 +100,37 @@ func (c *DCT) Compress(grad []float32) ([]byte, error) {
 			absMax = a
 		}
 	}
-	if spec.Kept == 0 || absMax == 0 {
-		return putHeader(nil, uint32(n), uint32(spec.N), 0, 0, 0, 0, 0, 0), nil
+	if absMax == 0 {
+		return putHeader(dst, uint32(n), uint32(spec.N), 0, 0, 0, 0, 0, 0), nil
 	}
 
-	sample := vals
-	if len(sample) > 4096 {
-		sample = sample[:4096]
-	}
-	q, err := c.quantizer(absMax, sample)
+	q, err := c.qc.encoder(c.QuantBits, absMax, vals)
 	if err != nil {
 		return nil, err
 	}
-	codes := q.EncodeSlice(make([]uint32, len(vals)), vals)
+	codesb := scratch.Uint32s(len(vals))
+	defer scratch.PutUint32s(codesb)
+	codes := q.EncodeSlice(*codesb, vals)
 
-	out := make([]byte, 0, 4*fftHeaderWords+len(spec.Mask)*8+quant.CodeBytes(len(codes), q.N))
-	out = putHeader(out,
+	dst = putHeader(dst,
 		uint32(n), uint32(spec.N), uint32(spec.Kept),
 		uint32(q.N), uint32(q.M),
 		math.Float32bits(q.Eps), math.Float32bits(q.Min), math.Float32bits(q.Max))
 	for _, w := range spec.Mask {
-		out = le.AppendUint64(out, w)
+		dst = le.AppendUint64(dst, w)
 	}
-	out = append(out, quant.PackCodes(codes, q.N)...)
-	return out, nil
+	return quant.AppendCodes(dst, codes, q.N), nil
 }
 
 // Decompress implements Compressor.
 func (c *DCT) Decompress(dst []float32, msg []byte) error {
-	hdr, rest, err := readHeader(msg, fftHeaderWords)
+	return c.DecompressInto(dst, msg)
+}
+
+// DecompressInto implements IntoDecompressor.
+func (c *DCT) DecompressInto(dst []float32, msg []byte) error {
+	var hdr [fftHeaderWords]uint32
+	rest, err := readHeaderInto(hdr[:], msg)
 	if err != nil {
 		return err
 	}
@@ -135,7 +138,7 @@ func (c *DCT) Decompress(dst []float32, msg []byte) error {
 	if n != len(dst) {
 		return fmt.Errorf("dct: message for %d elements, dst has %d", n, len(dst))
 	}
-	if want := paddedTransformLen(n); paddedN != want {
+	if want := cfft.PaddedLen(n); paddedN != want {
 		return fmt.Errorf("dct: padded length %d, want %d for %d elements", paddedN, want, n)
 	}
 	if kept == 0 {
@@ -147,11 +150,7 @@ func (c *DCT) Decompress(dst []float32, msg []byte) error {
 	if kept > paddedN {
 		return fmt.Errorf("dct: kept %d exceeds %d bins", kept, paddedN)
 	}
-	qBits, qM := int(hdr[3]), int(hdr[4])
-	eps := math.Float32frombits(hdr[5])
-	qmin := math.Float32frombits(hdr[6])
-	qmax := math.Float32frombits(hdr[7])
-	q, err := quant.NewRangeQuantizer(qBits, qM, eps, qmin, qmax)
+	q, err := c.qc.decoder(hdr[:])
 	if err != nil {
 		return fmt.Errorf("dct: rebuilding quantizer: %w", err)
 	}
@@ -160,36 +159,41 @@ func (c *DCT) Decompress(dst []float32, msg []byte) error {
 	if len(rest) < words*8 {
 		return fmt.Errorf("dct: message truncated in bitmap")
 	}
-	mask := make([]uint64, words)
+	maskb := scratch.Uint64s(words)
+	defer scratch.PutUint64s(maskb)
+	mask := *maskb
 	for i := range mask {
 		mask[i] = le.Uint64(rest[8*i:])
 	}
 	rest = rest[words*8:]
 
-	codes, err := quant.UnpackCodes(rest, kept, qBits)
-	if err != nil {
+	codesb := scratch.Uint32s(kept)
+	defer scratch.PutUint32s(codesb)
+	codes := *codesb
+	if err := quant.UnpackCodesInto(codes, rest, q.N); err != nil {
 		return err
 	}
-	vals := q.DecodeSlice(make([]float32, len(codes)), codes)
+	valsb := scratch.Float32s(kept)
+	defer scratch.PutFloat32s(valsb)
+	vals := q.DecodeSlice(*valsb, codes)
 
-	spec := &sparsify.RealSpectrum{
-		L: n, N: paddedN,
-		Bins: make([]float64, paddedN),
-		Mask: mask,
-		Kept: kept,
-	}
+	binsb := scratch.Float64s(paddedN)
+	defer scratch.PutFloat64s(binsb)
+	bins := *binsb
 	vi := 0
 	for i := 0; i < paddedN; i++ {
 		if mask[i>>6]&(1<<(uint(i)&63)) != 0 {
 			if vi >= len(vals) {
 				return fmt.Errorf("dct: bitmap popcount exceeds kept=%d", kept)
 			}
-			spec.Bins[i] = float64(vals[vi])
+			bins[i] = float64(vals[vi])
 			vi++
+		} else {
+			bins[i] = 0
 		}
 	}
 	if vi != kept {
 		return fmt.Errorf("dct: bitmap popcount %d != kept %d", vi, kept)
 	}
-	return c.sp.Synthesize(dst, spec)
+	return c.sp.SynthesizeInto(dst, n, paddedN, bins)
 }

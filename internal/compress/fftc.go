@@ -5,9 +5,11 @@ import (
 	"math"
 	"sync"
 
+	"fftgrad/internal/cfft"
 	"fftgrad/internal/f16"
 	"fftgrad/internal/pack"
 	"fftgrad/internal/quant"
+	"fftgrad/internal/scratch"
 	"fftgrad/internal/sparsify"
 )
 
@@ -24,7 +26,9 @@ import (
 //	⑤ pack the sparse bins into a dense message: bin bitmap + bit-packed
 //	   codes.
 //
-// The receiver runs the inverse pipeline.
+// The receiver runs the inverse pipeline. Both directions reuse pooled
+// scratch and per-compressor cached state (spectra, quantizers), so the
+// steady state of AppendCompress + DecompressInto allocates nothing.
 type FFT struct {
 	// QuantBits is N of the range-based quantizer (default 10, as in the
 	// paper's evaluation).
@@ -35,10 +39,8 @@ type FFT struct {
 
 	theta atomicTheta
 	sp    *sparsify.FFT
-
-	mu       sync.Mutex
-	q        *quant.RangeQuantizer
-	qTunedAt float64 // absmax the cached quantizer was tuned for
+	qc    quantCache
+	specs sync.Pool // *sparsify.Spectrum reused across AppendCompress calls
 }
 
 // NewFFT creates the paper-default FFT compressor: drop ratio theta,
@@ -58,47 +60,48 @@ func (c *FFT) SetTheta(theta float64) { c.theta.Store(theta) }
 // Theta returns the current drop ratio.
 func (c *FFT) Theta() float64 { return c.theta.Load() }
 
-// quantizer returns a range quantizer covering [-absMax, absMax],
-// re-tuning only when the range drifts by more than 2x from the cached
-// tuning (the paper estimates the range once from early iterations).
-func (c *FFT) quantizer(absMax float64, sample []float32) (*quant.RangeQuantizer, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.q != nil && absMax <= c.qTunedAt*2 && absMax >= c.qTunedAt/2 {
-		return c.q, nil
-	}
-	lim := float32(absMax * 1.001)
-	q, err := quant.Tune(c.QuantBits, -lim, lim, sample)
-	if err != nil {
-		return nil, err
-	}
-	c.q = q
-	c.qTunedAt = absMax
-	return q, nil
-}
-
 // fftHeaderWords is the number of u32 header words in the wire format.
 const fftHeaderWords = 8
 
-// Compress implements Compressor.
+// Compress implements Compressor. It is AppendCompress into a fresh
+// buffer; iteration loops should call AppendCompress with a reused one.
+func (c *FFT) Compress(grad []float32) ([]byte, error) {
+	return c.AppendCompress(nil, grad)
+}
+
+// AppendCompress implements Appender.
 //
 // Wire format (all u32 unless noted):
 //
 //	L | paddedN | kept | quantBits | quantM | f32 eps | f32 qmin | f32 qmax
 //	| bin bitmap (⌈bins/64⌉·8 bytes) | packed codes (2·kept · quantBits bits)
-func (c *FFT) Compress(grad []float32) ([]byte, error) {
+func (c *FFT) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	n := len(grad)
-	work := append([]float32(nil), grad...)
+	workb := scratch.Float32s(n)
+	defer scratch.PutFloat32s(workb)
+	work := *workb
+	copy(work, grad)
 	if c.UseHalf {
 		f16.RoundTripSlice(work)
 	}
-	spec, err := c.sp.Analyze(work, c.theta.Load())
-	if err != nil {
+	spec, _ := c.specs.Get().(*sparsify.Spectrum)
+	if spec == nil {
+		spec = new(sparsify.Spectrum)
+	}
+	defer c.specs.Put(spec)
+	if err := c.sp.AnalyzeInto(spec, work, c.theta.Load()); err != nil {
 		return nil, err
+	}
+	if spec.Kept == 0 {
+		// Nothing survives (θ=1): header-only message that decompresses
+		// to zeros.
+		return putHeader(dst, uint32(n), uint32(spec.N), 0, 0, 0, 0, 0, 0), nil
 	}
 
 	// Gather surviving coefficients as interleaved (re, im) float32 pairs.
-	vals := make([]float32, 0, 2*spec.Kept)
+	valsb := scratch.Float32s(2 * spec.Kept)
+	defer scratch.PutFloat32s(valsb)
+	vals := (*valsb)[:0]
 	var absMax float64
 	for i, b := range spec.Bins {
 		if spec.Mask[i>>6]&(1<<(uint(i)&63)) == 0 {
@@ -113,39 +116,39 @@ func (c *FFT) Compress(grad []float32) ([]byte, error) {
 			absMax = a
 		}
 	}
-
-	if spec.Kept == 0 || absMax == 0 {
-		// Nothing survives (θ=1 or an all-zero gradient): header-only
-		// message that decompresses to zeros.
-		out := putHeader(nil, uint32(n), uint32(spec.N), 0, 0, 0, 0, 0, 0)
-		return out, nil
+	if absMax == 0 {
+		// All-zero gradient: same header-only form.
+		return putHeader(dst, uint32(n), uint32(spec.N), 0, 0, 0, 0, 0, 0), nil
 	}
 
-	sample := vals
-	if len(sample) > 4096 {
-		sample = sample[:4096]
-	}
-	q, err := c.quantizer(absMax, sample)
+	q, err := c.qc.encoder(c.QuantBits, absMax, vals)
 	if err != nil {
 		return nil, err
 	}
-	codes := q.EncodeSlice(make([]uint32, len(vals)), vals)
+	codesb := scratch.Uint32s(len(vals))
+	defer scratch.PutUint32s(codesb)
+	codes := q.EncodeSlice(*codesb, vals)
 
-	out := make([]byte, 0, 4*fftHeaderWords+len(spec.Mask)*8+quant.CodeBytes(len(codes), q.N))
-	out = putHeader(out,
+	dst = putHeader(dst,
 		uint32(n), uint32(spec.N), uint32(spec.Kept),
 		uint32(q.N), uint32(q.M),
 		math.Float32bits(q.Eps), math.Float32bits(q.Min), math.Float32bits(q.Max))
 	for _, w := range spec.Mask {
-		out = le.AppendUint64(out, w)
+		dst = le.AppendUint64(dst, w)
 	}
-	out = append(out, quant.PackCodes(codes, q.N)...)
-	return out, nil
+	return quant.AppendCodes(dst, codes, q.N), nil
 }
 
 // Decompress implements Compressor.
 func (c *FFT) Decompress(dst []float32, msg []byte) error {
-	hdr, rest, err := readHeader(msg, fftHeaderWords)
+	return c.DecompressInto(dst, msg)
+}
+
+// DecompressInto implements IntoDecompressor: the inverse pipeline with
+// pooled scratch and a cached decode-side quantizer.
+func (c *FFT) DecompressInto(dst []float32, msg []byte) error {
+	var hdr [fftHeaderWords]uint32
+	rest, err := readHeaderInto(hdr[:], msg)
 	if err != nil {
 		return err
 	}
@@ -155,7 +158,7 @@ func (c *FFT) Decompress(dst []float32, msg []byte) error {
 	}
 	// The padded length is a pure function of n; reject anything else so a
 	// corrupt header cannot drive allocations.
-	if want := paddedTransformLen(n); paddedN != want {
+	if want := cfft.PaddedLen(n); paddedN != want {
 		return fmt.Errorf("fft: padded length %d, want %d for %d elements", paddedN, want, n)
 	}
 	if kept == 0 {
@@ -164,66 +167,56 @@ func (c *FFT) Decompress(dst []float32, msg []byte) error {
 		}
 		return nil
 	}
-	if kept > paddedN/2+1 {
-		return fmt.Errorf("fft: kept %d exceeds %d bins", kept, paddedN/2+1)
+	nbins := paddedN/2 + 1
+	if kept > nbins {
+		return fmt.Errorf("fft: kept %d exceeds %d bins", kept, nbins)
 	}
-	qBits, qM := int(hdr[3]), int(hdr[4])
-	eps := math.Float32frombits(hdr[5])
-	qmin := math.Float32frombits(hdr[6])
-	qmax := math.Float32frombits(hdr[7])
-	q, err := quant.NewRangeQuantizer(qBits, qM, eps, qmin, qmax)
+	q, err := c.qc.decoder(hdr[:])
 	if err != nil {
 		return fmt.Errorf("fft: rebuilding quantizer: %w", err)
 	}
 
-	bins := paddedN/2 + 1
-	words := pack.BitmapWords(bins)
+	words := pack.BitmapWords(nbins)
 	if len(rest) < words*8 {
 		return fmt.Errorf("fft: message truncated in bitmap")
 	}
-	mask := make([]uint64, words)
+	maskb := scratch.Uint64s(words)
+	defer scratch.PutUint64s(maskb)
+	mask := *maskb
 	for i := range mask {
 		mask[i] = le.Uint64(rest[8*i:])
 	}
 	rest = rest[words*8:]
 
-	codes, err := quant.UnpackCodes(rest, 2*kept, qBits)
-	if err != nil {
+	codesb := scratch.Uint32s(2 * kept)
+	defer scratch.PutUint32s(codesb)
+	codes := *codesb
+	if err := quant.UnpackCodesInto(codes, rest, q.N); err != nil {
 		return err
 	}
-	vals := q.DecodeSlice(make([]float32, len(codes)), codes)
+	valsb := scratch.Float32s(2 * kept)
+	defer scratch.PutFloat32s(valsb)
+	vals := q.DecodeSlice(*valsb, codes)
 
-	spec := &sparsify.Spectrum{
-		L:    n,
-		N:    paddedN,
-		Bins: make([]complex128, bins),
-		Mask: mask,
-		Kept: kept,
-	}
+	binsb := scratch.Complex128s(nbins)
+	defer scratch.PutComplex128s(binsb)
+	bins := *binsb
 	vi := 0
-	for i := 0; i < bins; i++ {
+	for i := 0; i < nbins; i++ {
 		if mask[i>>6]&(1<<(uint(i)&63)) != 0 {
 			if vi+1 >= len(vals) { // defensive: popcount > kept
 				return fmt.Errorf("fft: bitmap popcount exceeds kept=%d", kept)
 			}
-			spec.Bins[i] = complex(float64(vals[vi]), float64(vals[vi+1]))
+			bins[i] = complex(float64(vals[vi]), float64(vals[vi+1]))
 			vi += 2
+		} else {
+			bins[i] = 0
 		}
 	}
 	if vi != 2*kept {
 		return fmt.Errorf("fft: bitmap popcount %d != kept %d", vi/2, kept)
 	}
-	return c.sp.Synthesize(dst, spec)
-}
-
-// paddedTransformLen returns the transform length the sparsifiers use for
-// an n-element gradient: the next power of two, at least 2.
-func paddedTransformLen(n int) int {
-	p := 1
-	for p < n || p < 2 {
-		p <<= 1
-	}
-	return p
+	return c.sp.SynthesizeInto(dst, n, paddedN, bins)
 }
 
 // ReconstructionError compresses and decompresses grad, returning the

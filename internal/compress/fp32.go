@@ -16,24 +16,48 @@ func (FP32) Name() string { return "fp32" }
 
 // Compress serializes grad as raw little-endian float32 bytes.
 func (FP32) Compress(grad []float32) ([]byte, error) {
-	out := make([]byte, 4*len(grad))
-	parallel.For(len(grad), func(lo, hi int) {
+	return FP32{}.AppendCompress(make([]byte, 0, 4*len(grad)), grad)
+}
+
+// AppendCompress implements Appender.
+func (FP32) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
+	off := len(dst)
+	dst = extendBytes(dst, 4*len(grad))
+	parallel.For2(len(grad), dst[off:], grad, func(out []byte, grad []float32, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			le.PutUint32(out[4*i:], math.Float32bits(grad[i]))
 		}
 	})
-	return out, nil
+	return dst, nil
 }
 
 // Decompress deserializes raw float32 bytes.
 func (FP32) Decompress(dst []float32, msg []byte) error {
+	return FP32{}.DecompressInto(dst, msg)
+}
+
+// DecompressInto implements IntoDecompressor.
+func (FP32) DecompressInto(dst []float32, msg []byte) error {
 	if len(msg) != 4*len(dst) {
 		return fmt.Errorf("fp32: message %d bytes, want %d", len(msg), 4*len(dst))
 	}
-	parallel.For(len(dst), func(lo, hi int) {
+	parallel.For2(len(dst), dst, msg, func(dst []float32, msg []byte, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = math.Float32frombits(le.Uint32(msg[4*i:]))
 		}
 	})
 	return nil
+}
+
+// extendBytes grows dst by k bytes of unspecified content, reslicing in
+// place when capacity allows (the steady state for reused message buffers)
+// and reallocating with headroom otherwise.
+func extendBytes(dst []byte, k int) []byte {
+	n := len(dst)
+	if cap(dst) >= n+k {
+		return dst[:n+k]
+	}
+	nd := make([]byte, n+k)
+	copy(nd, dst)
+	return nd
 }

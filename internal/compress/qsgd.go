@@ -7,6 +7,7 @@ import (
 
 	"fftgrad/internal/parallel"
 	"fftgrad/internal/quant"
+	"fftgrad/internal/scratch"
 )
 
 // QSGD implements the stochastic uniform quantizer of Alistarh et al.
@@ -43,10 +44,29 @@ func (q *QSGD) codeBits() int {
 	return bits
 }
 
-// Compress implements Compressor.
+// qsgdEnc carries the per-message encoding parameters through For3 by
+// value, keeping the loop body capture-free (see parallel.For1).
+type qsgdEnc struct {
+	seed   uint64
+	norm   float64
+	levels int
+}
+
+// qsgdDec likewise for decoding.
+type qsgdDec struct {
+	norm   float64
+	levels int
+}
+
+// Compress implements Compressor; see FFT.Compress.
+func (q *QSGD) Compress(grad []float32) ([]byte, error) {
+	return q.AppendCompress(nil, grad)
+}
+
+// AppendCompress implements Appender.
 //
 // Wire format: u32 n | u32 s | f32 ‖v‖₂ | packed (2s+1)-state codes.
-func (q *QSGD) Compress(grad []float32) ([]byte, error) {
+func (q *QSGD) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	if q.Levels < 1 {
 		return nil, fmt.Errorf("qsgd: levels must be >= 1, got %d", q.Levels)
 	}
@@ -57,44 +77,51 @@ func (q *QSGD) Compress(grad []float32) ([]byte, error) {
 	}
 	norm = math.Sqrt(norm)
 
-	s := float64(q.Levels)
 	seed := q.seed.Add(0x9E3779B97F4A7C15)
-	codes := make([]uint32, n)
+	codesb := scratch.Uint32s(n)
+	defer scratch.PutUint32s(codesb)
+	codes := *codesb
 	if norm > 0 {
-		parallel.For(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				v := float64(grad[i])
-				mag := math.Abs(v) / norm * s
-				level := math.Floor(mag)
-				frac := mag - level
-				if uniform01(seed, i) < frac {
-					level++
+		parallel.For3(n, codes, grad, qsgdEnc{seed: seed, norm: norm, levels: q.Levels},
+			func(codes []uint32, grad []float32, e qsgdEnc, lo, hi int) {
+				s := float64(e.levels)
+				for i := lo; i < hi; i++ {
+					v := float64(grad[i])
+					mag := math.Abs(v) / e.norm * s
+					level := math.Floor(mag)
+					frac := mag - level
+					if uniform01(e.seed, i) < frac {
+						level++
+					}
+					if level > s {
+						level = s
+					}
+					signed := int(level)
+					if v < 0 {
+						signed = -signed
+					}
+					codes[i] = uint32(signed + e.levels) // shift to [0, 2s]
 				}
-				if level > s {
-					level = s
-				}
-				signed := int(level)
-				if v < 0 {
-					signed = -signed
-				}
-				codes[i] = uint32(signed + q.Levels) // shift to [0, 2s]
-			}
-		})
+			})
 	} else {
 		for i := range codes {
 			codes[i] = uint32(q.Levels) // level 0
 		}
 	}
 
-	out := make([]byte, 0, 12+quant.CodeBytes(n, q.codeBits()))
-	out = putHeader(out, uint32(n), uint32(q.Levels), math.Float32bits(float32(norm)))
-	out = append(out, quant.PackCodes(codes, q.codeBits())...)
-	return out, nil
+	dst = putHeader(dst, uint32(n), uint32(q.Levels), math.Float32bits(float32(norm)))
+	return quant.AppendCodes(dst, codes, q.codeBits()), nil
 }
 
 // Decompress implements Compressor.
 func (q *QSGD) Decompress(dst []float32, msg []byte) error {
-	hdr, rest, err := readHeader(msg, 3)
+	return q.DecompressInto(dst, msg)
+}
+
+// DecompressInto implements IntoDecompressor.
+func (q *QSGD) DecompressInto(dst []float32, msg []byte) error {
+	var hdr [3]uint32
+	rest, err := readHeaderInto(hdr[:], msg)
 	if err != nil {
 		return err
 	}
@@ -110,16 +137,19 @@ func (q *QSGD) Decompress(dst []float32, msg []byte) error {
 	for 1<<uint(bits) < 2*levels+1 {
 		bits++
 	}
-	codes, err := quant.UnpackCodes(rest, n, bits)
-	if err != nil {
+	codesb := scratch.Uint32s(n)
+	defer scratch.PutUint32s(codesb)
+	codes := *codesb
+	if err := quant.UnpackCodesInto(codes, rest, bits); err != nil {
 		return err
 	}
-	s := float64(levels)
-	parallel.For(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			signed := int(codes[i]) - levels
-			dst[i] = float32(norm * float64(signed) / s)
-		}
-	})
+	parallel.For3(n, dst, codes, qsgdDec{norm: norm, levels: levels},
+		func(dst []float32, codes []uint32, d qsgdDec, lo, hi int) {
+			s := float64(d.levels)
+			for i := lo; i < hi; i++ {
+				signed := int(codes[i]) - d.levels
+				dst[i] = float32(d.norm * float64(signed) / s)
+			}
+		})
 	return nil
 }

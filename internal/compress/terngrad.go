@@ -7,6 +7,7 @@ import (
 
 	"fftgrad/internal/parallel"
 	"fftgrad/internal/quant"
+	"fftgrad/internal/scratch"
 )
 
 // TernGrad implements the ternary quantizer of Wen et al. (NeurIPS 2017)
@@ -29,10 +30,22 @@ func NewTernGrad() *TernGrad {
 // Name implements Compressor.
 func (*TernGrad) Name() string { return "terngrad" }
 
-// Compress implements Compressor.
+// ternEnc carries the per-message encoding parameters through For3 by
+// value, keeping the loop body capture-free (see parallel.For1).
+type ternEnc struct {
+	seed  uint64
+	scale float64
+}
+
+// Compress implements Compressor; see FFT.Compress.
+func (t *TernGrad) Compress(grad []float32) ([]byte, error) {
+	return t.AppendCompress(nil, grad)
+}
+
+// AppendCompress implements Appender.
 //
 // Wire format: u32 n | f32 scale | packed 2-bit codes (0→0, 1→+1, 2→-1).
-func (t *TernGrad) Compress(grad []float32) ([]byte, error) {
+func (t *TernGrad) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	n := len(grad)
 	var scale float64
 	for _, v := range grad {
@@ -41,31 +54,43 @@ func (t *TernGrad) Compress(grad []float32) ([]byte, error) {
 		}
 	}
 	seed := t.seed.Add(0x9E3779B97F4A7C15)
-	codes := make([]uint32, n)
+	codesb := scratch.Uint32s(n)
+	defer scratch.PutUint32s(codesb)
+	codes := *codesb
 	if scale > 0 {
-		parallel.For(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				v := float64(grad[i])
-				p := math.Abs(v) / scale
-				if uniform01(seed, i) < p {
-					if v >= 0 {
+		parallel.For3(n, codes, grad, ternEnc{seed: seed, scale: scale},
+			func(codes []uint32, grad []float32, e ternEnc, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := float64(grad[i])
+					p := math.Abs(v) / e.scale
+					switch {
+					case uniform01(e.seed, i) >= p:
+						codes[i] = 0
+					case v >= 0:
 						codes[i] = 1
-					} else {
+					default:
 						codes[i] = 2
 					}
 				}
-			}
-		})
+			})
+	} else {
+		for i := range codes {
+			codes[i] = 0
+		}
 	}
-	out := make([]byte, 0, 8+quant.CodeBytes(n, 2))
-	out = putHeader(out, uint32(n), math.Float32bits(float32(scale)))
-	out = append(out, quant.PackCodes(codes, 2)...)
-	return out, nil
+	dst = putHeader(dst, uint32(n), math.Float32bits(float32(scale)))
+	return quant.AppendCodes(dst, codes, 2), nil
 }
 
 // Decompress implements Compressor.
 func (t *TernGrad) Decompress(dst []float32, msg []byte) error {
-	hdr, rest, err := readHeader(msg, 2)
+	return t.DecompressInto(dst, msg)
+}
+
+// DecompressInto implements IntoDecompressor.
+func (t *TernGrad) DecompressInto(dst []float32, msg []byte) error {
+	var hdr [2]uint32
+	rest, err := readHeaderInto(hdr[:], msg)
 	if err != nil {
 		return err
 	}
@@ -74,11 +99,13 @@ func (t *TernGrad) Decompress(dst []float32, msg []byte) error {
 	if n != len(dst) {
 		return fmt.Errorf("terngrad: message for %d elements, dst has %d", n, len(dst))
 	}
-	codes, err := quant.UnpackCodes(rest, n, 2)
-	if err != nil {
+	codesb := scratch.Uint32s(n)
+	defer scratch.PutUint32s(codesb)
+	codes := *codesb
+	if err := quant.UnpackCodesInto(codes, rest, 2); err != nil {
 		return err
 	}
-	parallel.For(n, func(lo, hi int) {
+	parallel.For3(n, dst, codes, scale, func(dst []float32, codes []uint32, scale float32, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			switch codes[i] {
 			case 1:

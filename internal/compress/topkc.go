@@ -3,9 +3,11 @@ package compress
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync/atomic"
 
 	"fftgrad/internal/pack"
+	"fftgrad/internal/scratch"
 	"fftgrad/internal/sparsify"
 )
 
@@ -34,29 +36,52 @@ func (t *TopK) SetTheta(theta float64) { t.theta.Store(theta) }
 // Theta returns the current drop ratio.
 func (t *TopK) Theta() float64 { return t.theta.Load() }
 
-// Compress implements Compressor.
+// Compress implements Compressor; see FFT.Compress.
+func (t *TopK) Compress(grad []float32) ([]byte, error) {
+	return t.AppendCompress(nil, grad)
+}
+
+// AppendCompress implements Appender.
 //
 // Wire format: u32 n | u32 kept | bitmap (⌈n/64⌉·8 bytes) | kept·f32.
-func (t *TopK) Compress(grad []float32) ([]byte, error) {
+func (t *TopK) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	n := len(grad)
-	work := append([]float32(nil), grad...)
-	mask := sparsify.TopKSpatial(work, t.theta.Load())
-	sp := pack.PackMask(work, mask)
+	words := pack.BitmapWords(n)
+	maskb := scratch.Uint64s(words)
+	defer scratch.PutUint64s(maskb)
+	mask := *maskb
+	// The mask path reads magnitudes without modifying grad, so no working
+	// copy is needed; selected values are serialized straight from grad.
+	sparsify.TopKSpatialMask(mask, grad, t.theta.Load())
+	kept := 0
+	for _, w := range mask {
+		kept += bits.OnesCount64(w)
+	}
 
-	out := make([]byte, 0, 8+len(sp.Bitmap)*8+len(sp.Values)*4)
-	out = putHeader(out, uint32(n), uint32(len(sp.Values)))
-	for _, w := range sp.Bitmap {
-		out = le.AppendUint64(out, w)
+	dst = putHeader(dst, uint32(n), uint32(kept))
+	for _, w := range mask {
+		dst = le.AppendUint64(dst, w)
 	}
-	for _, v := range sp.Values {
-		out = le.AppendUint32(out, math.Float32bits(v))
+	for wi, w := range mask {
+		base := wi << 6
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			dst = le.AppendUint32(dst, math.Float32bits(grad[base+bit]))
+			w &= w - 1
+		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Decompress implements Compressor.
 func (t *TopK) Decompress(dst []float32, msg []byte) error {
-	hdr, rest, err := readHeader(msg, 2)
+	return t.DecompressInto(dst, msg)
+}
+
+// DecompressInto implements IntoDecompressor.
+func (t *TopK) DecompressInto(dst []float32, msg []byte) error {
+	var hdr [2]uint32
+	rest, err := readHeaderInto(hdr[:], msg)
 	if err != nil {
 		return err
 	}
@@ -72,17 +97,25 @@ func (t *TopK) Decompress(dst []float32, msg []byte) error {
 	if len(rest) < need {
 		return fmt.Errorf("topk: message truncated: %d bytes after header, need %d", len(rest), need)
 	}
-	bitmap := make([]uint64, words)
+	bitmapb := scratch.Uint64s(words)
+	defer scratch.PutUint64s(bitmapb)
+	bitmap := *bitmapb
+	pop := 0
 	for i := range bitmap {
 		bitmap[i] = le.Uint64(rest[8*i:])
+		pop += bits.OnesCount64(bitmap[i])
+	}
+	if pop != kept {
+		return fmt.Errorf("topk: bitmap popcount %d != kept %d", pop, kept)
 	}
 	rest = rest[words*8:]
-	values := make([]float32, kept)
+	valuesb := scratch.Float32s(kept)
+	defer scratch.PutFloat32s(valuesb)
+	values := *valuesb
 	for i := range values {
 		values[i] = math.Float32frombits(le.Uint32(rest[4*i:]))
 	}
-	sp := &pack.Sparse{N: n, Bitmap: bitmap, Values: values}
-	sp.Unpack(dst)
+	pack.UnpackInto(dst, bitmap, values)
 	return nil
 }
 

@@ -248,6 +248,19 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 
 	fp32 := compress.FP32{}
 
+	// Compressed messages are double-buffered across iterations: Allgather
+	// returns aliases of the senders' buffers, and peers keep reading
+	// iteration i's message while decompressing — but every rank must
+	// finish that before it can enter Allgather(i+1) (its first barrier).
+	// So by the time this rank compresses iteration i+1 into the buffer
+	// last sent at i-1, no reader of that buffer remains. Two buffers,
+	// rotated by iteration parity, make the steady state allocation-free.
+	var msgBufs [2][]byte
+	var rawBufs [2][]byte  // MeasureAlpha raw-fp32 messages, same rotation
+	var alphaTmp []float32 // MeasureAlpha decode scratch (root only)
+	var syncFlat []float32 // parameter re-broadcast staging
+	var syncPayload []byte
+
 	for iter := 0; iter < totalIters; iter++ {
 		epoch := iter / cfg.ItersPerEpoch
 		sgd.LR = cfg.LR.LR(epoch)
@@ -305,10 +318,11 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			maxBytes = msgBytes
 		} else {
 			t0 = time.Now()
-			msg, err := comp.Compress(grad)
+			msg, err := compress.AppendCompress(comp, msgBufs[iter&1][:0], grad)
 			if err != nil {
 				return nil, fmt.Errorf("dist: rank %d compress: %w", rank, err)
 			}
+			msgBufs[iter&1] = msg
 			compressT = time.Since(t0)
 			msgBytes = len(msg)
 
@@ -324,7 +338,7 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 				avg[i] = 0
 			}
 			for _, m := range msgs {
-				if err := comp.Decompress(recon, m); err != nil {
+				if err := compress.DecompressInto(comp, recon, m); err != nil {
 					return nil, fmt.Errorf("dist: rank %d decompress: %w", rank, err)
 				}
 				for i, v := range recon {
@@ -339,21 +353,24 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 
 		// --- α measurement (off the timed path) ---------------------------
 		if cfg.MeasureAlpha {
-			rawMsg, err := fp32.Compress(grad)
+			rawMsg, err := fp32.AppendCompress(rawBufs[iter&1][:0], grad)
 			if err != nil {
 				return nil, err
 			}
+			rawBufs[iter&1] = rawMsg
 			raws := cm.Allgather(rawMsg)
 			if isRoot {
 				for i := range rawAvg {
 					rawAvg[i] = 0
 				}
-				tmp := make([]float32, n)
+				if alphaTmp == nil {
+					alphaTmp = make([]float32, n)
+				}
 				for _, m := range raws {
-					if err := fp32.Decompress(tmp, m); err != nil {
+					if err := fp32.DecompressInto(alphaTmp, m); err != nil {
 						return nil, err
 					}
-					for i, v := range tmp {
+					for i, v := range alphaTmp {
 						rawAvg[i] += v
 					}
 				}
@@ -388,18 +405,25 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 		// --- periodic parameter re-broadcast -------------------------------
 		var syncBytes int
 		if (iter+1)%cfg.SyncEvery == 0 {
+			if syncFlat == nil {
+				syncFlat = make([]float32, n)
+			}
 			var payload []byte
 			if isRoot {
-				flat := net.GetParams(make([]float32, n))
-				payload, _ = fp32.Compress(flat)
+				// Reusing the payload buffer across syncs is safe: every
+				// non-root finishes decoding it before entering the next
+				// collective's barrier, at least one of which separates
+				// consecutive syncs.
+				flat := net.GetParams(syncFlat)
+				payload, _ = fp32.AppendCompress(syncPayload[:0], flat)
+				syncPayload = payload
 			}
 			got := cm.Broadcast(payload, 0)
 			if !isRoot {
-				flat := make([]float32, n)
-				if err := fp32.Decompress(flat, got); err != nil {
+				if err := fp32.DecompressInto(syncFlat, got); err != nil {
 					return nil, err
 				}
-				net.SetParams(flat)
+				net.SetParams(syncFlat)
 			}
 			syncBytes = n * 4
 		}

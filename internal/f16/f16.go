@@ -136,7 +136,7 @@ func (h Bits) IsInf() bool {
 // least len(src) long), in parallel. It returns dst[:len(src)].
 func EncodeSlice(dst []Bits, src []float32) []Bits {
 	dst = dst[:len(src)]
-	parallel.For(len(src), func(lo, hi int) {
+	parallel.For2(len(src), dst, src, func(dst []Bits, src []float32, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = FromFloat32(src[i])
 		}
@@ -148,7 +148,7 @@ func EncodeSlice(dst []Bits, src []float32) []Bits {
 // dst must be at least len(src) long; it returns dst[:len(src)].
 func DecodeSlice(dst []float32, src []Bits) []float32 {
 	dst = dst[:len(src)]
-	parallel.For(len(src), func(lo, hi int) {
+	parallel.For2(len(src), dst, src, func(dst []float32, src []Bits, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = src[i].Float32()
 		}
@@ -160,7 +160,7 @@ func DecodeSlice(dst []float32, src []Bits) []float32 {
 // of x to the nearest binary16 value. This is the "convert to half before
 // FFT" step of the compression pipeline.
 func RoundTripSlice(x []float32) {
-	parallel.For(len(x), func(lo, hi int) {
+	parallel.For1(len(x), x, func(x []float32, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x[i] = FromFloat32(x[i]).Float32()
 		}

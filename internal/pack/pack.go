@@ -14,6 +14,7 @@ import (
 	"math/bits"
 
 	"fftgrad/internal/parallel"
+	"fftgrad/internal/scratch"
 )
 
 // Sparse is a packed sparse vector: a bitmap marking which of the N source
@@ -41,7 +42,8 @@ func PackNonzero(x []float32) *Sparse {
 	// Build the status bitmap. Each 64-element stripe maps to one word, so
 	// chunking on word boundaries keeps writers disjoint.
 	words := len(bitmap)
-	parallel.ForGrain(words, 64, func(wlo, whi int) {
+	parallel.ForGrain2(words, 64, bitmap, x, func(bitmap []uint64, x []float32, wlo, whi int) {
+		n := len(x)
 		for w := wlo; w < whi; w++ {
 			var word uint64
 			base := w << 6
@@ -72,48 +74,69 @@ func PackMask(x []float32, bitmap []uint64) *Sparse {
 		panic("pack: bitmap length mismatch")
 	}
 	words := len(bitmap)
-	chunks := parallel.Chunks(words, 2048)
-	if len(chunks) == 0 {
+	chunks, size := parallel.Plan(words, 2048)
+	if chunks == 0 {
 		return &Sparse{N: n, Bitmap: bitmap, Values: nil}
 	}
 
-	// Pass 1: per-chunk popcounts.
-	counts := make([]int, len(chunks))
-	parallel.ForGrain(len(chunks), 1, func(clo, chi int) {
-		for c := clo; c < chi; c++ {
-			total := 0
-			for w := chunks[c][0]; w < chunks[c][1]; w++ {
-				total += bits.OnesCount64(bitmap[w])
-			}
-			counts[c] = total
-		}
-	})
-	// Exclusive scan over chunk counts.
-	offsets := make([]int, len(chunks))
+	// Pass 1: per-chunk popcounts, scanned in place into exclusive offsets.
+	offb := scratch.Ints(chunks)
+	defer scratch.PutInts(offb)
+	offsets := *offb
+	parallel.ForGrain3(chunks, 1, offsets, bitmap, size, chunkPopcounts)
 	running := 0
-	for c, t := range counts {
+	for c, t := range offsets {
 		offsets[c] = running
 		running += t
 	}
 	values := make([]float32, running)
 
 	// Pass 2: each chunk gathers its surviving values at its offset.
-	parallel.ForGrain(len(chunks), 1, func(clo, chi int) {
-		for c := clo; c < chi; c++ {
-			vi := offsets[c]
-			for w := chunks[c][0]; w < chunks[c][1]; w++ {
-				word := bitmap[w]
-				base := w << 6
-				for word != 0 {
-					bit := bits.TrailingZeros64(word)
-					values[vi] = x[base+bit]
-					vi++
-					word &= word - 1
+	parallel.ForGrain1(chunks, 1,
+		scatterCtx{offsets: offsets, bitmap: bitmap, values: values, dense: x, size: size},
+		func(sc scatterCtx, clo, chi int) {
+			words := len(sc.bitmap)
+			for c := clo; c < chi; c++ {
+				vi := sc.offsets[c]
+				wlo, whi := parallel.ChunkBounds(c, sc.size, words)
+				for w := wlo; w < whi; w++ {
+					word := sc.bitmap[w]
+					base := w << 6
+					for word != 0 {
+						bit := bits.TrailingZeros64(word)
+						sc.values[vi] = sc.dense[base+bit]
+						vi++
+						word &= word - 1
+					}
 				}
 			}
-		}
-	})
+		})
 	return &Sparse{N: n, Bitmap: bitmap, Values: values}
+}
+
+// scatterCtx threads the pack/unpack pass-2 state through For1 by value so
+// the loop bodies capture nothing (see parallel.For1 on why that matters
+// for steady-state allocation).
+type scatterCtx struct {
+	offsets []int
+	bitmap  []uint64
+	values  []float32
+	dense   []float32 // gather source (PackMask) or scatter target (UnpackInto)
+	size    int
+}
+
+// chunkPopcounts is the shared pass-1 body: per-chunk bitmap popcounts
+// written to offsets[c], later scanned into exclusive offsets.
+func chunkPopcounts(offsets []int, bitmap []uint64, size, clo, chi int) {
+	words := len(bitmap)
+	for c := clo; c < chi; c++ {
+		wlo, whi := parallel.ChunkBounds(c, size, words)
+		total := 0
+		for w := wlo; w < whi; w++ {
+			total += bits.OnesCount64(bitmap[w])
+		}
+		offsets[c] = total
+	}
 }
 
 // PackNonzeroSerial is the single-threaded baseline packing algorithm the
@@ -136,52 +159,59 @@ func PackNonzeroSerial(x []float32) *Sparse {
 // Parallel: per-chunk popcount offsets, then an independent scatter per
 // chunk.
 func (s *Sparse) Unpack(dst []float32) {
-	if len(dst) != s.N {
+	UnpackInto(dst, s.Bitmap, s.Values)
+}
+
+// UnpackInto scatters values into dst according to bitmap (dst positions
+// with a clear bit are zeroed). len(bitmap) must be BitmapWords(len(dst))
+// and len(values) the bitmap popcount. This is the allocation-free core of
+// Sparse.Unpack for callers holding the fields in reused buffers.
+func UnpackInto(dst []float32, bitmap []uint64, values []float32) {
+	n := len(dst)
+	if len(bitmap) != BitmapWords(n) {
 		panic("pack: dst length mismatch")
 	}
-	words := len(s.Bitmap)
-	chunks := parallel.Chunks(words, 2048)
-	if len(chunks) == 0 {
+	words := len(bitmap)
+	chunks, size := parallel.Plan(words, 2048)
+	if chunks == 0 {
 		return
 	}
-	counts := make([]int, len(chunks))
-	parallel.ForGrain(len(chunks), 1, func(clo, chi int) {
-		for c := clo; c < chi; c++ {
-			total := 0
-			for w := chunks[c][0]; w < chunks[c][1]; w++ {
-				total += bits.OnesCount64(s.Bitmap[w])
-			}
-			counts[c] = total
-		}
-	})
-	offsets := make([]int, len(chunks))
+	offb := scratch.Ints(chunks)
+	defer scratch.PutInts(offb)
+	offsets := *offb
+	parallel.ForGrain3(chunks, 1, offsets, bitmap, size, chunkPopcounts)
 	running := 0
-	for c, t := range counts {
+	for c, t := range offsets {
 		offsets[c] = running
 		running += t
 	}
-	parallel.ForGrain(len(chunks), 1, func(clo, chi int) {
-		for c := clo; c < chi; c++ {
-			vi := offsets[c]
-			for w := chunks[c][0]; w < chunks[c][1]; w++ {
-				word := s.Bitmap[w]
-				base := w << 6
-				end := base + 64
-				if end > s.N {
-					end = s.N
-				}
-				for i := base; i < end; i++ {
-					dst[i] = 0
-				}
-				for word != 0 {
-					bit := bits.TrailingZeros64(word)
-					dst[base+bit] = s.Values[vi]
-					vi++
-					word &= word - 1
+	parallel.ForGrain1(chunks, 1,
+		scatterCtx{offsets: offsets, bitmap: bitmap, values: values, dense: dst, size: size},
+		func(sc scatterCtx, clo, chi int) {
+			words := len(sc.bitmap)
+			n := len(sc.dense)
+			for c := clo; c < chi; c++ {
+				vi := sc.offsets[c]
+				wlo, whi := parallel.ChunkBounds(c, sc.size, words)
+				for w := wlo; w < whi; w++ {
+					word := sc.bitmap[w]
+					base := w << 6
+					end := base + 64
+					if end > n {
+						end = n
+					}
+					for i := base; i < end; i++ {
+						sc.dense[i] = 0
+					}
+					for word != 0 {
+						bit := bits.TrailingZeros64(word)
+						sc.dense[base+bit] = sc.values[vi]
+						vi++
+						word &= word - 1
+					}
 				}
 			}
-		}
-	})
+		})
 }
 
 // UnpackSerial is the single-threaded unpacking baseline.

@@ -59,32 +59,143 @@ func ForGrain(n, grain int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
-// Chunks returns the boundaries that ForGrain would use for n elements,
-// as a slice of [lo,hi) pairs. Useful for two-pass algorithms (e.g. the
-// parallel prefix sum in internal/prefix) that need the same partition in
-// both passes.
-func Chunks(n, grain int) [][2]int {
+// For1 is For threading an explicit context value to the body instead of
+// relying on closure capture. A func literal that captures nothing
+// compiles to a static funcval, so — unlike For, whose escaping body
+// closure costs one heap allocation per call even when the loop runs
+// serially — For1 with a capture-free literal allocates nothing on the
+// serial path. Hot loops that must stay allocation-free in steady state
+// (the compression pipeline) use these variants; cold callers can keep
+// the more readable For.
+func For1[A any](n int, a A, body func(a A, lo, hi int)) {
+	ForGrain1(n, minParallelWork, a, body)
+}
+
+// For2 is For1 with two context values.
+func For2[A, B any](n int, a A, b B, body func(a A, b B, lo, hi int)) {
+	ForGrain2(n, minParallelWork, a, b, body)
+}
+
+// For3 is For1 with three context values.
+func For3[A, B, C any](n int, a A, b B, c C, body func(a A, b B, c C, lo, hi int)) {
+	ForGrain3(n, minParallelWork, a, b, c, body)
+}
+
+// ForGrain1 is ForGrain threading one context value; see For1.
+func ForGrain1[A any](n, grain int, a A, body func(a A, lo, hi int)) {
+	chunks, size := Plan(n, grain)
+	if chunks == 0 {
+		return
+	}
+	if chunks == 1 {
+		body(a, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		lo, hi := ChunkBounds(c, size, n)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(a, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForGrain2 is ForGrain threading two context values; see For1.
+func ForGrain2[A, B any](n, grain int, a A, b B, body func(a A, b B, lo, hi int)) {
+	chunks, size := Plan(n, grain)
+	if chunks == 0 {
+		return
+	}
+	if chunks == 1 {
+		body(a, b, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		lo, hi := ChunkBounds(c, size, n)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForGrain3 is ForGrain threading three context values; see For1.
+func ForGrain3[A, B, C any](n, grain int, a A, b B, c C, body func(a A, b B, c C, lo, hi int)) {
+	chunks, size := Plan(n, grain)
+	if chunks == 0 {
+		return
+	}
+	if chunks == 1 {
+		body(a, b, c, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for i := 0; i < chunks; i++ {
+		lo, hi := ChunkBounds(i, size, n)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(a, b, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Plan returns the partition ForGrain would use for n elements as a
+// (chunks, size) pair: chunk c covers [c*size, min((c+1)*size, n)).
+// Two-pass algorithms that must see the same partition in both passes can
+// derive every boundary arithmetically, without allocating a chunk list.
+func Plan(n, grain int) (chunks, size int) {
 	if n <= 0 {
-		return nil
+		return 0, 0
 	}
 	if grain < 1 {
 		grain = 1
 	}
 	p := Workers()
 	if p == 1 || n <= grain {
-		return [][2]int{{0, n}}
+		return 1, n
 	}
-	chunks := (n + grain - 1) / grain
+	chunks = (n + grain - 1) / grain
 	if chunks > p {
 		chunks = p
 	}
-	size := (n + chunks - 1) / chunks
+	size = (n + chunks - 1) / chunks
+	// size*chunks can overshoot n by a whole chunk when n is just past a
+	// multiple; recount so every chunk is non-empty.
+	chunks = (n + size - 1) / size
+	return chunks, size
+}
+
+// ChunkBounds returns chunk c's [lo, hi) range under a Plan(n, grain)
+// partition of the given size.
+func ChunkBounds(c, size, n int) (lo, hi int) {
+	lo = c * size
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Chunks returns the boundaries that ForGrain would use for n elements,
+// as a slice of [lo,hi) pairs. Useful for two-pass algorithms (e.g. the
+// parallel prefix sum in internal/prefix) that need the same partition in
+// both passes. Allocation-sensitive callers should use Plan instead.
+func Chunks(n, grain int) [][2]int {
+	chunks, size := Plan(n, grain)
+	if chunks == 0 {
+		return nil
+	}
 	out := make([][2]int, 0, chunks)
-	for lo := 0; lo < n; lo += size {
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
+	for c := 0; c < chunks; c++ {
+		lo, hi := ChunkBounds(c, size, n)
 		out = append(out, [2]int{lo, hi})
 	}
 	return out

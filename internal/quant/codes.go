@@ -2,11 +2,12 @@ package quant
 
 import "fmt"
 
-// PackCodes packs len(codes) N-bit codes into a little-endian bit stream.
-// Each code must fit in n bits (higher bits are masked off). The result is
-// ⌈len(codes)·n/8⌉ bytes — this is where the 32/N compression factor of
-// the quantization stage comes from.
-func PackCodes(codes []uint32, n int) []byte {
+// AppendCodes appends len(codes) N-bit codes to dst as a little-endian bit
+// stream and returns the extended slice. Each code must fit in n bits
+// (higher bits are masked off). The appended region is ⌈len(codes)·n/8⌉
+// bytes — this is where the 32/N compression factor of the quantization
+// stage comes from. With sufficient capacity in dst, nothing is allocated.
+func AppendCodes(dst []byte, codes []uint32, n int) []byte {
 	if n < 1 || n > 32 {
 		panic(fmt.Sprintf("quant: bad code width %d", n))
 	}
@@ -14,42 +15,45 @@ func PackCodes(codes []uint32, n int) []byte {
 	if n == 32 {
 		mask = 0xFFFFFFFF
 	}
-	totalBits := len(codes) * n
-	out := make([]byte, (totalBits+7)/8)
 	var acc uint64
 	accBits := 0
-	bytePos := 0
 	for _, c := range codes {
 		acc |= (uint64(c) & mask) << uint(accBits)
 		accBits += n
 		for accBits >= 8 {
-			out[bytePos] = byte(acc)
+			dst = append(dst, byte(acc))
 			acc >>= 8
 			accBits -= 8
-			bytePos++
 		}
 	}
 	if accBits > 0 {
-		out[bytePos] = byte(acc)
+		dst = append(dst, byte(acc))
 	}
-	return out
+	return dst
 }
 
-// UnpackCodes reads count N-bit codes from a little-endian bit stream
-// produced by PackCodes.
-func UnpackCodes(data []byte, count, n int) ([]uint32, error) {
+// PackCodes packs len(codes) N-bit codes into a fresh little-endian bit
+// stream. See AppendCodes for the allocation-free variant.
+func PackCodes(codes []uint32, n int) []byte {
+	return AppendCodes(make([]byte, 0, CodeBytes(len(codes), n)), codes, n)
+}
+
+// UnpackCodesInto reads count N-bit codes from a little-endian bit stream
+// produced by AppendCodes/PackCodes into dst, which must have length
+// count. Nothing is allocated.
+func UnpackCodesInto(dst []uint32, data []byte, n int) error {
+	count := len(dst)
 	if n < 1 || n > 32 {
-		return nil, fmt.Errorf("quant: bad code width %d", n)
+		return fmt.Errorf("quant: bad code width %d", n)
 	}
 	need := (count*n + 7) / 8
 	if len(data) < need {
-		return nil, fmt.Errorf("quant: bit stream too short: %d bytes, need %d", len(data), need)
+		return fmt.Errorf("quant: bit stream too short: %d bytes, need %d", len(data), need)
 	}
 	mask := uint64(1)<<uint(n) - 1
 	if n == 32 {
 		mask = 0xFFFFFFFF
 	}
-	out := make([]uint32, count)
 	var acc uint64
 	accBits := 0
 	bytePos := 0
@@ -59,9 +63,22 @@ func UnpackCodes(data []byte, count, n int) ([]uint32, error) {
 			bytePos++
 			accBits += 8
 		}
-		out[i] = uint32(acc & mask)
+		dst[i] = uint32(acc & mask)
 		acc >>= uint(n)
 		accBits -= n
+	}
+	return nil
+}
+
+// UnpackCodes reads count N-bit codes from a little-endian bit stream into
+// a fresh slice. See UnpackCodesInto for the allocation-free variant.
+func UnpackCodes(data []byte, count, n int) ([]uint32, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("quant: negative code count %d", count)
+	}
+	out := make([]uint32, count)
+	if err := UnpackCodesInto(out, data, n); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -156,7 +156,7 @@ func (q *RangeQuantizer) Decode(code uint32) float32 {
 // len(src) long; returns dst[:len(src)].
 func (q *RangeQuantizer) EncodeSlice(dst []uint32, src []float32) []uint32 {
 	dst = dst[:len(src)]
-	parallel.For(len(src), func(lo, hi int) {
+	parallel.For3(len(src), q, dst, src, func(q *RangeQuantizer, dst []uint32, src []float32, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = q.Encode(src[i])
 		}
@@ -168,7 +168,7 @@ func (q *RangeQuantizer) EncodeSlice(dst []uint32, src []float32) []uint32 {
 // len(src) long; returns dst[:len(src)].
 func (q *RangeQuantizer) DecodeSlice(dst []float32, src []uint32) []float32 {
 	dst = dst[:len(src)]
-	parallel.For(len(src), func(lo, hi int) {
+	parallel.For3(len(src), q, dst, src, func(q *RangeQuantizer, dst []float32, src []uint32, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = q.Decode(src[i])
 		}

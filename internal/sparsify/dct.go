@@ -2,10 +2,10 @@ package sparsify
 
 import (
 	"fmt"
-	"sync"
 
 	"fftgrad/internal/cfft"
 	"fftgrad/internal/parallel"
+	"fftgrad/internal/scratch"
 	"fftgrad/internal/topk"
 )
 
@@ -22,52 +22,55 @@ type RealSpectrum struct {
 // DCT analyzes and synthesizes gradients through the type-II discrete
 // cosine transform — the real-coefficient ablation of the paper's FFT
 // sparsifier (each kept bin costs one quantized value instead of two).
-// Safe for concurrent use.
-type DCT struct {
-	mu    sync.Mutex
-	plans map[int]*cfft.DCTPlan
-}
+// Plans come from the process-wide cfft cache and temporaries are pooled;
+// safe for concurrent use.
+type DCT struct{}
 
-// NewDCT returns an empty DCT sparsifier; plans are created lazily.
-func NewDCT() *DCT { return &DCT{plans: make(map[int]*cfft.DCTPlan)} }
-
-func (d *DCT) plan(n int) *cfft.DCTPlan {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	p, ok := d.plans[n]
-	if !ok {
-		p = cfft.NewDCTPlan(n)
-		d.plans[n] = p
-	}
-	return p
-}
+// NewDCT returns a DCT sparsifier; plans are cached process-wide and
+// created lazily.
+func NewDCT() *DCT { return &DCT{} }
 
 // Analyze transforms x (zero-padded to the next power of two) with the
 // DCT-II and keeps only the top-(1-θ) fraction of coefficients by
-// magnitude. x is not modified.
+// magnitude. x is not modified. The returned RealSpectrum is freshly
+// allocated; loops should reuse one via AnalyzeInto.
 func (d *DCT) Analyze(x []float32, theta float64) (*RealSpectrum, error) {
+	spec := new(RealSpectrum)
+	if err := d.AnalyzeInto(spec, x, theta); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// AnalyzeInto is Analyze reusing the capacity of spec.Bins and spec.Mask;
+// after a warm-up call at a given padded length it performs no heap
+// allocation. The magnitude pass is fused with top-k selection.
+func (d *DCT) AnalyzeInto(spec *RealSpectrum, x []float32, theta float64) error {
 	l := len(x)
 	if l < 2 {
-		return nil, fmt.Errorf("sparsify: gradient too short (%d)", l)
+		return fmt.Errorf("sparsify: gradient too short (%d)", l)
 	}
-	n := cfft.NextPow2(l)
-	if n < 2 {
-		n = 2
-	}
-	plan := d.plan(n)
+	n := cfft.PaddedLen(l)
+	plan := cfft.DCTPlanFor(n)
 
-	sig := make([]float64, n)
-	parallel.For(l, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			sig[i] = float64(x[i])
-		}
-	})
-	bins := make([]float64, n)
-	plan.Forward(bins, sig)
+	sigb := scratch.Float64s(n)
+	defer scratch.PutFloat64s(sigb)
+	sig := *sigb
+	parallel.For2(l, sig, x, widenF32)
+	for i := l; i < n; i++ {
+		sig[i] = 0
+	}
+	spec.L, spec.N = l, n
+	spec.Bins = growF64(spec.Bins, n)
+	spec.Mask = growU64(spec.Mask, (n+63)/64)
+	plan.Forward(spec.Bins, sig)
 
 	k := KeepCount(n, theta)
-	mags := make([]float64, n)
-	parallel.For(n, func(lo, hi int) {
+	magsb := scratch.Float64s(n)
+	defer scratch.PutFloat64s(magsb)
+	mags := *magsb
+	bins := spec.Bins
+	parallel.For2(n, mags, bins, func(mags, bins []float64, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			v := bins[i]
 			if v < 0 {
@@ -76,33 +79,51 @@ func (d *DCT) Analyze(x []float32, theta float64) (*RealSpectrum, error) {
 			mags[i] = v
 		}
 	})
-	mask := topk.MaskTopK(mags, k)
+	topk.MaskTopKInto(spec.Mask, mags, k)
 	for i := 0; i < n; i++ {
-		if mask[i>>6]&(1<<(uint(i)&63)) == 0 {
+		if spec.Mask[i>>6]&(1<<(uint(i)&63)) == 0 {
 			bins[i] = 0
 		}
 	}
-	return &RealSpectrum{L: l, N: n, Bins: bins, Mask: mask, Kept: k}, nil
+	spec.Kept = k
+	return nil
 }
 
 // Synthesize reconstructs the (lossy) gradient from a sparsified DCT
 // spectrum. dst must have length spec.L.
 func (d *DCT) Synthesize(dst []float32, spec *RealSpectrum) error {
-	if len(dst) != spec.L {
-		return fmt.Errorf("sparsify: dst length %d != gradient length %d", len(dst), spec.L)
+	return d.SynthesizeInto(dst, spec.L, spec.N, spec.Bins)
+}
+
+// SynthesizeInto reconstructs the gradient from the raw spectrum fields
+// (original length l, padded length n, full DCT coefficients with dropped
+// bins zeroed). dst must have length l; temporaries are pooled.
+func (d *DCT) SynthesizeInto(dst []float32, l, n int, bins []float64) error {
+	if len(dst) != l {
+		return fmt.Errorf("sparsify: dst length %d != gradient length %d", len(dst), l)
 	}
-	plan := d.plan(spec.N)
-	if plan.N() != len(spec.Bins) {
-		return fmt.Errorf("sparsify: spectrum length %d inconsistent with N=%d", len(spec.Bins), spec.N)
+	if !cfft.IsPow2(n) || l > n {
+		return fmt.Errorf("sparsify: bad padded length %d for gradient length %d", n, l)
 	}
-	sig := make([]float64, spec.N)
-	plan.Inverse(sig, spec.Bins)
-	parallel.For(spec.L, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = float32(sig[i])
-		}
-	})
+	plan := cfft.DCTPlanFor(n)
+	if plan.N() != len(bins) {
+		return fmt.Errorf("sparsify: spectrum length %d inconsistent with N=%d", len(bins), n)
+	}
+	sigb := scratch.Float64s(n)
+	defer scratch.PutFloat64s(sigb)
+	sig := *sigb
+	plan.Inverse(sig, bins)
+	parallel.For2(l, dst, sig, narrowF64)
 	return nil
+}
+
+// growF64 resizes b to length n, reallocating only when capacity is
+// insufficient. Contents are unspecified (callers fully overwrite).
+func growF64(b []float64, n int) []float64 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]float64, n)
 }
 
 // Roundtrip sparsifies x at ratio theta through the DCT domain and

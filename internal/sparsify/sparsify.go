@@ -11,10 +11,10 @@ package sparsify
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"fftgrad/internal/cfft"
 	"fftgrad/internal/parallel"
+	"fftgrad/internal/scratch"
 	"fftgrad/internal/topk"
 )
 
@@ -40,10 +40,30 @@ func KeepCount(total int, theta float64) int {
 // place, and returns the keep bitmap (one bit per element). This is the
 // vanilla Top-k baseline (Aji & Heafield 2017) without error accumulation.
 func TopKSpatial(x []float32, theta float64) []uint64 {
+	mask := make([]uint64, (len(x)+63)/64)
+	TopKSpatialMask(mask, x, theta)
+	parallel.For2(len(x), x, mask, func(x []float32, mask []uint64, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if mask[i>>6]&(1<<(uint(i)&63)) == 0 {
+				x[i] = 0
+			}
+		}
+	})
+	return mask
+}
+
+// TopKSpatialMask fills mask (⌈len(x)/64⌉ words) with the keep bitmap of
+// the top-(1-θ) fraction of x by magnitude, without modifying x. All
+// temporaries are pooled, so the steady state allocates nothing. Callers
+// packing values directly by bitmap do not need the zeroing pass of
+// TopKSpatial.
+func TopKSpatialMask(mask []uint64, x []float32, theta float64) {
 	n := len(x)
 	k := KeepCount(n, theta)
-	mags := make([]float64, n)
-	parallel.For(n, func(lo, hi int) {
+	magsb := scratch.Float64s(n)
+	defer scratch.PutFloat64s(magsb)
+	mags := *magsb
+	parallel.For2(n, mags, x, func(mags []float64, x []float32, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			m := float64(x[i])
 			if m < 0 {
@@ -52,15 +72,7 @@ func TopKSpatial(x []float32, theta float64) []uint64 {
 			mags[i] = m
 		}
 	})
-	mask := topk.MaskTopK(mags, k)
-	parallel.For(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if mask[i>>6]&(1<<(uint(i)&63)) == 0 {
-				x[i] = 0
-			}
-		}
-	})
-	return mask
+	topk.MaskTopKInto(mask, mags, k)
 }
 
 // Spectrum is the sparsified frequency-domain representation of a gradient:
@@ -77,86 +89,134 @@ type Spectrum struct {
 // NumBins returns the number of half-spectrum bins, N/2+1.
 func (s *Spectrum) NumBins() int { return s.N/2 + 1 }
 
-// FFT analyzes and synthesizes gradients as 1-D real signals. It caches
-// one RealPlan per padded length and is safe for concurrent use.
-type FFT struct {
-	mu    sync.Mutex
-	plans map[int]*cfft.RealPlan
-}
+// FFT analyzes and synthesizes gradients as 1-D real signals. Transform
+// plans come from the process-wide cfft cache and all temporaries are
+// pooled, so one instance (or many — they share everything) is safe for
+// concurrent use and allocation-free in steady state via AnalyzeInto.
+type FFT struct{}
 
-// NewFFT returns an empty sparsifier; plans are created lazily.
-func NewFFT() *FFT { return &FFT{plans: make(map[int]*cfft.RealPlan)} }
-
-func (f *FFT) plan(n int) *cfft.RealPlan {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	p, ok := f.plans[n]
-	if !ok {
-		p = cfft.NewRealPlan(n)
-		f.plans[n] = p
-	}
-	return p
-}
+// NewFFT returns an FFT sparsifier; plans are cached process-wide and
+// created lazily.
+func NewFFT() *FFT { return &FFT{} }
 
 // Analyze transforms x (zero-padded to the next power of two) into the
 // frequency domain and keeps only the top-(1-θ) fraction of bins by
-// complex magnitude, zeroing the rest. x is not modified.
+// complex magnitude, zeroing the rest. x is not modified. The returned
+// Spectrum is freshly allocated; loops should reuse one via AnalyzeInto.
 func (f *FFT) Analyze(x []float32, theta float64) (*Spectrum, error) {
+	spec := new(Spectrum)
+	if err := f.AnalyzeInto(spec, x, theta); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// AnalyzeInto is Analyze reusing the capacity of spec.Bins and spec.Mask:
+// after a warm-up call at a given padded length, analysis performs no heap
+// allocation. The magnitude pass is fused with top-k selection — squared
+// magnitudes are computed once into a pooled buffer and the selector uses
+// them directly instead of recomputing |z| per bin.
+func (f *FFT) AnalyzeInto(spec *Spectrum, x []float32, theta float64) error {
 	l := len(x)
 	if l < 2 {
-		return nil, fmt.Errorf("sparsify: gradient too short (%d)", l)
+		return fmt.Errorf("sparsify: gradient too short (%d)", l)
 	}
-	n := cfft.NextPow2(l)
-	if n < 2 {
-		n = 2
+	n := cfft.PaddedLen(l)
+	plan := cfft.RealPlanFor(n)
+
+	sigb := scratch.Float64s(n)
+	defer scratch.PutFloat64s(sigb)
+	sig := *sigb
+	parallel.For2(l, sig, x, widenF32)
+	for i := l; i < n; i++ {
+		sig[i] = 0
 	}
-	plan := f.plan(n)
+	nb := plan.SpectrumLen()
+	spec.L, spec.N = l, n
+	spec.Bins = growC128(spec.Bins, nb)
+	spec.Mask = growU64(spec.Mask, (nb+63)/64)
+	plan.Forward(spec.Bins, sig)
 
-	sig := make([]float64, n)
-	parallel.For(l, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			sig[i] = float64(x[i])
-		}
-	})
-	bins := make([]complex128, plan.SpectrumLen())
-	plan.Forward(bins, sig)
-
-	nb := len(bins)
 	k := KeepCount(nb, theta)
-	mags := make([]float64, nb)
-	parallel.For(nb, func(lo, hi int) {
+	magsb := scratch.Float64s(nb)
+	defer scratch.PutFloat64s(magsb)
+	mags := *magsb
+	bins := spec.Bins
+	parallel.For2(nb, mags, bins, func(mags []float64, bins []complex128, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			re, im := real(bins[i]), imag(bins[i])
 			mags[i] = re*re + im*im // monotone in |z|; avoids sqrt
 		}
 	})
-	mask := topk.MaskTopK(mags, k)
+	topk.MaskTopKInto(spec.Mask, mags, k)
 	for i := 0; i < nb; i++ {
-		if mask[i>>6]&(1<<(uint(i)&63)) == 0 {
+		if spec.Mask[i>>6]&(1<<(uint(i)&63)) == 0 {
 			bins[i] = 0
 		}
 	}
-	return &Spectrum{L: l, N: n, Bins: bins, Mask: mask, Kept: k}, nil
+	spec.Kept = k
+	return nil
 }
 
 // Synthesize reconstructs the (lossy) gradient from a sparsified spectrum.
 // dst must have length spec.L.
 func (f *FFT) Synthesize(dst []float32, spec *Spectrum) error {
-	if len(dst) != spec.L {
-		return fmt.Errorf("sparsify: dst length %d != gradient length %d", len(dst), spec.L)
+	return f.SynthesizeInto(dst, spec.L, spec.N, spec.Bins)
+}
+
+// SynthesizeInto reconstructs the gradient from the raw spectrum fields
+// (original length l, padded length n, half-spectrum bins with dropped
+// bins zeroed). dst must have length l. All temporaries are pooled, so
+// synthesis performs no steady-state heap allocation.
+func (f *FFT) SynthesizeInto(dst []float32, l, n int, bins []complex128) error {
+	if len(dst) != l {
+		return fmt.Errorf("sparsify: dst length %d != gradient length %d", len(dst), l)
 	}
-	plan := f.plan(spec.N)
-	if plan.SpectrumLen() != len(spec.Bins) {
-		return fmt.Errorf("sparsify: spectrum length %d inconsistent with N=%d", len(spec.Bins), spec.N)
+	if !cfft.IsPow2(n) || l > n {
+		return fmt.Errorf("sparsify: bad padded length %d for gradient length %d", n, l)
 	}
-	sig := make([]float64, spec.N)
-	plan.Inverse(sig, spec.Bins)
-	parallel.For(spec.L, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = float32(sig[i])
-		}
-	})
+	plan := cfft.RealPlanFor(n)
+	if plan.SpectrumLen() != len(bins) {
+		return fmt.Errorf("sparsify: spectrum length %d inconsistent with N=%d", len(bins), n)
+	}
+	sigb := scratch.Float64s(n)
+	defer scratch.PutFloat64s(sigb)
+	sig := *sigb
+	plan.Inverse(sig, bins)
+	parallel.For2(l, dst, sig, narrowF64)
 	return nil
+}
+
+// widenF32 and narrowF64 are the capture-free precision-conversion bodies
+// shared by the FFT and DCT paths (parallel.For2 keeps them alloc-free).
+func widenF32(dst []float64, src []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = float64(src[i])
+	}
+}
+
+func narrowF64(dst []float32, src []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = float32(src[i])
+	}
+}
+
+// growC128 resizes b to length n, reallocating only when capacity is
+// insufficient. Contents are unspecified (callers fully overwrite).
+func growC128(b []complex128, n int) []complex128 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]complex128, n)
+}
+
+// growU64 resizes b to length n, reallocating only when capacity is
+// insufficient. Contents are unspecified (callers fully overwrite).
+func growU64(b []uint64, n int) []uint64 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]uint64, n)
 }
 
 // Roundtrip sparsifies x at ratio theta through the frequency domain and

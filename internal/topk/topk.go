@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"fftgrad/internal/parallel"
+	"fftgrad/internal/scratch"
 )
 
 // KthLargestSort returns the k-th largest element (1-based, so k=1 is the
@@ -30,10 +31,24 @@ func KthLargestSort(x []float64, k int) float64 {
 }
 
 // KthLargest returns the k-th largest element (1-based) of x using
-// iterative quickselect on a scratch copy. Expected O(n).
+// iterative quickselect on a pooled scratch copy. Expected O(n); x is not
+// modified, and the steady state allocates nothing.
 func KthLargest(x []float64, k int) float64 {
 	checkK(len(x), k)
-	s := append([]float64(nil), x...)
+	return kthLargestScratch(x, k)
+}
+
+// kthLargestScratch runs quickselect on a pooled copy of x.
+func kthLargestScratch(x []float64, k int) float64 {
+	sb := scratch.Float64s(len(x))
+	defer scratch.PutFloat64s(sb)
+	s := *sb
+	copy(s, x)
+	return kthLargestInPlace(s, k)
+}
+
+// kthLargestInPlace selects the k-th largest element, reordering s.
+func kthLargestInPlace(s []float64, k int) float64 {
 	// Select index len-k in ascending order.
 	target := len(s) - k
 	lo, hi := 0, len(s)-1
@@ -85,6 +100,8 @@ const bucketCount = 1024
 // KthLargestBucket returns the k-th largest element (1-based) of x using
 // iterative range-refinement with parallel histograms (the CPU analogue of
 // GPU bucketSelect). Exact: it terminates by scanning the final bucket.
+// x is not modified; all temporaries come from the scratch pools, so the
+// steady state allocates nothing beyond goroutine startup.
 func KthLargestBucket(x []float64, k int) float64 {
 	checkK(len(x), k)
 
@@ -96,15 +113,26 @@ func KthLargestBucket(x []float64, k int) float64 {
 	// inside the current [lo, hi] range.
 	remaining := k
 	cur := x
-	scratch := make([]float64, 0, len(x)/bucketCount*4+64)
+	// Two pooled buffers alternate as gather target: cur aliases one while
+	// the refinement pass fills the other.
+	var hold, spare *[]float64
+	defer func() {
+		if hold != nil {
+			scratch.PutFloat64s(hold)
+		}
+		if spare != nil {
+			scratch.PutFloat64s(spare)
+		}
+	}()
 
 	for round := 0; ; round++ {
 		width := (hi - lo) / bucketCount
 		if width <= 0 || len(cur) <= 4096 || round > 64 {
 			// Degenerate range or small candidate set: finish exactly.
-			return KthLargest(cur, remaining)
+			return kthLargestScratch(cur, remaining)
 		}
-		hist := histogram(cur, lo, width)
+		var hist [bucketCount]int64
+		histogram(&hist, cur, lo, width)
 		// Walk buckets from the top (largest values) down.
 		b := bucketCount - 1
 		for ; b >= 0; b-- {
@@ -115,7 +143,7 @@ func KthLargestBucket(x []float64, k int) float64 {
 		}
 		if b < 0 {
 			// Numerical edge (all counted); fall back.
-			return KthLargest(cur, k)
+			return kthLargestScratch(cur, k)
 		}
 		bLo := lo + float64(b)*width
 		bHi := bLo + width
@@ -124,17 +152,25 @@ func KthLargestBucket(x []float64, k int) float64 {
 		}
 		// Gather candidates in [bLo, bHi] (inclusive upper edge for the
 		// top bucket to catch the maximum).
-		scratch = scratch[:0]
+		if spare == nil || cap(*spare) < len(cur) {
+			if spare != nil {
+				scratch.PutFloat64s(spare)
+			}
+			spare = scratch.Float64s(len(cur))
+		}
+		gathered := (*spare)[:0]
 		for _, v := range cur {
 			if v >= bLo && (v < bHi || (b == bucketCount-1 && v <= bHi)) {
-				scratch = append(scratch, v)
+				gathered = append(gathered, v)
 			}
 		}
-		if len(scratch) == len(cur) {
+		if len(gathered) == len(cur) {
 			// No progress (heavy ties); finish exactly.
-			return KthLargest(cur, remaining)
+			return kthLargestScratch(cur, remaining)
 		}
-		cur = append([]float64(nil), scratch...)
+		*spare = gathered
+		cur = gathered
+		hold, spare = spare, hold
 		lo, hi = bLo, bHi
 	}
 }
@@ -142,41 +178,72 @@ func KthLargestBucket(x []float64, k int) float64 {
 // histogram bins cur into bucketCount buckets of the given width starting
 // at lo, in parallel. Values above the last bucket edge (the maximum) are
 // clamped into the top bucket.
-func histogram(cur []float64, lo, width float64) [bucketCount]int64 {
-	chunks := parallel.Chunks(len(cur), 16384)
-	partial := make([][bucketCount]int64, len(chunks))
-	parallel.ForGrain(len(chunks), 1, func(clo, chi int) {
+func histogram(hist *[bucketCount]int64, cur []float64, lo, width float64) {
+	chunks, size := parallel.Plan(len(cur), 16384)
+	if chunks <= 1 {
+		for _, v := range cur {
+			hist[bucketOf(v, lo, width)]++
+		}
+		return
+	}
+	partialb := scratch.Ints(chunks * bucketCount)
+	defer scratch.PutInts(partialb)
+	partial := *partialb
+	for i := range partial {
+		partial[i] = 0
+	}
+	parallel.ForGrain(chunks, 1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
-			h := &partial[c]
-			for i := chunks[c][0]; i < chunks[c][1]; i++ {
-				b := int((cur[i] - lo) / width)
-				if b < 0 {
-					b = 0
-				}
-				if b >= bucketCount {
-					b = bucketCount - 1
-				}
-				h[b]++
+			h := partial[c*bucketCount : (c+1)*bucketCount]
+			ilo, ihi := parallel.ChunkBounds(c, size, len(cur))
+			for i := ilo; i < ihi; i++ {
+				h[bucketOf(cur[i], lo, width)]++
 			}
 		}
 	})
-	var total [bucketCount]int64
-	for c := range partial {
+	for c := 0; c < chunks; c++ {
 		for b := 0; b < bucketCount; b++ {
-			total[b] += partial[c][b]
+			hist[b] += int64(partial[c*bucketCount+b])
 		}
 	}
-	return total
+}
+
+// bucketOf maps v into [0, bucketCount) for a histogram starting at lo
+// with the given bucket width, clamping outliers into the end buckets.
+func bucketOf(v, lo, width float64) int {
+	b := int((v - lo) / width)
+	if b < 0 {
+		b = 0
+	}
+	if b >= bucketCount {
+		b = bucketCount - 1
+	}
+	return b
 }
 
 func parMinMax(x []float64) (lo, hi float64) {
-	chunks := parallel.Chunks(len(x), 16384)
-	los := make([]float64, len(chunks))
-	his := make([]float64, len(chunks))
-	parallel.ForGrain(len(chunks), 1, func(clo, chi int) {
+	chunks, size := parallel.Plan(len(x), 16384)
+	if chunks <= 1 {
+		lo, hi = x[0], x[0]
+		for _, v := range x[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return lo, hi
+	}
+	// One pooled buffer holds the per-chunk minima then maxima.
+	extb := scratch.Float64s(2 * chunks)
+	defer scratch.PutFloat64s(extb)
+	los, his := (*extb)[:chunks], (*extb)[chunks:]
+	parallel.ForGrain(chunks, 1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
-			l, h := x[chunks[c][0]], x[chunks[c][0]]
-			for i := chunks[c][0] + 1; i < chunks[c][1]; i++ {
+			ilo, ihi := parallel.ChunkBounds(c, size, len(x))
+			l, h := x[ilo], x[ilo]
+			for i := ilo + 1; i < ihi; i++ {
 				v := x[i]
 				if v < l {
 					l = v
@@ -189,7 +256,7 @@ func parMinMax(x []float64) (lo, hi float64) {
 		}
 	})
 	lo, hi = los[0], his[0]
-	for c := 1; c < len(chunks); c++ {
+	for c := 1; c < chunks; c++ {
 		if los[c] < lo {
 			lo = los[c]
 		}
@@ -216,17 +283,14 @@ func checkK(n, k int) {
 func MaskTopK(x []float64, k int) []uint64 {
 	n := len(x)
 	bitmap := make([]uint64, (n+63)/64)
-	if k <= 0 || n == 0 {
+	if k <= 0 || n == 0 || k >= n {
+		MaskTopKInto(bitmap, x, k)
 		return bitmap
 	}
-	if k >= n {
-		for i := 0; i < n; i++ {
-			bitmap[i>>6] |= 1 << (uint(i) & 63)
-		}
-		return bitmap
-	}
-	mags := make([]float64, n)
-	parallel.For(n, func(lo, hi int) {
+	magsb := scratch.Float64s(n)
+	defer scratch.PutFloat64s(magsb)
+	mags := *magsb
+	parallel.For2(n, mags, x, func(mags, x []float64, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			v := x[i]
 			if v < 0 {
@@ -235,6 +299,34 @@ func MaskTopK(x []float64, k int) []uint64 {
 			mags[i] = v
 		}
 	})
+	MaskTopKInto(bitmap, mags, k)
+	return bitmap
+}
+
+// MaskTopKInto is the fused selection path: mags must already hold
+// non-negative magnitudes (|x|, or |z|² for complex bins — any monotone
+// transform works), so selection makes no extra pass to recompute them.
+// It zeroes bitmap (length ⌈len(mags)/64⌉ words) and sets exactly
+// min(k, len(mags)) bits marking the k largest entries, ties broken by
+// lower index. mags is not modified, and the steady state allocates
+// nothing.
+func MaskTopKInto(bitmap []uint64, mags []float64, k int) {
+	n := len(mags)
+	if len(bitmap) != (n+63)/64 {
+		panic("topk: bitmap length mismatch")
+	}
+	for i := range bitmap {
+		bitmap[i] = 0
+	}
+	if k <= 0 || n == 0 {
+		return
+	}
+	if k >= n {
+		for i := 0; i < n; i++ {
+			bitmap[i>>6] |= 1 << (uint(i) & 63)
+		}
+		return
+	}
 	thr := KthLargestBucket(mags, k)
 
 	// First pass: everything strictly above the threshold is kept.
@@ -252,5 +344,4 @@ func MaskTopK(x []float64, k int) []uint64 {
 			kept++
 		}
 	}
-	return bitmap
 }
