@@ -1,16 +1,17 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples fmt check
+.PHONY: all build vet test race bench bench-json experiments examples fmt check
 
 all: build vet test
 
 # check is the CI gate: vet, build, full test suite, then a short race
-# pass over the packages that share caches/pools across goroutines.
+# pass over the packages that share caches/pools across goroutines or
+# mutate shared controller/registry state.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/
+	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/ ./internal/telemetry/ ./internal/adapt/
 
 build:
 	$(GO) build ./...
@@ -28,6 +29,11 @@ race:
 # quick workload once).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Machine-readable compression benchmark: per-primitive and
+# per-compressor throughput, wire ratio and allocs/op.
+bench-json:
+	$(GO) run ./cmd/compressbench -json BENCH_compress.json
 
 # Regenerate every paper figure/table and ablation.
 experiments:

@@ -6,9 +6,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"time"
 
@@ -22,9 +24,39 @@ import (
 	"fftgrad/internal/topk"
 )
 
+// primitiveResult is one row of the machine-readable report: a pipeline
+// primitive's best observed rate and its steady-state allocations.
+type primitiveResult struct {
+	Name        string  `json:"name"`
+	BytesPerSec float64 `json:"bytes_per_sec"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+}
+
+// compressorResult reports one full compressor: round-trip rates, the
+// steady-state wire ratio and the allocation count of one reused-buffer
+// round trip.
+type compressorResult struct {
+	Method            string  `json:"method"`
+	Theta             float64 `json:"theta"`
+	Ratio             float64 `json:"ratio"`
+	CompressBytesPS   float64 `json:"compress_bytes_per_sec"`
+	DecompressBytesPS float64 `json:"decompress_bytes_per_sec"`
+	AllocsPerOp       uint64  `json:"allocs_per_op"`
+}
+
+// report is the -json output: everything the text output prints, in a
+// form CI and notebooks can diff across commits.
+type report struct {
+	WorkingSetMB int                `json:"working_set_mb"`
+	Iters        int                `json:"iters"`
+	Primitives   []primitiveResult  `json:"primitives"`
+	Compressors  []compressorResult `json:"compressors"`
+}
+
 func main() {
 	mega := flag.Int("mb", 64, "working-set size in MB of FP32 gradients")
 	iters := flag.Int("iters", 5, "timing repetitions (max rate wins)")
+	jsonPath := flag.String("json", "", "write a machine-readable report to this file (e.g. BENCH_compress.json)")
 	flag.Parse()
 
 	n := *mega << 20 / 4
@@ -35,14 +67,14 @@ func main() {
 	}
 	bytes := float64(n * 4)
 
-	// rate reports the best throughput over iters repetitions plus the
+	rep := report{WorkingSetMB: *mega, Iters: *iters}
+
+	// measure returns the best throughput over iters repetitions plus the
 	// steady-state heap allocations of one call (the Mallocs delta of the
 	// final repetition, after a warm-up call has populated plan caches,
 	// tuned quantizers and scratch pools).
-	rate := func(name string, fn func()) float64 {
+	measure := func(fn func()) (best float64, allocs uint64) {
 		fn() // warm caches and pools; measure the steady state only
-		best := 0.0
-		var allocs uint64
 		var ms runtime.MemStats
 		for i := 0; i < *iters; i++ {
 			runtime.ReadMemStats(&ms)
@@ -56,7 +88,13 @@ func main() {
 				best = rps
 			}
 		}
+		return best, allocs
+	}
+	rate := func(name string, fn func()) float64 {
+		best, allocs := measure(fn)
 		fmt.Printf("%-28s %8.2f GB/s %8d allocs/op\n", name, best/1e9, allocs)
+		rep.Primitives = append(rep.Primitives,
+			primitiveResult{Name: name, BytesPerSec: best, AllocsPerOp: allocs})
 		return best
 	}
 
@@ -116,6 +154,59 @@ func main() {
 			panic(err)
 		}
 	})
+
+	// Every registered compressor end to end on the reused-buffer path:
+	// per-method compress/decompress rates, wire ratio and allocations.
+	const sweepTheta = 0.85
+	fmt.Printf("\nper-compressor steady-state round trips (θ=%.2f where used):\n", sweepTheta)
+	for _, method := range []string{"fp32", "fft", "dct", "topk", "qsgd", "terngrad"} {
+		c, err := compress.New(method, sweepTheta)
+		if err != nil {
+			fmt.Printf("%-10s unavailable: %v\n", method, err)
+			continue
+		}
+		var msg []byte
+		compRate, _ := measure(func() {
+			msg, err = compress.AppendCompress(c, msg[:0], grad)
+			if err != nil {
+				panic(err)
+			}
+		})
+		decRate, _ := measure(func() {
+			if err := compress.DecompressInto(c, rec, msg); err != nil {
+				panic(err)
+			}
+		})
+		_, rtAllocs := measure(func() {
+			msg, err = compress.AppendCompress(c, msg[:0], grad)
+			if err != nil {
+				panic(err)
+			}
+			if err := compress.DecompressInto(c, rec, msg); err != nil {
+				panic(err)
+			}
+		})
+		ratio := bytes / float64(len(msg))
+		fmt.Printf("%-10s %7.2fx  compress %6.2f GB/s  decompress %6.2f GB/s  %4d allocs/op\n",
+			method, ratio, compRate/1e9, decRate/1e9, rtAllocs)
+		rep.Compressors = append(rep.Compressors, compressorResult{
+			Method: method, Theta: sweepTheta, Ratio: ratio,
+			CompressBytesPS: compRate, DecompressBytesPS: decRate, AllocsPerOp: rtAllocs,
+		})
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
 
 	// Feed the measured rates into the Sec. 3.3 model.
 	t := perfmodel.Throughputs{Tm: tm, Tf: tf, Tp: tp, Ts: ts}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"fftgrad/internal/adapt"
 	"fftgrad/internal/compress"
 	"fftgrad/internal/data"
 	"fftgrad/internal/dist"
@@ -23,6 +24,7 @@ import (
 	"fftgrad/internal/optim"
 	"fftgrad/internal/sparsify"
 	"fftgrad/internal/stats"
+	"fftgrad/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +42,9 @@ func main() {
 	alpha := flag.Bool("alpha", false, "measure Assumption 3.2 alpha each iteration")
 	trace := flag.Bool("trace", false, "print a per-iteration timing breakdown")
 	sparseAR := flag.Bool("sparse-allreduce", false, "exchange via the sparse ring allreduce instead of allgather (uses -theta, ignores -method)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live Prometheus/JSON metrics on this address (e.g. :9090)")
+	adaptive := flag.Bool("adapt", false, "let the online perf-model controller bypass compression when it cannot win on the fabric")
+	adaptTheta := flag.Bool("adapt-theta", false, "with -adapt, also let the controller steer theta toward the beneficial ratio")
 	flag.Parse()
 
 	newCompressor, err := buildCompressor(*method, *theta)
@@ -83,6 +88,21 @@ func main() {
 	if *dropEpoch >= 0 {
 		cfg.ThetaSchedule = sparsify.StepDrop{Initial: *theta, Final: 0, DropEpoch: *dropEpoch}
 	}
+	if *metricsAddr != "" || *adaptive {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	if *adaptive {
+		cfg.Adapt = adapt.New(adapt.Config{AdjustTheta: *adaptTheta}, nil)
+	}
+	if *metricsAddr != "" {
+		bound, shutdown, err := telemetry.Serve(*metricsAddr, cfg.Telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() { _ = shutdown() }()
+		fmt.Printf("metrics: http://%s/metrics (Prometheus) and /metrics.json\n", bound)
+	}
 
 	fmt.Printf("training %s with %s (θ=%.2f) on %d workers\n", *model, *method, *theta, *workers)
 	res, err := dist.Train(cfg)
@@ -98,8 +118,26 @@ func main() {
 	fmt.Print(t.String())
 	fmt.Printf("\ngradient size: %d floats (%.2f MB)\n", res.GradSize, float64(res.GradSize*4)/(1<<20))
 	fmt.Printf("compression ratio: %.2fx (avg message %.1f KB)\n", res.CompressionRatio, res.AvgMsgBytes/1024)
-	fmt.Printf("measured compute %.2fs, compress %.2fs; modeled comm %.4fs\n",
-		res.ComputeSeconds, res.CompressSeconds, res.CommSeconds)
+	fmt.Printf("measured compute %.2fs, compress %.2fs; modeled comm %.4fs (measured exchange %.4fs)\n",
+		res.ComputeSeconds, res.CompressSeconds, res.CommSeconds, res.CommMeasuredSeconds)
+	var rec netsim.Reconciliation
+	rec.Add(res.CommSeconds, res.CommMeasuredSeconds)
+	if rec.Samples() > 0 {
+		fmt.Printf("fabric reconciliation: in-process exchange ran %.2fx the modeled fabric time\n", rec.Ratio())
+	}
+	if cfg.Adapt != nil {
+		d := cfg.Adapt.Last()
+		fmt.Printf("adapt: bypassed %d iterations, %d flips; last k_min %.2f at Tcomm %.1f MB/s (ratio %.2f)\n",
+			res.BypassedIterations, cfg.Adapt.Flips(), d.KMin, d.Tcomm/1e6, d.Ratio)
+	}
+	if res.Telemetry != nil {
+		fmt.Println("live stage throughput (MB/s):")
+		for _, s := range []string{"tm", "tf", "tp", "ts", "comm"} {
+			if v := res.Telemetry[`fftgrad_stage_throughput_bytes_per_second{stage="`+s+`"}`]; v > 0 {
+				fmt.Printf("  %-4s %10.1f\n", s, v/1e6)
+			}
+		}
+	}
 	if *alpha && len(res.Alpha) > 0 {
 		e := stats.NewECDF(res.Alpha)
 		fmt.Printf("alpha (Assumption 3.2): median %.3f, p95 %.3f, max %.3f\n",

@@ -6,11 +6,14 @@ package main
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"fftgrad/internal/compress"
 	"fftgrad/internal/models"
 	"fftgrad/internal/netsim"
 	"fftgrad/internal/perfmodel"
 	"fftgrad/internal/stats"
+	"fftgrad/internal/telemetry"
 )
 
 func main() {
@@ -62,4 +65,57 @@ func main() {
 		m>>20, with*1e3, without*1e3, without/with)
 	fmt.Println("\nrule of thumb: fast network ⇒ you need the FULL pipeline (sparsify + " +
 		"quantize) to clear the bar; slow network ⇒ even mild Top-k helps")
+
+	selfCalibrate(t)
+}
+
+// selfCalibrate replaces the reference rates with live ones: it runs
+// instrumented FFT round trips on this machine so a telemetry.StageTimer
+// measures the Sec. 3.3 terms for real, prints them next to the GPU
+// reference, and re-answers Step 1 with the measured pipeline.
+func selfCalibrate(ref perfmodel.Throughputs) {
+	fmt.Println("\nStep 4 — self-calibration: measure THIS machine's pipeline live")
+	st := telemetry.NewStageTimer()
+	c := compress.NewFFT(0.85)
+	compress.Instrument(c, st)
+
+	grad := make([]float32, 1<<18) // 1 MB of gradients
+	for i := range grad {
+		grad[i] = float32(math.Sin(float64(i) * 0.37))
+	}
+	rec := make([]float32, len(grad))
+	var msg []byte
+	var err error
+	for i := 0; i < 8; i++ {
+		if msg, err = c.AppendCompress(msg[:0], grad); err != nil {
+			panic(err)
+		}
+		if err = c.DecompressInto(rec, msg); err != nil {
+			panic(err)
+		}
+	}
+
+	measured := perfmodel.Throughputs{
+		Tm: st.MeanRate(telemetry.StageConvert),
+		Tf: st.MeanRate(telemetry.StageTransform),
+		Tp: st.MeanRate(telemetry.StagePack),
+		Ts: st.MeanRate(telemetry.StageSelect),
+	}
+	tab := &stats.Table{Headers: []string{"term", "measured (GB/s)", "GPU reference (GB/s)"}}
+	tab.AddRow("Tm convert", measured.Tm/1e9, ref.Tm/1e9)
+	tab.AddRow("Tf transform", measured.Tf/1e9, ref.Tf/1e9)
+	tab.AddRow("Tp pack", measured.Tp/1e9, ref.Tp/1e9)
+	tab.AddRow("Ts select", measured.Ts/1e9, ref.Ts/1e9)
+	fmt.Print(tab.String())
+
+	k, err := perfmodel.MinBeneficialRatio(netsim.Ethernet1G.Bandwidth, measured)
+	switch {
+	case errors.Is(err, perfmodel.ErrNoBeneficialRatio):
+		fmt.Println("with the measured rates, compression cannot win even on 1 GbE")
+	case err != nil:
+		panic(err)
+	default:
+		fmt.Printf("with the measured rates, compress on 1 GbE when the ratio exceeds %.2f\n", k)
+	}
+	fmt.Println("(dist.Config.Adapt makes this decision online, every iteration)")
 }

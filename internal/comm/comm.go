@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"fftgrad/internal/scratch"
+	"fftgrad/internal/telemetry"
 )
 
 // Cluster coordinates p ranks running in one process.
@@ -24,6 +25,21 @@ type Cluster struct {
 	slots      [][]byte // allgather / broadcast staging, one slot per rank
 	ring       []chan *[]float32
 	sparseRing []chan sparseSeg
+	tx, rx     *telemetry.Counter // logical bytes-on-wire (nil = off)
+}
+
+// Instrument registers bytes-on-wire counters on reg and starts
+// accounting every collective against them. The in-process transport
+// moves no real bytes — what is counted is the *logical* wire traffic
+// of the equivalent ring schedules (the volumes netsim prices), so an
+// instrumented in-process run and a TCP run of the same job report
+// comparable totals. Call before the first collective; counter updates
+// are atomic and allocation-free.
+func (c *Cluster) Instrument(reg *telemetry.Registry) {
+	c.tx = reg.Counter(`fftgrad_comm_tx_bytes_total{transport="inproc"}`,
+		"Logical bytes sent by collectives on the in-process transport.")
+	c.rx = reg.Counter(`fftgrad_comm_rx_bytes_total{transport="inproc"}`,
+		"Logical bytes received by collectives on the in-process transport.")
 }
 
 // NewCluster creates a cluster of p ranks.
@@ -82,6 +98,16 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 	cl.barrier.await() // all contributions visible
 	out := make([][]byte, cl.p)
 	copy(out, cl.slots)
+	if cl.tx != nil {
+		// Ring allgather volume: each rank forwards its m bytes p−1 times
+		// and receives every peer's contribution once.
+		cl.tx.Add(c.rank, (cl.p-1)*len(data))
+		for j, m := range out {
+			if j != c.rank {
+				cl.rx.Add(c.rank, len(m))
+			}
+		}
+	}
 	cl.barrier.await() // all reads done before slots are reused
 	return out
 }
@@ -96,6 +122,13 @@ func (c *Comm) Broadcast(data []byte, root int) []byte {
 	}
 	cl.barrier.await()
 	out := cl.slots[root]
+	if cl.tx != nil {
+		if c.rank == root {
+			cl.tx.Add(c.rank, (cl.p-1)*len(data))
+		} else {
+			cl.rx.Add(c.rank, len(out))
+		}
+	}
 	cl.barrier.await()
 	return out
 }
@@ -134,8 +167,10 @@ func (c *Comm) Allreduce(x []float32) {
 		chunk := x[bounds[sendIdx]:bounds[sendIdx+1]]
 		bufb := scratch.Float32s(len(chunk))
 		copy(*bufb, chunk)
+		cl.tx.Add(c.rank, 4*len(chunk))
 		next <- bufb
 		recvb := <-prev
+		cl.rx.Add(c.rank, 4*len(*recvb))
 		recvIdx := (c.rank - s - 1 + p) % p
 		dst := x[bounds[recvIdx]:bounds[recvIdx+1]]
 		for i, v := range *recvb {
@@ -150,8 +185,10 @@ func (c *Comm) Allreduce(x []float32) {
 		chunk := x[bounds[sendIdx]:bounds[sendIdx+1]]
 		bufb := scratch.Float32s(len(chunk))
 		copy(*bufb, chunk)
+		cl.tx.Add(c.rank, 4*len(chunk))
 		next <- bufb
 		recvb := <-prev
+		cl.rx.Add(c.rank, 4*len(*recvb))
 		recvIdx := (c.rank - s + p) % p
 		copy(x[bounds[recvIdx]:bounds[recvIdx+1]], *recvb)
 		scratch.PutFloat32s(recvb)

@@ -117,8 +117,10 @@ func (c *Comm) SparseAllreduce(s *pack.Sparse) (*pack.Sparse, int) {
 		sendIdx := (c.rank - step + p) % p
 		seg := extract(sendIdx)
 		moved += seg.wireBytes()
+		cl.tx.Add(c.rank, seg.wireBytes())
 		next <- seg
 		recv := <-prev
+		cl.rx.Add(c.rank, recv.wireBytes())
 		recvIdx := (c.rank - step - 1 + p) % p
 		mergeAdd(recvIdx, recv)
 	}
@@ -127,8 +129,10 @@ func (c *Comm) SparseAllreduce(s *pack.Sparse) (*pack.Sparse, int) {
 		sendIdx := (c.rank + 1 - step + p) % p
 		seg := extract(sendIdx)
 		moved += seg.wireBytes()
+		cl.tx.Add(c.rank, seg.wireBytes())
 		next <- seg
 		recv := <-prev
+		cl.rx.Add(c.rank, recv.wireBytes())
 		recvIdx := (c.rank - step + p) % p
 		replace(recvIdx, recv)
 	}

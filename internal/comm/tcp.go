@@ -7,6 +7,8 @@ import (
 	"math"
 	"net"
 	"sync"
+
+	"fftgrad/internal/telemetry"
 )
 
 // TCPComm is a rank endpoint whose collectives run over real TCP
@@ -14,10 +16,21 @@ import (
 // deployment across machines would use. The in-process Cluster and
 // TCPComm expose the same collective semantics; tests assert they agree.
 type TCPComm struct {
-	rank  int
-	p     int
-	conns []net.Conn // conns[j] = link to rank j (nil for j == rank)
-	ln    net.Listener
+	rank   int
+	p      int
+	conns  []net.Conn // conns[j] = link to rank j (nil for j == rank)
+	ln     net.Listener
+	tx, rx *telemetry.Counter // actual frame bytes on the wire (nil = off)
+}
+
+// Instrument registers bytes-on-wire counters on reg and starts
+// accounting every frame (4-byte length prefix + payload) this endpoint
+// sends or receives. Call before the first collective.
+func (c *TCPComm) Instrument(reg *telemetry.Registry) {
+	c.tx = reg.Counter(`fftgrad_comm_tx_bytes_total{transport="tcp"}`,
+		"Bytes sent on the TCP mesh transport, including frame headers.")
+	c.rx = reg.Counter(`fftgrad_comm_rx_bytes_total{transport="tcp"}`,
+		"Bytes received on the TCP mesh transport, including frame headers.")
 }
 
 // frame I/O: u32 little-endian length prefix + payload.
@@ -180,7 +193,9 @@ func (c *TCPComm) Allgather(data []byte) ([][]byte, error) {
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
-			sendErrs[j] = writeFrame(c.conns[j], data)
+			if sendErrs[j] = writeFrame(c.conns[j], data); sendErrs[j] == nil {
+				c.tx.Add(c.rank, 4+len(data))
+			}
 		}(j)
 	}
 	var firstErr error
@@ -192,6 +207,7 @@ func (c *TCPComm) Allgather(data []byte) ([][]byte, error) {
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("comm: recv from rank %d: %w", j, err)
 		}
+		c.rx.Add(c.rank, 4+len(payload))
 		out[j] = payload
 	}
 	wg.Wait()
@@ -215,7 +231,9 @@ func (c *TCPComm) Broadcast(data []byte, root int) ([]byte, error) {
 			wg.Add(1)
 			go func(j int) {
 				defer wg.Done()
-				errs[j] = writeFrame(c.conns[j], data)
+				if errs[j] = writeFrame(c.conns[j], data); errs[j] == nil {
+					c.tx.Add(c.rank, 4+len(data))
+				}
 			}(j)
 		}
 		wg.Wait()
@@ -226,7 +244,11 @@ func (c *TCPComm) Broadcast(data []byte, root int) ([]byte, error) {
 		}
 		return data, nil
 	}
-	return readFrame(c.conns[root])
+	payload, err := readFrame(c.conns[root])
+	if err == nil {
+		c.rx.Add(c.rank, 4+len(payload))
+	}
+	return payload, err
 }
 
 // Barrier blocks until every rank has entered it (implemented as an
@@ -257,13 +279,18 @@ func (c *TCPComm) Allreduce(x []float32) error {
 		for i := lo; i < hi; i++ {
 			binary.LittleEndian.PutUint32(buf[(i-lo)*4:], math.Float32bits(x[i]))
 		}
-		return writeFrame(nextConn, buf)
+		if err := writeFrame(nextConn, buf); err != nil {
+			return err
+		}
+		c.tx.Add(c.rank, 4+len(buf))
+		return nil
 	}
 	recvChunk := func() ([]float32, error) {
 		buf, err := readFrame(prevConn)
 		if err != nil {
 			return nil, err
 		}
+		c.rx.Add(c.rank, 4+len(buf))
 		vals := make([]float32, len(buf)/4)
 		for i := range vals {
 			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))

@@ -5,6 +5,8 @@ import (
 	"math"
 	"runtime/debug"
 	"testing"
+
+	"fftgrad/internal/telemetry"
 )
 
 // allocGrad builds a deterministic pseudo-gradient with mixed scales.
@@ -55,19 +57,27 @@ func roundTripAllocs(t *testing.T, c Compressor) float64 {
 
 // TestZeroAllocRoundTrip is the PR's acceptance gate: the steady-state
 // AppendCompress + DecompressInto round trip must report 0 allocs/op for
-// the paper's compressor and the Top-k baseline. AllocsPerRun pins
-// GOMAXPROCS to 1, so the parallel fan-out paths (which do allocate, per
-// goroutine spawned) are measured in their serial form — the property
-// asserted here is that nothing on the data path allocates.
+// the paper's compressor and the Top-k baseline — with live telemetry
+// attached, since production runs instrument every compressor and the
+// stage timers must not break the invariant (ObserveSince is pure
+// atomics + time.Now). AllocsPerRun pins GOMAXPROCS to 1, so the
+// parallel fan-out paths (which do allocate, per goroutine spawned) are
+// measured in their serial form — the property asserted here is that
+// nothing on the data path allocates.
 func TestZeroAllocRoundTrip(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are inflated under -race")
 	}
+	st := telemetry.NewStageTimer()
 	for _, c := range []Compressor{NewFFT(0.85), NewDCT(0.85), NewTopK(0.85), FP32{}} {
 		c := c
 		t.Run(c.Name(), func(t *testing.T) {
+			Instrument(c, st)
 			if n := roundTripAllocs(t, c); n != 0 {
 				t.Errorf("%s: steady-state round trip allocates %.2f allocs/op, want 0", c.Name(), n)
+			}
+			if _, ok := c.(Instrumentable); ok && st.Samples(telemetry.StageSelect) == 0 {
+				t.Errorf("%s: instrumented round trips recorded no StageSelect samples", c.Name())
 			}
 		})
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"fftgrad/internal/parallel"
+	"fftgrad/internal/telemetry"
 )
 
 // Chunked splits the gradient into fixed-size buckets and runs an
@@ -31,8 +32,21 @@ type Chunked struct {
 
 	mu     sync.Mutex
 	inners []Compressor // one per bucket, created on first use
+	st     *telemetry.StageTimer
 
 	scratch sync.Pool // *chunkedScratch, reused across calls
+}
+
+// Instrument implements Instrumentable: the timer is forwarded to every
+// existing inner compressor and to each one created later, so all
+// buckets report into one shared StageTimer (its updates are atomic).
+func (c *Chunked) Instrument(st *telemetry.StageTimer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.st = st
+	for _, in := range c.inners {
+		Instrument(in, st)
+	}
 }
 
 // chunkedScratch holds the per-call bucket slices. Pooling it (rather than
@@ -104,7 +118,11 @@ func (c *Chunked) pool(buckets int) []Compressor {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for len(c.inners) < buckets {
-		c.inners = append(c.inners, c.newInner())
+		in := c.newInner()
+		if c.st != nil {
+			Instrument(in, c.st)
+		}
+		c.inners = append(c.inners, in)
 	}
 	return c.inners[:buckets]
 }

@@ -20,6 +20,8 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
+
+	"fftgrad/internal/telemetry"
 )
 
 // Compressor encodes gradients for transmission and decodes them back.
@@ -65,6 +67,25 @@ type Appender interface {
 // read-only and may alias network buffers; dst is fully overwritten.
 type IntoDecompressor interface {
 	DecompressInto(dst []float32, msg []byte) error
+}
+
+// Instrumentable is implemented by compressors that can report per-stage
+// wall time (the live Sec. 3.3 cost terms Tm/Tf/Tp/Ts) to a telemetry
+// StageTimer. Instrument must be called before the compressor is used;
+// the timer may be shared by many compressors (its updates are atomic)
+// and a nil timer disables instrumentation. Timing adds no steady-state
+// heap allocations — the 0 allocs/op round-trip gate holds with a timer
+// attached (asserted by TestZeroAllocRoundTrip).
+type Instrumentable interface {
+	Instrument(st *telemetry.StageTimer)
+}
+
+// Instrument attaches st to c when the compressor supports per-stage
+// timing, and is a no-op otherwise.
+func Instrument(c Compressor, st *telemetry.StageTimer) {
+	if i, ok := c.(Instrumentable); ok {
+		i.Instrument(st)
+	}
 }
 
 // AppendCompress compresses grad through c, appending to dst. It uses the

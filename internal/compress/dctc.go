@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"fftgrad/internal/cfft"
 	"fftgrad/internal/f16"
@@ -11,6 +12,7 @@ import (
 	"fftgrad/internal/quant"
 	"fftgrad/internal/scratch"
 	"fftgrad/internal/sparsify"
+	"fftgrad/internal/telemetry"
 )
 
 // DCT is the real-transform ablation of the FFT compressor: identical
@@ -35,7 +37,12 @@ type DCT struct {
 	sp    *sparsify.DCT
 	qc    quantCache
 	specs sync.Pool // *sparsify.RealSpectrum reused across AppendCompress calls
+	st    *telemetry.StageTimer
 }
+
+// Instrument implements Instrumentable: subsequent (de)compressions
+// report per-stage wall time to st. Call before first use.
+func (c *DCT) Instrument(st *telemetry.StageTimer) { c.st = st }
 
 // NewDCT creates a DCT compressor with drop ratio theta, 10-bit range
 // quantization and fp16 pre-conversion, mirroring NewFFT's defaults.
@@ -70,22 +77,25 @@ func (c *DCT) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	workb := scratch.Float32s(n)
 	defer scratch.PutFloat32s(workb)
 	work := *workb
+	t0 := time.Now()
 	copy(work, grad)
 	if c.UseHalf {
 		f16.RoundTripSlice(work)
 	}
+	c.st.ObserveSince(telemetry.StageConvert, 4*n, t0)
 	spec, _ := c.specs.Get().(*sparsify.RealSpectrum)
 	if spec == nil {
 		spec = new(sparsify.RealSpectrum)
 	}
 	defer c.specs.Put(spec)
-	if err := c.sp.AnalyzeInto(spec, work, c.theta.Load()); err != nil {
+	if err := c.sp.AnalyzeIntoTimed(spec, work, c.theta.Load(), c.st); err != nil {
 		return nil, err
 	}
 	if spec.Kept == 0 {
 		return putHeader(dst, uint32(n), uint32(spec.N), 0, 0, 0, 0, 0, 0), nil
 	}
 
+	t0 = time.Now()
 	valsb := scratch.Float32s(spec.Kept)
 	defer scratch.PutFloat32s(valsb)
 	vals := (*valsb)[:0]
@@ -103,7 +113,9 @@ func (c *DCT) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	if absMax == 0 {
 		return putHeader(dst, uint32(n), uint32(spec.N), 0, 0, 0, 0, 0, 0), nil
 	}
+	c.st.ObserveSince(telemetry.StagePack, 4*n, t0)
 
+	t0 = time.Now()
 	q, err := c.qc.encoder(c.QuantBits, absMax, vals)
 	if err != nil {
 		return nil, err
@@ -111,7 +123,9 @@ func (c *DCT) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	codesb := scratch.Uint32s(len(vals))
 	defer scratch.PutUint32s(codesb)
 	codes := q.EncodeSlice(*codesb, vals)
+	c.st.ObserveSince(telemetry.StageConvert, 4*n, t0)
 
+	t0 = time.Now()
 	dst = putHeader(dst,
 		uint32(n), uint32(spec.N), uint32(spec.Kept),
 		uint32(q.N), uint32(q.M),
@@ -119,7 +133,9 @@ func (c *DCT) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	for _, w := range spec.Mask {
 		dst = le.AppendUint64(dst, w)
 	}
-	return quant.AppendCodes(dst, codes, q.N), nil
+	dst = quant.AppendCodes(dst, codes, q.N)
+	c.st.ObserveSince(telemetry.StagePack, 4*n, t0)
+	return dst, nil
 }
 
 // Decompress implements Compressor.
@@ -155,6 +171,7 @@ func (c *DCT) DecompressInto(dst []float32, msg []byte) error {
 		return fmt.Errorf("dct: rebuilding quantizer: %w", err)
 	}
 
+	t0 := time.Now()
 	words := pack.BitmapWords(paddedN)
 	if len(rest) < words*8 {
 		return fmt.Errorf("dct: message truncated in bitmap")
@@ -166,7 +183,9 @@ func (c *DCT) DecompressInto(dst []float32, msg []byte) error {
 		mask[i] = le.Uint64(rest[8*i:])
 	}
 	rest = rest[words*8:]
+	c.st.ObserveSince(telemetry.StagePack, 4*n, t0)
 
+	t0 = time.Now()
 	codesb := scratch.Uint32s(kept)
 	defer scratch.PutUint32s(codesb)
 	codes := *codesb
@@ -176,7 +195,9 @@ func (c *DCT) DecompressInto(dst []float32, msg []byte) error {
 	valsb := scratch.Float32s(kept)
 	defer scratch.PutFloat32s(valsb)
 	vals := q.DecodeSlice(*valsb, codes)
+	c.st.ObserveSince(telemetry.StageConvert, 4*n, t0)
 
+	t0 = time.Now()
 	binsb := scratch.Float64s(paddedN)
 	defer scratch.PutFloat64s(binsb)
 	bins := *binsb
@@ -195,5 +216,6 @@ func (c *DCT) DecompressInto(dst []float32, msg []byte) error {
 	if vi != kept {
 		return fmt.Errorf("dct: bitmap popcount %d != kept %d", vi, kept)
 	}
-	return c.sp.SynthesizeInto(dst, n, paddedN, bins)
+	c.st.ObserveSince(telemetry.StagePack, 4*n, t0)
+	return c.sp.SynthesizeIntoTimed(dst, n, paddedN, bins, c.st)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"fftgrad/internal/cfft"
 	"fftgrad/internal/f16"
@@ -11,6 +12,7 @@ import (
 	"fftgrad/internal/quant"
 	"fftgrad/internal/scratch"
 	"fftgrad/internal/sparsify"
+	"fftgrad/internal/telemetry"
 )
 
 // FFT is the paper's compression framework (Fig. 3):
@@ -41,7 +43,12 @@ type FFT struct {
 	sp    *sparsify.FFT
 	qc    quantCache
 	specs sync.Pool // *sparsify.Spectrum reused across AppendCompress calls
+	st    *telemetry.StageTimer
 }
+
+// Instrument implements Instrumentable: subsequent (de)compressions
+// report per-stage wall time to st. Call before first use.
+func (c *FFT) Instrument(st *telemetry.StageTimer) { c.st = st }
 
 // NewFFT creates the paper-default FFT compressor: drop ratio theta,
 // 10-bit range quantization, fp16 pre-conversion enabled.
@@ -80,16 +87,18 @@ func (c *FFT) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	workb := scratch.Float32s(n)
 	defer scratch.PutFloat32s(workb)
 	work := *workb
+	t0 := time.Now()
 	copy(work, grad)
 	if c.UseHalf {
 		f16.RoundTripSlice(work)
 	}
+	c.st.ObserveSince(telemetry.StageConvert, 4*n, t0)
 	spec, _ := c.specs.Get().(*sparsify.Spectrum)
 	if spec == nil {
 		spec = new(sparsify.Spectrum)
 	}
 	defer c.specs.Put(spec)
-	if err := c.sp.AnalyzeInto(spec, work, c.theta.Load()); err != nil {
+	if err := c.sp.AnalyzeIntoTimed(spec, work, c.theta.Load(), c.st); err != nil {
 		return nil, err
 	}
 	if spec.Kept == 0 {
@@ -99,6 +108,7 @@ func (c *FFT) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	}
 
 	// Gather surviving coefficients as interleaved (re, im) float32 pairs.
+	t0 = time.Now()
 	valsb := scratch.Float32s(2 * spec.Kept)
 	defer scratch.PutFloat32s(valsb)
 	vals := (*valsb)[:0]
@@ -120,7 +130,9 @@ func (c *FFT) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 		// All-zero gradient: same header-only form.
 		return putHeader(dst, uint32(n), uint32(spec.N), 0, 0, 0, 0, 0, 0), nil
 	}
+	c.st.ObserveSince(telemetry.StagePack, 4*n, t0)
 
+	t0 = time.Now()
 	q, err := c.qc.encoder(c.QuantBits, absMax, vals)
 	if err != nil {
 		return nil, err
@@ -128,7 +140,9 @@ func (c *FFT) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	codesb := scratch.Uint32s(len(vals))
 	defer scratch.PutUint32s(codesb)
 	codes := q.EncodeSlice(*codesb, vals)
+	c.st.ObserveSince(telemetry.StageConvert, 4*n, t0)
 
+	t0 = time.Now()
 	dst = putHeader(dst,
 		uint32(n), uint32(spec.N), uint32(spec.Kept),
 		uint32(q.N), uint32(q.M),
@@ -136,7 +150,9 @@ func (c *FFT) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	for _, w := range spec.Mask {
 		dst = le.AppendUint64(dst, w)
 	}
-	return quant.AppendCodes(dst, codes, q.N), nil
+	dst = quant.AppendCodes(dst, codes, q.N)
+	c.st.ObserveSince(telemetry.StagePack, 4*n, t0)
+	return dst, nil
 }
 
 // Decompress implements Compressor.
@@ -176,6 +192,7 @@ func (c *FFT) DecompressInto(dst []float32, msg []byte) error {
 		return fmt.Errorf("fft: rebuilding quantizer: %w", err)
 	}
 
+	t0 := time.Now()
 	words := pack.BitmapWords(nbins)
 	if len(rest) < words*8 {
 		return fmt.Errorf("fft: message truncated in bitmap")
@@ -187,7 +204,9 @@ func (c *FFT) DecompressInto(dst []float32, msg []byte) error {
 		mask[i] = le.Uint64(rest[8*i:])
 	}
 	rest = rest[words*8:]
+	c.st.ObserveSince(telemetry.StagePack, 4*n, t0)
 
+	t0 = time.Now()
 	codesb := scratch.Uint32s(2 * kept)
 	defer scratch.PutUint32s(codesb)
 	codes := *codesb
@@ -197,7 +216,9 @@ func (c *FFT) DecompressInto(dst []float32, msg []byte) error {
 	valsb := scratch.Float32s(2 * kept)
 	defer scratch.PutFloat32s(valsb)
 	vals := q.DecodeSlice(*valsb, codes)
+	c.st.ObserveSince(telemetry.StageConvert, 4*n, t0)
 
+	t0 = time.Now()
 	binsb := scratch.Complex128s(nbins)
 	defer scratch.PutComplex128s(binsb)
 	bins := *binsb
@@ -216,7 +237,8 @@ func (c *FFT) DecompressInto(dst []float32, msg []byte) error {
 	if vi != 2*kept {
 		return fmt.Errorf("fft: bitmap popcount %d != kept %d", vi/2, kept)
 	}
-	return c.sp.SynthesizeInto(dst, n, paddedN, bins)
+	c.st.ObserveSince(telemetry.StagePack, 4*n, t0)
+	return c.sp.SynthesizeIntoTimed(dst, n, paddedN, bins, c.st)
 }
 
 // ReconstructionError compresses and decompresses grad, returning the

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"fftgrad/internal/parallel"
 	"fftgrad/internal/quant"
 	"fftgrad/internal/scratch"
+	"fftgrad/internal/telemetry"
 )
 
 // QSGD implements the stochastic uniform quantizer of Alistarh et al.
@@ -22,7 +24,14 @@ type QSGD struct {
 	// Levels is s, the number of positive quantization levels.
 	Levels int
 	seed   atomic.Uint64
+	st     *telemetry.StageTimer
 }
+
+// Instrument implements Instrumentable: subsequent (de)compressions
+// report per-stage wall time to st. QSGD is a pure quantizer — the
+// norm + stochastic-rounding pass is Tm (precision conversion) and the
+// code bit-packing is Tp; there is no transform or selection stage.
+func (q *QSGD) Instrument(st *telemetry.StageTimer) { q.st = st }
 
 // NewQSGD creates a QSGD compressor with s positive levels (s >= 1).
 func NewQSGD(levels int) *QSGD {
@@ -71,6 +80,7 @@ func (q *QSGD) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 		return nil, fmt.Errorf("qsgd: levels must be >= 1, got %d", q.Levels)
 	}
 	n := len(grad)
+	t0 := time.Now()
 	var norm float64
 	for _, v := range grad {
 		norm += float64(v) * float64(v)
@@ -108,9 +118,13 @@ func (q *QSGD) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 			codes[i] = uint32(q.Levels) // level 0
 		}
 	}
+	q.st.ObserveSince(telemetry.StageConvert, 4*n, t0)
 
+	t0 = time.Now()
 	dst = putHeader(dst, uint32(n), uint32(q.Levels), math.Float32bits(float32(norm)))
-	return quant.AppendCodes(dst, codes, q.codeBits()), nil
+	dst = quant.AppendCodes(dst, codes, q.codeBits())
+	q.st.ObserveSince(telemetry.StagePack, 4*n, t0)
+	return dst, nil
 }
 
 // Decompress implements Compressor.
@@ -137,12 +151,15 @@ func (q *QSGD) DecompressInto(dst []float32, msg []byte) error {
 	for 1<<uint(bits) < 2*levels+1 {
 		bits++
 	}
+	t0 := time.Now()
 	codesb := scratch.Uint32s(n)
 	defer scratch.PutUint32s(codesb)
 	codes := *codesb
 	if err := quant.UnpackCodesInto(codes, rest, bits); err != nil {
 		return err
 	}
+	q.st.ObserveSince(telemetry.StagePack, 4*n, t0)
+	t0 = time.Now()
 	parallel.For3(n, dst, codes, qsgdDec{norm: norm, levels: levels},
 		func(dst []float32, codes []uint32, d qsgdDec, lo, hi int) {
 			s := float64(d.levels)
@@ -151,5 +168,6 @@ func (q *QSGD) DecompressInto(dst []float32, msg []byte) error {
 				dst[i] = float32(d.norm * float64(signed) / s)
 			}
 		})
+	q.st.ObserveSince(telemetry.StageConvert, 4*n, t0)
 	return nil
 }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"fftgrad/internal/parallel"
 	"fftgrad/internal/quant"
 	"fftgrad/internal/scratch"
+	"fftgrad/internal/telemetry"
 )
 
 // TernGrad implements the ternary quantizer of Wen et al. (NeurIPS 2017)
@@ -18,7 +20,13 @@ import (
 // Each coordinate needs 2 bits ({-1, 0, +1}), giving a 16x ratio.
 type TernGrad struct {
 	seed atomic.Uint64
+	st   *telemetry.StageTimer
 }
+
+// Instrument implements Instrumentable: subsequent (de)compressions
+// report per-stage wall time to st. Like QSGD, the scale + ternarize
+// pass is Tm and the 2-bit code packing is Tp.
+func (t *TernGrad) Instrument(st *telemetry.StageTimer) { t.st = st }
 
 // NewTernGrad creates a TernGrad compressor.
 func NewTernGrad() *TernGrad {
@@ -47,6 +55,7 @@ func (t *TernGrad) Compress(grad []float32) ([]byte, error) {
 // Wire format: u32 n | f32 scale | packed 2-bit codes (0→0, 1→+1, 2→-1).
 func (t *TernGrad) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	n := len(grad)
+	t0 := time.Now()
 	var scale float64
 	for _, v := range grad {
 		if a := math.Abs(float64(v)); a > scale {
@@ -78,8 +87,12 @@ func (t *TernGrad) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 			codes[i] = 0
 		}
 	}
+	t.st.ObserveSince(telemetry.StageConvert, 4*n, t0)
+	t0 = time.Now()
 	dst = putHeader(dst, uint32(n), math.Float32bits(float32(scale)))
-	return quant.AppendCodes(dst, codes, 2), nil
+	dst = quant.AppendCodes(dst, codes, 2)
+	t.st.ObserveSince(telemetry.StagePack, 4*n, t0)
+	return dst, nil
 }
 
 // Decompress implements Compressor.
@@ -99,12 +112,15 @@ func (t *TernGrad) DecompressInto(dst []float32, msg []byte) error {
 	if n != len(dst) {
 		return fmt.Errorf("terngrad: message for %d elements, dst has %d", n, len(dst))
 	}
+	t0 := time.Now()
 	codesb := scratch.Uint32s(n)
 	defer scratch.PutUint32s(codesb)
 	codes := *codesb
 	if err := quant.UnpackCodesInto(codes, rest, 2); err != nil {
 		return err
 	}
+	t.st.ObserveSince(telemetry.StagePack, 4*n, t0)
+	t0 = time.Now()
 	parallel.For3(n, dst, codes, scale, func(dst []float32, codes []uint32, scale float32, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			switch codes[i] {
@@ -117,5 +133,6 @@ func (t *TernGrad) DecompressInto(dst []float32, msg []byte) error {
 			}
 		}
 	})
+	t.st.ObserveSince(telemetry.StageConvert, 4*n, t0)
 	return nil
 }

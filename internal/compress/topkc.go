@@ -5,10 +5,12 @@ import (
 	"math"
 	"math/bits"
 	"sync/atomic"
+	"time"
 
 	"fftgrad/internal/pack"
 	"fftgrad/internal/scratch"
 	"fftgrad/internal/sparsify"
+	"fftgrad/internal/telemetry"
 )
 
 // TopK is the vanilla spatial top-k sparsification baseline: keep the
@@ -18,7 +20,14 @@ import (
 // element bitmap.
 type TopK struct {
 	theta atomicTheta
+	st    *telemetry.StageTimer
 }
+
+// Instrument implements Instrumentable: subsequent (de)compressions
+// report per-stage wall time to st. Call before first use. TopK has no
+// transform or precision-conversion stage, so only Ts (selection) and
+// Tp (packing) are observed.
+func (t *TopK) Instrument(st *telemetry.StageTimer) { t.st = st }
 
 // NewTopK creates a TopK compressor with drop ratio theta.
 func NewTopK(theta float64) *TopK {
@@ -52,12 +61,15 @@ func (t *TopK) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 	mask := *maskb
 	// The mask path reads magnitudes without modifying grad, so no working
 	// copy is needed; selected values are serialized straight from grad.
+	t0 := time.Now()
 	sparsify.TopKSpatialMask(mask, grad, t.theta.Load())
 	kept := 0
 	for _, w := range mask {
 		kept += bits.OnesCount64(w)
 	}
+	t.st.ObserveSince(telemetry.StageSelect, 4*n, t0)
 
+	t0 = time.Now()
 	dst = putHeader(dst, uint32(n), uint32(kept))
 	for _, w := range mask {
 		dst = le.AppendUint64(dst, w)
@@ -70,6 +82,7 @@ func (t *TopK) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 			w &= w - 1
 		}
 	}
+	t.st.ObserveSince(telemetry.StagePack, 4*n, t0)
 	return dst, nil
 }
 
@@ -97,6 +110,7 @@ func (t *TopK) DecompressInto(dst []float32, msg []byte) error {
 	if len(rest) < need {
 		return fmt.Errorf("topk: message truncated: %d bytes after header, need %d", len(rest), need)
 	}
+	t0 := time.Now()
 	bitmapb := scratch.Uint64s(words)
 	defer scratch.PutUint64s(bitmapb)
 	bitmap := *bitmapb
@@ -116,6 +130,7 @@ func (t *TopK) DecompressInto(dst []float32, msg []byte) error {
 		values[i] = math.Float32frombits(le.Uint32(rest[4*i:]))
 	}
 	pack.UnpackInto(dst, bitmap, values)
+	t.st.ObserveSince(telemetry.StagePack, 4*n, t0)
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"fftgrad/internal/adapt"
 	"fftgrad/internal/checkpoint"
 	"fftgrad/internal/comm"
 	"fftgrad/internal/compress"
@@ -30,6 +31,7 @@ import (
 	"fftgrad/internal/optim"
 	"fftgrad/internal/pack"
 	"fftgrad/internal/sparsify"
+	"fftgrad/internal/telemetry"
 )
 
 // Fabric prices collectives; netsim.Profile and netsim.Hierarchical both
@@ -82,6 +84,29 @@ type Config struct {
 	// Fabric prices communication. Nil disables the timing model.
 	Fabric Fabric
 
+	// Telemetry, when non-nil, receives live metrics for the run:
+	// bytes-on-wire counters on the in-process transport, per-stage
+	// pipeline throughput gauges (the Sec. 3.3 Tm/Tf/Tp/Ts terms), and —
+	// when Adapt is set — the controller's decision gauges. A final
+	// Snapshot lands in Result.Telemetry. All hot-path updates are
+	// atomics; exposition is cold.
+	Telemetry *telemetry.Registry
+
+	// Adapt, when non-nil, is consulted every iteration: the controller
+	// folds the live-measured stage throughputs and the effective
+	// exchange rate into the Sec. 3.3 model and may bypass compression
+	// to FP32 when no ratio is beneficial (re-enabling when the model
+	// flips back), and may suggest θ adjustments (composing with
+	// ThetaSchedule, which still runs first). Ignored when
+	// UseSparseAllreduce is set — that exchange has no per-message
+	// compressor to bypass.
+	Adapt *adapt.Controller
+
+	// stageTimer is the shared per-stage timer threaded into every
+	// worker's compressor and the exchange loop; derived from Adapt or
+	// Telemetry in Train.
+	stageTimer *telemetry.StageTimer
+
 	// MeasureAlpha additionally allgathers raw FP32 gradients each
 	// iteration (excluded from timing) to measure the Assumption 3.2
 	// constant α = ‖v̄−v̂̄‖/‖v̄‖ (Fig. 12).
@@ -112,8 +137,15 @@ type IterTrace struct {
 	ComputeS  float64 // forward+backward+update (measured)
 	CompressS float64 // compress+decompress (measured)
 	CommS     float64 // modeled collective cost (0 without a Fabric)
-	MsgBytes  int
-	Theta     float64
+	// CommMeasuredS is the measured wall time of the gradient exchange
+	// itself. On the in-process transport this is barrier/copy time —
+	// useful for modeled-vs-measured reconciliation, not a fabric stand-in.
+	CommMeasuredS float64
+	MsgBytes      int
+	Theta         float64
+	// Compressed is false when the adapt controller bypassed the
+	// compressor and the iteration shipped raw FP32.
+	Compressed bool
 }
 
 // EpochStats records per-epoch training progress.
@@ -140,6 +172,15 @@ type Result struct {
 	ComputeSeconds  float64 // measured forward+backward+update (rank 0)
 	CompressSeconds float64 // measured compress+decompress (rank 0)
 	CommSeconds     float64 // modeled via Fabric (0 if Fabric nil)
+	// CommMeasuredSeconds is the summed measured wall time of the
+	// gradient exchanges on rank 0 (see IterTrace.CommMeasuredS).
+	CommMeasuredSeconds float64
+	// BypassedIterations counts iterations the adapt controller decided
+	// to ship uncompressed.
+	BypassedIterations int
+	// Telemetry is the end-of-run snapshot of Config.Telemetry (nil when
+	// no registry was supplied).
+	Telemetry telemetry.Snapshot
 }
 
 // ModeledWallSeconds returns the end-to-end modeled wall time: measured
@@ -197,6 +238,22 @@ func Train(c Config) (*Result, error) {
 	p := cfg.Workers
 	cluster := comm.NewCluster(p)
 
+	// One stage timer is shared by every worker's compressor and the
+	// exchange loop; the adapt controller reads it, the registry (if any)
+	// exposes it.
+	if cfg.Adapt != nil {
+		cfg.stageTimer = cfg.Adapt.StageTimer()
+	} else if cfg.Telemetry != nil {
+		cfg.stageTimer = telemetry.NewStageTimer()
+	}
+	if cfg.Telemetry != nil {
+		cluster.Instrument(cfg.Telemetry)
+		cfg.stageTimer.Register(cfg.Telemetry)
+		if cfg.Adapt != nil {
+			cfg.Adapt.Register(cfg.Telemetry)
+		}
+	}
+
 	results := make([]*Result, p)
 	errs := make([]error, p)
 	var wg sync.WaitGroup
@@ -212,6 +269,9 @@ func Train(c Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Telemetry != nil {
+		results[0].Telemetry = cfg.Telemetry.Snapshot()
 	}
 	return results[0], nil
 }
@@ -232,6 +292,7 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 		}
 	}
 	comp := cfg.NewCompressor()
+	compress.Instrument(comp, cfg.stageTimer)
 
 	grad := make([]float32, n)
 	avg := make([]float32, n)
@@ -261,6 +322,11 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 	var syncFlat []float32 // parameter re-broadcast staging
 	var syncPayload []byte
 
+	// liveRatio is the compression ratio of this rank's most recent
+	// compressed message, fed to the adapt controller (which remembers it
+	// across bypassed stretches so re-enablement can be judged).
+	var liveRatio float64
+
 	for iter := 0; iter < totalIters; iter++ {
 		epoch := iter / cfg.ItersPerEpoch
 		sgd.LR = cfg.LR.LR(epoch)
@@ -289,8 +355,32 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			}
 		}
 
+		// --- adaptive compression decision ---------------------------------
+		// All ranks consult the controller before building any message; the
+		// per-iteration decision cache guarantees they agree on the wire
+		// format even though telemetry keeps moving between calls.
+		iterComp := comp
+		compressed := true
+		if cfg.Adapt != nil && !cfg.UseSparseAllreduce {
+			adTheta := theta
+			if math.IsNaN(adTheta) {
+				adTheta = 0 // no schedule: suppress θ suggestions
+			}
+			d := cfg.Adapt.DecideIter(iter, liveRatio, adTheta)
+			if !d.Compress {
+				iterComp = fp32
+				compressed = false
+			} else if d.ThetaAdjusted {
+				if ts, ok := comp.(compress.ThetaSetter); ok {
+					ts.SetTheta(d.Theta)
+					theta = d.Theta
+				}
+			}
+		}
+
 		// --- compress + exchange + average ---------------------------------
 		var compressT, decompressT time.Duration
+		var exchangeS float64
 		var msgBytes, maxBytes int
 		inv := 1 / float32(p)
 		if cfg.UseSparseAllreduce {
@@ -304,7 +394,9 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			sp := pack.PackMask(work, mask)
 			compressT = time.Since(t0)
 
+			tEx := time.Now()
 			reduced, moved := cm.SparseAllreduce(sp)
+			exchangeS = time.Since(tEx).Seconds()
 
 			t0 = time.Now()
 			reduced.Unpack(avg)
@@ -318,15 +410,20 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			maxBytes = msgBytes
 		} else {
 			t0 = time.Now()
-			msg, err := compress.AppendCompress(comp, msgBufs[iter&1][:0], grad)
+			msg, err := compress.AppendCompress(iterComp, msgBufs[iter&1][:0], grad)
 			if err != nil {
 				return nil, fmt.Errorf("dist: rank %d compress: %w", rank, err)
 			}
 			msgBufs[iter&1] = msg
 			compressT = time.Since(t0)
 			msgBytes = len(msg)
+			if compressed && msgBytes > 0 {
+				liveRatio = float64(4*n) / float64(msgBytes)
+			}
 
+			tEx := time.Now()
 			msgs := cm.Allgather(msg)
+			exchangeS = time.Since(tEx).Seconds()
 			for _, m := range msgs {
 				if len(m) > maxBytes {
 					maxBytes = len(m)
@@ -338,7 +435,7 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 				avg[i] = 0
 			}
 			for _, m := range msgs {
-				if err := compress.DecompressInto(comp, recon, m); err != nil {
+				if err := compress.DecompressInto(iterComp, recon, m); err != nil {
 					return nil, fmt.Errorf("dist: rank %d decompress: %w", rank, err)
 				}
 				for i, v := range recon {
@@ -349,6 +446,20 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 				avg[i] *= inv
 			}
 			decompressT = time.Since(t0)
+		}
+
+		// --- exchange-rate observation (the live Tcomm of Eq. 2) -----------
+		// With a Fabric, the modeled collective time prices the exchange (the
+		// in-process barrier wall time is not a fabric); without one, the
+		// measured wall time is the real thing (TCP or actual deployment).
+		if st := cfg.stageTimer; st != nil && msgBytes > 0 {
+			if cfg.Fabric != nil {
+				if isRoot {
+					st.ObserveStage(telemetry.StageComm, maxBytes, cfg.Fabric.Allgather(p, maxBytes))
+				}
+			} else {
+				st.ObserveStage(telemetry.StageComm, msgBytes, exchangeS)
+			}
 		}
 
 		// --- α measurement (off the timed path) ---------------------------
@@ -434,6 +545,10 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			totalMsgBytes += float64(msgBytes)
 			res.ComputeSeconds += computeT.Seconds() + updateT.Seconds()
 			res.CompressSeconds += compressT.Seconds() + decompressT.Seconds()
+			res.CommMeasuredSeconds += exchangeS
+			if !compressed {
+				res.BypassedIterations++
+			}
 			var commS float64
 			if cfg.Fabric != nil {
 				commS = cfg.Fabric.Allgather(p, maxBytes)
@@ -444,12 +559,14 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			}
 			if cfg.Trace {
 				res.Trace = append(res.Trace, IterTrace{
-					Iter:      iter,
-					ComputeS:  computeT.Seconds() + updateT.Seconds(),
-					CompressS: compressT.Seconds() + decompressT.Seconds(),
-					CommS:     commS,
-					MsgBytes:  msgBytes,
-					Theta:     theta,
+					Iter:          iter,
+					ComputeS:      computeT.Seconds() + updateT.Seconds(),
+					CompressS:     compressT.Seconds() + decompressT.Seconds(),
+					CommS:         commS,
+					CommMeasuredS: exchangeS,
+					MsgBytes:      msgBytes,
+					Theta:         theta,
+					Compressed:    compressed,
 				})
 			}
 		}

@@ -1,0 +1,107 @@
+package netsim
+
+import "fmt"
+
+// Reconciliation accumulates modeled-vs-measured collective times so a
+// run can quantify how well the α/β cost model matches the fabric it is
+// actually on. dist feeds it one (modeled, measured) pair per exchange;
+// the ratio then either validates the profile or, via Apply, rescales it
+// — closing the loop between the paper's analytic Fig. 11 curves and
+// live telemetry.
+type Reconciliation struct {
+	modeledSum  float64
+	measuredSum float64
+	n           int
+}
+
+// Add records one collective: the profile-predicted time and the
+// measured wall time, both in seconds. Non-positive pairs are ignored.
+func (r *Reconciliation) Add(modeled, measured float64) {
+	if r == nil || modeled <= 0 || measured <= 0 {
+		return
+	}
+	r.modeledSum += modeled
+	r.measuredSum += measured
+	r.n++
+}
+
+// Samples returns how many pairs have been recorded.
+func (r *Reconciliation) Samples() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Ratio returns measured/modeled over all recorded pairs: >1 means the
+// fabric is slower than the profile claims, <1 faster. Returns 1 when
+// nothing has been recorded.
+func (r *Reconciliation) Ratio() float64 {
+	if r == nil || r.n == 0 || r.modeledSum <= 0 {
+		return 1
+	}
+	return r.measuredSum / r.modeledSum
+}
+
+// Apply returns p rescaled so its predictions match the measurements:
+// bandwidth divided by the ratio and latency multiplied by it (a uniform
+// slowdown factor — FitAllgather separates the two terms when per-size
+// observations are available).
+func (r *Reconciliation) Apply(p Profile) Profile {
+	k := r.Ratio()
+	if k <= 0 {
+		return p
+	}
+	out := p
+	out.Name = p.Name + "-reconciled"
+	out.Bandwidth = p.Bandwidth / k
+	out.Latency = p.Latency * k
+	return out
+}
+
+// AllgatherObs is one measured ring allgather: n ranks each contributing
+// m bytes took Seconds of wall time.
+type AllgatherObs struct {
+	N       int
+	M       int
+	Seconds float64
+}
+
+// FitAllgather least-squares fits a Profile to measured allgather times
+// using the ring model t = (n−1)·L + (n−1)·m/B, which is linear in the
+// unknowns L and 1/B. Observations must span at least two distinct
+// (n, m) shapes or the system is singular. The fitted latency is clamped
+// at zero (a small negative intercept is measurement noise, not physics).
+func FitAllgather(obs []AllgatherObs) (Profile, error) {
+	var a11, a12, a22, b1, b2 float64
+	used := 0
+	for _, o := range obs {
+		if o.N <= 1 || o.M <= 0 || o.Seconds <= 0 {
+			continue
+		}
+		s := float64(o.N - 1)
+		sm := s * float64(o.M)
+		a11 += s * s
+		a12 += s * sm
+		a22 += sm * sm
+		b1 += s * o.Seconds
+		b2 += sm * o.Seconds
+		used++
+	}
+	if used < 2 {
+		return Profile{}, fmt.Errorf("netsim: need at least 2 usable observations, have %d", used)
+	}
+	det := a11*a22 - a12*a12
+	if det <= 0 || det < 1e-12*a11*a22 {
+		return Profile{}, fmt.Errorf("netsim: observations are degenerate (all the same shape?)")
+	}
+	lat := (a22*b1 - a12*b2) / det
+	invB := (a11*b2 - a12*b1) / det
+	if invB <= 0 {
+		return Profile{}, fmt.Errorf("netsim: fitted bandwidth is non-positive")
+	}
+	if lat < 0 {
+		lat = 0
+	}
+	return Profile{Name: "fitted", Bandwidth: 1 / invB, Latency: lat}, nil
+}

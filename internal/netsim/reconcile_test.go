@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReconciliationRatio(t *testing.T) {
+	var r Reconciliation
+	if r.Ratio() != 1 {
+		t.Fatalf("empty reconciliation ratio = %v, want 1", r.Ratio())
+	}
+	r.Add(0.010, 0.020)
+	r.Add(0.030, 0.060)
+	if got := r.Ratio(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("ratio = %v, want 2", got)
+	}
+	if r.Samples() != 2 {
+		t.Fatalf("samples = %d, want 2", r.Samples())
+	}
+	r.Add(-1, 5) // ignored
+	r.Add(5, 0)  // ignored
+	if r.Samples() != 2 {
+		t.Fatalf("invalid pairs were counted")
+	}
+}
+
+func TestReconciliationApply(t *testing.T) {
+	var r Reconciliation
+	r.Add(0.010, 0.020) // fabric is 2x slower than modeled
+	p := r.Apply(Ethernet10G)
+	if math.Abs(p.Bandwidth-Ethernet10G.Bandwidth/2) > 1 {
+		t.Errorf("bandwidth = %v, want halved %v", p.Bandwidth, Ethernet10G.Bandwidth/2)
+	}
+	if math.Abs(p.Latency-Ethernet10G.Latency*2) > 1e-12 {
+		t.Errorf("latency = %v, want doubled %v", p.Latency, Ethernet10G.Latency*2)
+	}
+	// The rescaled profile now predicts the measured time.
+	if got, want := p.Allgather(4, 1<<20), 2*Ethernet10G.Allgather(4, 1<<20); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("reconciled allgather = %v, want %v", got, want)
+	}
+}
+
+// TestFitAllgatherRecoversProfile: exact model-generated observations
+// across several (n, m) shapes must recover the generating profile.
+func TestFitAllgatherRecoversProfile(t *testing.T) {
+	truth := Ethernet1G
+	var obs []AllgatherObs
+	for _, n := range []int{2, 4, 8} {
+		for _, m := range []int{1 << 12, 1 << 16, 1 << 20} {
+			obs = append(obs, AllgatherObs{N: n, M: m, Seconds: truth.Allgather(n, m)})
+		}
+	}
+	got, err := FitAllgather(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Bandwidth-truth.Bandwidth)/truth.Bandwidth > 1e-6 {
+		t.Errorf("bandwidth = %v, want %v", got.Bandwidth, truth.Bandwidth)
+	}
+	if math.Abs(got.Latency-truth.Latency)/truth.Latency > 1e-6 {
+		t.Errorf("latency = %v, want %v", got.Latency, truth.Latency)
+	}
+}
+
+func TestFitAllgatherDegenerate(t *testing.T) {
+	// All observations the same shape: singular normal equations.
+	obs := []AllgatherObs{
+		{N: 4, M: 1 << 16, Seconds: 0.01},
+		{N: 4, M: 1 << 16, Seconds: 0.011},
+	}
+	if _, err := FitAllgather(obs); err == nil {
+		t.Fatal("degenerate observations should not fit")
+	}
+	if _, err := FitAllgather(nil); err == nil {
+		t.Fatal("no observations should not fit")
+	}
+}

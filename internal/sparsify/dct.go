@@ -2,10 +2,12 @@ package sparsify
 
 import (
 	"fmt"
+	"time"
 
 	"fftgrad/internal/cfft"
 	"fftgrad/internal/parallel"
 	"fftgrad/internal/scratch"
+	"fftgrad/internal/telemetry"
 	"fftgrad/internal/topk"
 )
 
@@ -46,25 +48,38 @@ func (d *DCT) Analyze(x []float32, theta float64) (*RealSpectrum, error) {
 // after a warm-up call at a given padded length it performs no heap
 // allocation. The magnitude pass is fused with top-k selection.
 func (d *DCT) AnalyzeInto(spec *RealSpectrum, x []float32, theta float64) error {
+	return d.AnalyzeIntoTimed(spec, x, theta, nil)
+}
+
+// AnalyzeIntoTimed is AnalyzeInto with per-stage timing reported to st
+// (widening → StageConvert, DCT → StageTransform, magnitude/top-k/zero →
+// StageSelect); see sparsify.FFT.AnalyzeIntoTimed. nil st disables it.
+func (d *DCT) AnalyzeIntoTimed(spec *RealSpectrum, x []float32, theta float64, st *telemetry.StageTimer) error {
 	l := len(x)
 	if l < 2 {
 		return fmt.Errorf("sparsify: gradient too short (%d)", l)
 	}
+	gradBytes := 4 * l
 	n := cfft.PaddedLen(l)
 	plan := cfft.DCTPlanFor(n)
 
 	sigb := scratch.Float64s(n)
 	defer scratch.PutFloat64s(sigb)
 	sig := *sigb
+	t0 := time.Now()
 	parallel.For2(l, sig, x, widenF32)
 	for i := l; i < n; i++ {
 		sig[i] = 0
 	}
+	st.ObserveSince(telemetry.StageConvert, gradBytes, t0)
 	spec.L, spec.N = l, n
 	spec.Bins = growF64(spec.Bins, n)
 	spec.Mask = growU64(spec.Mask, (n+63)/64)
+	t0 = time.Now()
 	plan.Forward(spec.Bins, sig)
+	st.ObserveSince(telemetry.StageTransform, gradBytes, t0)
 
+	t0 = time.Now()
 	k := KeepCount(n, theta)
 	magsb := scratch.Float64s(n)
 	defer scratch.PutFloat64s(magsb)
@@ -86,6 +101,7 @@ func (d *DCT) AnalyzeInto(spec *RealSpectrum, x []float32, theta float64) error 
 		}
 	}
 	spec.Kept = k
+	st.ObserveSince(telemetry.StageSelect, gradBytes, t0)
 	return nil
 }
 
@@ -99,6 +115,13 @@ func (d *DCT) Synthesize(dst []float32, spec *RealSpectrum) error {
 // (original length l, padded length n, full DCT coefficients with dropped
 // bins zeroed). dst must have length l; temporaries are pooled.
 func (d *DCT) SynthesizeInto(dst []float32, l, n int, bins []float64) error {
+	return d.SynthesizeIntoTimed(dst, l, n, bins, nil)
+}
+
+// SynthesizeIntoTimed is SynthesizeInto reporting the inverse DCT as
+// StageTransform and the f64→f32 narrowing as StageConvert on st (nil
+// disables timing).
+func (d *DCT) SynthesizeIntoTimed(dst []float32, l, n int, bins []float64, st *telemetry.StageTimer) error {
 	if len(dst) != l {
 		return fmt.Errorf("sparsify: dst length %d != gradient length %d", len(dst), l)
 	}
@@ -112,8 +135,12 @@ func (d *DCT) SynthesizeInto(dst []float32, l, n int, bins []float64) error {
 	sigb := scratch.Float64s(n)
 	defer scratch.PutFloat64s(sigb)
 	sig := *sigb
+	t0 := time.Now()
 	plan.Inverse(sig, bins)
+	st.ObserveSince(telemetry.StageTransform, 4*l, t0)
+	t0 = time.Now()
 	parallel.For2(l, dst, sig, narrowF64)
+	st.ObserveSince(telemetry.StageConvert, 4*l, t0)
 	return nil
 }
 

@@ -11,10 +11,12 @@ package sparsify
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"fftgrad/internal/cfft"
 	"fftgrad/internal/parallel"
 	"fftgrad/internal/scratch"
+	"fftgrad/internal/telemetry"
 	"fftgrad/internal/topk"
 )
 
@@ -117,26 +119,43 @@ func (f *FFT) Analyze(x []float32, theta float64) (*Spectrum, error) {
 // magnitudes are computed once into a pooled buffer and the selector uses
 // them directly instead of recomputing |z| per bin.
 func (f *FFT) AnalyzeInto(spec *Spectrum, x []float32, theta float64) error {
+	return f.AnalyzeIntoTimed(spec, x, theta, nil)
+}
+
+// AnalyzeIntoTimed is AnalyzeInto reporting the per-stage wall time of
+// the analysis to st: the f32→f64 widening as StageConvert (Tm), the
+// forward transform as StageTransform (Tf) and the fused magnitude +
+// top-k + zeroing pass as StageSelect (Ts), all normalized to the input
+// gradient's byte size — exactly the terms the Sec. 3.3 model prices.
+// A nil st disables timing; the observations themselves are atomic, so
+// the steady state stays allocation-free either way.
+func (f *FFT) AnalyzeIntoTimed(spec *Spectrum, x []float32, theta float64, st *telemetry.StageTimer) error {
 	l := len(x)
 	if l < 2 {
 		return fmt.Errorf("sparsify: gradient too short (%d)", l)
 	}
+	gradBytes := 4 * l
 	n := cfft.PaddedLen(l)
 	plan := cfft.RealPlanFor(n)
 
 	sigb := scratch.Float64s(n)
 	defer scratch.PutFloat64s(sigb)
 	sig := *sigb
+	t0 := time.Now()
 	parallel.For2(l, sig, x, widenF32)
 	for i := l; i < n; i++ {
 		sig[i] = 0
 	}
+	st.ObserveSince(telemetry.StageConvert, gradBytes, t0)
 	nb := plan.SpectrumLen()
 	spec.L, spec.N = l, n
 	spec.Bins = growC128(spec.Bins, nb)
 	spec.Mask = growU64(spec.Mask, (nb+63)/64)
+	t0 = time.Now()
 	plan.Forward(spec.Bins, sig)
+	st.ObserveSince(telemetry.StageTransform, gradBytes, t0)
 
+	t0 = time.Now()
 	k := KeepCount(nb, theta)
 	magsb := scratch.Float64s(nb)
 	defer scratch.PutFloat64s(magsb)
@@ -155,6 +174,7 @@ func (f *FFT) AnalyzeInto(spec *Spectrum, x []float32, theta float64) error {
 		}
 	}
 	spec.Kept = k
+	st.ObserveSince(telemetry.StageSelect, gradBytes, t0)
 	return nil
 }
 
@@ -169,6 +189,13 @@ func (f *FFT) Synthesize(dst []float32, spec *Spectrum) error {
 // bins zeroed). dst must have length l. All temporaries are pooled, so
 // synthesis performs no steady-state heap allocation.
 func (f *FFT) SynthesizeInto(dst []float32, l, n int, bins []complex128) error {
+	return f.SynthesizeIntoTimed(dst, l, n, bins, nil)
+}
+
+// SynthesizeIntoTimed is SynthesizeInto reporting the inverse transform
+// as StageTransform and the f64→f32 narrowing as StageConvert on st (nil
+// disables timing).
+func (f *FFT) SynthesizeIntoTimed(dst []float32, l, n int, bins []complex128, st *telemetry.StageTimer) error {
 	if len(dst) != l {
 		return fmt.Errorf("sparsify: dst length %d != gradient length %d", len(dst), l)
 	}
@@ -182,8 +209,12 @@ func (f *FFT) SynthesizeInto(dst []float32, l, n int, bins []complex128) error {
 	sigb := scratch.Float64s(n)
 	defer scratch.PutFloat64s(sigb)
 	sig := *sigb
+	t0 := time.Now()
 	plan.Inverse(sig, bins)
+	st.ObserveSince(telemetry.StageTransform, 4*l, t0)
+	t0 = time.Now()
 	parallel.For2(l, dst, sig, narrowF64)
+	st.ObserveSince(telemetry.StageConvert, 4*l, t0)
 	return nil
 }
 

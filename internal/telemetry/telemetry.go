@@ -1,0 +1,288 @@
+// Package telemetry is the live measurement layer of the system: a
+// lock-free metrics registry (counters, gauges, fixed-bucket histograms)
+// plus the StageTimer that measures the Sec. 3.3 cost terms (Tm, Tf, Tp,
+// Ts and the communication rate) inside the running compression pipeline
+// and collectives.
+//
+// The paper's performance model (perfmodel, Eq. 1-4) is only as good as
+// the throughputs fed into it; Table 1 of the paper was measured offline.
+// This package measures the same terms online so the adapt controller can
+// re-evaluate "does compression pay off here?" every iteration against
+// the fabric the job is actually running on.
+//
+// Design constraints:
+//
+//   - Allocation-free hot path. Registration (which allocates) happens at
+//     setup; Add/Set/Observe afterwards are pure atomics, so the
+//     compress-pipeline 0 allocs/op gate holds with telemetry enabled.
+//   - Lock-free updates. Counters are sharded by rank (padded to cache
+//     lines) so p workers incrementing the same counter do not contend;
+//     gauges and histogram buckets are single atomics.
+//   - Exposition is cold-path: Prometheus text and JSON renderings walk
+//     the registry under its registration lock and may allocate freely.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is the counter shard count; rank r updates shard r&(numShards-1).
+// A power of two so the index is a mask, sized for typical worker counts.
+const numShards = 16
+
+// shard is one cache-line-padded counter cell.
+type shard struct {
+	v atomic.Uint64
+	_ [56]byte // pad to 64 bytes against false sharing
+}
+
+// Counter is a monotonically increasing sharded counter. The zero value is
+// not usable; obtain one from Registry.Counter.
+type Counter struct {
+	name, help string
+	shards     [numShards]shard
+}
+
+// Add increments the counter by n on the caller's rank shard. Negative n
+// is ignored (counters are monotone).
+func (c *Counter) Add(rank, n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.shards[rank&(numShards-1)].v.Add(uint64(n))
+}
+
+// Inc increments the counter by one on the caller's rank shard.
+func (c *Counter) Inc(rank int) { c.Add(rank, 1) }
+
+// Total returns the sum over all shards.
+func (c *Counter) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	var t uint64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is an instantaneous float64 value. The zero value is not usable;
+// obtain one from Registry.Gauge.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// gaugeFunc is a read-on-exposition gauge backed by a callback.
+type gaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// Histogram is a fixed-bucket histogram. Bucket bounds are set at
+// registration and never change; Observe is a bounds scan plus three
+// atomic updates — no locks, no allocation.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // strictly increasing upper bounds; +Inf implied
+	buckets    []atomic.Uint64
+	count      atomic.Uint64
+	sumBits    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	idx := len(h.bounds) // overflow bucket
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	addFloatAtomic(&h.sumBits, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// addFloatAtomic CAS-adds v to the float64 stored in bits.
+func addFloatAtomic(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Registry owns a namespace of metrics. Registration takes a lock and
+// allocates; it is get-or-create, so independent subsystems can ask for
+// the same metric name and share the instance. The zero value is not
+// usable; use NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]interface{}
+	order  []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]interface{})}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. name may carry a Prometheus label suffix, e.g.
+// `comm_tx_bytes_total{transport="tcp"}`. Panics if name is already
+// registered as a different metric type (a programming error).
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %q already registered as %T", name, m))
+		}
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %q already registered as %T", name, m))
+		}
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time — zero hot-path cost for values that are already maintained
+// elsewhere (EWMAs, controller state). Re-registering the same name
+// replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		g, ok := m.(*gaugeFunc)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %q already registered as %T", name, m))
+		}
+		g.fn = fn
+		return
+	}
+	r.register(name, &gaugeFunc{name: name, help: help, fn: fn})
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given strictly-increasing upper bucket bounds if needed (an +Inf
+// overflow bucket is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %q already registered as %T", name, m))
+		}
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not increasing at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		name:    name,
+		help:    help,
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.register(name, h)
+	return h
+}
+
+// register stores m under name; callers hold r.mu.
+func (r *Registry) register(name string, m interface{}) {
+	r.byName[name] = m
+	r.order = append(r.order, name)
+	sort.Strings(r.order)
+}
+
+// Snapshot is a point-in-time flattening of every metric to float64s —
+// the end-of-run record dist.Result carries. Histograms contribute
+// `<name>_count` and `<name>_sum` entries.
+type Snapshot map[string]float64
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := make(Snapshot, len(r.order))
+	for _, name := range r.order {
+		switch m := r.byName[name].(type) {
+		case *Counter:
+			s[name] = float64(m.Total())
+		case *Gauge:
+			s[name] = m.Value()
+		case *gaugeFunc:
+			s[name] = m.fn()
+		case *Histogram:
+			s[name+"_count"] = float64(m.Count())
+			s[name+"_sum"] = m.Sum()
+		}
+	}
+	return s
+}
