@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json experiments examples fmt check
+.PHONY: all build vet test race bench bench-json experiments examples fmt check chaos
 
 all: build vet test
 
@@ -11,7 +11,7 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/ ./internal/telemetry/ ./internal/adapt/
+	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/ ./internal/telemetry/ ./internal/adapt/ ./internal/cluster/ ./internal/chaos/
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/comm/ ./internal/dist/ ./internal/ps/
+	$(GO) test -race ./internal/comm/ ./internal/dist/ ./internal/ps/ ./internal/cluster/ ./internal/chaos/
+
+# Chaos gate: the failure-policy suite plus a short fault-injected
+# training run (5% drop, delays, one crash+rejoin) that must converge.
+chaos:
+	$(GO) test -run 'Chaos|Fault|Partition|Rejoin|Straggler|Suspect' -v ./internal/cluster/ ./internal/chaos/ ./internal/dist/
+	$(GO) run ./cmd/trainer -model mlp -epochs 2 -workers 4 -fault-aware \
+		-chaos-drop 0.05 -chaos-delay 10ms -chaos-crash 2 -chaos-crash-at 1200 -chaos-crash-for 1000
 
 # One pass over every benchmark (each experiment bench runs its full
 # quick workload once).

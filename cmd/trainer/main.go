@@ -13,8 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fftgrad/internal/adapt"
+	"fftgrad/internal/chaos"
+	"fftgrad/internal/cluster"
 	"fftgrad/internal/compress"
 	"fftgrad/internal/data"
 	"fftgrad/internal/dist"
@@ -45,6 +48,22 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve live Prometheus/JSON metrics on this address (e.g. :9090)")
 	adaptive := flag.Bool("adapt", false, "let the online perf-model controller bypass compression when it cannot win on the fabric")
 	adaptTheta := flag.Bool("adapt-theta", false, "with -adapt, also let the controller steer theta toward the beneficial ratio")
+
+	// Failure-aware runtime (internal/cluster) + chaos injection.
+	faultAware := flag.Bool("fault-aware", false, "exchange through the failure-aware cluster runtime (heartbeats, retry, degradation, rejoin)")
+	heartbeat := flag.Duration("heartbeat", 2*time.Millisecond, "with -fault-aware, heartbeat period")
+	suspectAfter := flag.Duration("suspect-after", 0, "with -fault-aware, silence before a peer is suspected dead (0: 50x heartbeat)")
+	maxRetries := flag.Int("max-retries", 5, "with -fault-aware, nack/resend rounds per exchange before classifying the absentee")
+	onFailure := flag.String("on-failure", "rescale", "with -fault-aware, dead-rank policy: failfast | rescale | stale")
+	onStraggler := flag.String("on-straggler", "wait", "with -fault-aware, straggler policy: wait | drop | stale")
+	chaosDrop := flag.Float64("chaos-drop", 0, "chaos: per-message drop probability (enables fault injection)")
+	chaosDelay := flag.Duration("chaos-delay", 0, "chaos: max injected message delay")
+	chaosDelayProb := flag.Float64("chaos-delay-prob", 0.1, "chaos: probability a message is delayed (with -chaos-delay)")
+	chaosDup := flag.Float64("chaos-dup", 0, "chaos: per-message duplication probability")
+	chaosCrash := flag.Int("chaos-crash", -1, "chaos: rank to crash mid-run (-1: none)")
+	chaosCrashAt := flag.Uint64("chaos-crash-at", 1000, "chaos: crash at this transport-op index")
+	chaosCrashFor := flag.Uint64("chaos-crash-for", 1000, "chaos: recover after this many ops (0: never)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault-schedule seed")
 	flag.Parse()
 
 	newCompressor, err := buildCompressor(*method, *theta)
@@ -94,6 +113,41 @@ func main() {
 	if *adaptive {
 		cfg.Adapt = adapt.New(adapt.Config{AdjustTheta: *adaptTheta}, nil)
 	}
+	chaosWanted := *chaosDrop > 0 || *chaosDelay > 0 || *chaosDup > 0 || *chaosCrash >= 0
+	if *faultAware || chaosWanted {
+		policy, err := cluster.ParsePolicy(*onFailure)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		stragglerPolicy, err := cluster.ParseStragglerPolicy(*onStraggler)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Fault = &dist.FaultConfig{Cluster: cluster.Config{
+			Heartbeat:    *heartbeat,
+			SuspectAfter: *suspectAfter,
+			MaxRetries:   *maxRetries,
+			Policy:       policy,
+			OnStraggler:  stragglerPolicy,
+			Seed:         *seed,
+		}}
+		if chaosWanted {
+			cc := &chaos.Config{
+				Seed:      *chaosSeed,
+				Drop:      *chaosDrop,
+				DelayProb: *chaosDelayProb,
+				Delay:     *chaosDelay,
+				Dup:       *chaosDup,
+			}
+			if *chaosCrash >= 0 {
+				cc.Crashes = []chaos.CrashEvent{{Rank: *chaosCrash, AtOp: *chaosCrashAt, RecoverAfterOps: *chaosCrashFor}}
+			}
+			cfg.Fault.Chaos = cc
+			fmt.Printf("chaos schedule: %s\n", cc)
+		}
+	}
 	if *metricsAddr != "" {
 		bound, shutdown, err := telemetry.Serve(*metricsAddr, cfg.Telemetry)
 		if err != nil {
@@ -136,6 +190,18 @@ func main() {
 			if v := res.Telemetry[`fftgrad_stage_throughput_bytes_per_second{stage="`+s+`"}`]; v > 0 {
 				fmt.Printf("  %-4s %10.1f\n", s, v/1e6)
 			}
+		}
+	}
+	if res.Fault != nil {
+		s := res.Fault.Cluster
+		fmt.Printf("fault runtime: %d retries, %d suspicions, %d degraded iters, %d stale reuses, %d rejoins, %d skipped syncs, %d/%d ranks alive at end\n",
+			s.Retries, s.Suspicions, s.DegradedIterations, s.StaleReuses, s.Rejoins, s.SkippedSyncs, s.FinalAlive, *workers)
+		if res.Fault.LostWorkers > 0 {
+			fmt.Printf("fault runtime: %d worker(s) permanently lost; run completed degraded\n", res.Fault.LostWorkers)
+		}
+		if c := res.Fault.Chaos; c != nil {
+			fmt.Printf("chaos injected: %d drops, %d delays, %d dups, %d crashed ops, %d partitioned\n",
+				c.Drops, c.Delays, c.Dups, c.CrashedOps, c.Partitioned)
 		}
 	}
 	if *alpha && len(res.Alpha) > 0 {

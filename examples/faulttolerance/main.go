@@ -1,15 +1,26 @@
-// Faulttolerance: checkpoint a distributed training run, "crash" it, and
-// resume from the snapshot — the fault-tolerance property the paper's
-// Background attributes to the PS scheme, provided here for BSP training
-// through CRC-checked state snapshots.
+// Faulttolerance: two recovery modes for BSP training — the
+// fault-tolerance property the paper's Background attributes to the PS
+// scheme, provided here for the allreduce-style exchange.
+//
+// Offline restore (phases 1-3): checkpoint the run, "crash" it, restart
+// the whole job from the CRC-checked snapshot.
+//
+// Live rejoin (phase 4): run under the failure-aware cluster runtime
+// with a deterministic chaos schedule that crashes one rank mid-epoch.
+// The survivors suspect it, degrade the allreduce over the remaining
+// ranks, and when the rank heals it rejoins the SAME run from the
+// latest in-runtime checkpoint — no restart, no lost progress.
 package main
 
 import (
 	"bytes"
 	"fmt"
 	"log"
+	"time"
 
+	"fftgrad/internal/chaos"
 	"fftgrad/internal/checkpoint"
+	"fftgrad/internal/cluster"
 	"fftgrad/internal/compress"
 	"fftgrad/internal/data"
 	"fftgrad/internal/dist"
@@ -75,5 +86,41 @@ func main() {
 		fmt.Println("\nresumed training continued improving from the snapshot — no progress lost")
 	} else {
 		fmt.Println("\nresumed run did not improve; inspect the schedule")
+	}
+
+	// Phase 4: live rejoin — same failure, no restart. A chaos schedule
+	// crashes rank 2 mid-run; the cluster runtime suspects it, survivors
+	// continue with drop-and-rescale, and the healed rank rejoins the
+	// running job from the latest in-runtime checkpoint.
+	fmt.Println("\nphase 4: live rejoin — rank 2 crashes mid-epoch under chaos and re-enters the running job")
+	live := base
+	live.Epochs = 4
+	live.Fault = &dist.FaultConfig{
+		Cluster: cluster.Config{
+			Heartbeat:    time.Millisecond,
+			SuspectAfter: 100 * time.Millisecond,
+			Policy:       cluster.DropRescale,
+			RejoinWait:   30 * time.Second,
+		},
+		Chaos: &chaos.Config{
+			Seed: 17,
+			// Op-indexed crash window: down mid-run, heals ~1s later.
+			Crashes: []chaos.CrashEvent{{Rank: 2, AtOp: 2000, RecoverAfterOps: 1000}},
+		},
+	}
+	res3, err := dist.Train(live)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res3.Fault.Cluster
+	fmt.Printf("phase 4: finished at acc %.3f — %d suspicion(s), %d degraded iteration(s), %d rejoin(s), %d/%d ranks alive at end\n",
+		res3.Epochs[len(res3.Epochs)-1].TestAcc, s.Suspicions, s.DegradedIterations, s.Rejoins, s.FinalAlive, live.Workers)
+	switch {
+	case s.Rejoins > 0 && s.FinalAlive == live.Workers:
+		fmt.Println("the crashed rank restored the published checkpoint and rejoined the live view — the run never stopped")
+	case s.Suspicions > 0:
+		fmt.Println("the crashed rank was evicted; survivors completed degraded (it did not heal in time to rejoin)")
+	default:
+		fmt.Println("the crash window closed before the suspicion deadline — the run absorbed it as a straggle")
 	}
 }

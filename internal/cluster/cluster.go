@@ -1,0 +1,476 @@
+// Package cluster is the failure-aware runtime between the transport
+// layer (internal/comm, optionally fault-injected by internal/chaos) and
+// the BSP training loop (internal/dist).
+//
+// The paper's Background credits the parameter-server scheme with fault
+// tolerance but evaluates BSP allreduce, where one dead or slow rank
+// stalls the whole job; this package gives the BSP exchange the missing
+// liveness story. It provides:
+//
+//   - a lightweight membership protocol: per-rank heartbeats with RTT
+//     measurement, deadline-based suspicion, and epoch-numbered views
+//     guarded by a majority quorum (a view change that would leave ≤ p/2
+//     survivors is refused with a typed error — an unrecoverable
+//     partition fails fast instead of split-braining);
+//   - a failure-aware gradient exchange: an allgather over the current
+//     view with bounded retry (exponential backoff + deterministic
+//     jitter), nack-based retransmission, straggler detection driven by
+//     the live telemetry EWMAs, and pluggable degradation policies —
+//     drop-and-rescale over survivors, reuse of the absent rank's last
+//     gradient (the Sec. 3.4 bounded-error argument covers a one-round
+//     stale contribution the same way it covers sparsification error),
+//     or fail-fast;
+//   - checkpoint-based rejoin: a recovered rank re-enters the current
+//     view mid-run, restores the latest published checkpoint, and the
+//     view-epoch bump tells survivors to force a parameter
+//     re-broadcast, bounding the divergence window.
+//
+// All hot-path accounting is atomic; the exchange allocates only on the
+// fault path, so the compression pipeline's zero-allocation gate holds
+// with the runtime attached.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fftgrad/internal/checkpoint"
+	"fftgrad/internal/telemetry"
+)
+
+// Typed failure classes. Workers classify with errors.Is.
+var (
+	// ErrSelfDown: the local transport is down (crashed / closed). The
+	// worker should park in AwaitRejoin. Recoverable.
+	ErrSelfDown = errors.New("cluster: local transport down")
+	// ErrEvicted: this rank is not in the current view (it was suspected
+	// while absent, or exhausted MaxRejoins). Recoverable via AwaitRejoin
+	// until MaxRejoins, terminal afterwards.
+	ErrEvicted = errors.New("cluster: rank evicted from view")
+	// ErrNoQuorum: completing the requested view change would leave ≤ p/2
+	// survivors. Terminal — the symptom of an unrecoverable partition.
+	ErrNoQuorum = errors.New("cluster: view change would lose quorum")
+	// ErrPeerFailed: a peer was suspected and the FailFast policy is in
+	// effect. Terminal for the run.
+	ErrPeerFailed = errors.New("cluster: peer failed")
+	// ErrStalled: one exchange exceeded MaxStall wall time. Terminal —
+	// the deadlock guard of last resort.
+	ErrStalled = errors.New("cluster: exchange stalled past deadline")
+	// ErrRejoinTimeout: the transport did not heal within RejoinWait.
+	// Terminal.
+	ErrRejoinTimeout = errors.New("cluster: rejoin timed out")
+)
+
+// IsRecoverable reports whether the worker should attempt AwaitRejoin
+// instead of aborting the run.
+func IsRecoverable(err error) bool {
+	return errors.Is(err, ErrSelfDown) || errors.Is(err, ErrEvicted)
+}
+
+// Policy selects what the exchange does about a suspected (dead) rank.
+type Policy uint8
+
+const (
+	// FailFast aborts the run with ErrPeerFailed.
+	FailFast Policy = iota
+	// DropRescale completes the allreduce over survivors and rescales the
+	// average by the surviving contributor count.
+	DropRescale
+	// StaleReuse substitutes the absent rank's last successfully received
+	// gradient for one round (falling back to DropRescale when none is
+	// cached), keeping the update's expectation closer to the full-view
+	// average at the cost of a bounded-staleness error.
+	StaleReuse
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FailFast:
+		return "failfast"
+	case DropRescale:
+		return "rescale"
+	case StaleReuse:
+		return "stale"
+	}
+	return "unknown"
+}
+
+// ParsePolicy parses "failfast" | "rescale" | "stale".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "failfast":
+		return FailFast, nil
+	case "rescale":
+		return DropRescale, nil
+	case "stale":
+		return StaleReuse, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown policy %q (want failfast|rescale|stale)", s)
+}
+
+// StragglerPolicy selects what the exchange does about a peer that is
+// provably alive (fresh heartbeat) but has not delivered its message
+// after the retry budget.
+type StragglerPolicy uint8
+
+const (
+	// StragglerWait keeps waiting (BSP semantics) until the peer delivers,
+	// goes heartbeat-stale (suspicion takes over) or MaxStall expires.
+	StragglerWait StragglerPolicy = iota
+	// StragglerDrop excludes the straggler from this round only — no view
+	// change, it is expected back next iteration.
+	StragglerDrop
+	// StragglerStale reuses the straggler's previous gradient this round.
+	StragglerStale
+)
+
+func (p StragglerPolicy) String() string {
+	switch p {
+	case StragglerWait:
+		return "wait"
+	case StragglerDrop:
+		return "drop"
+	case StragglerStale:
+		return "stale"
+	}
+	return "unknown"
+}
+
+// ParseStragglerPolicy parses "wait" | "drop" | "stale".
+func ParseStragglerPolicy(s string) (StragglerPolicy, error) {
+	switch s {
+	case "wait":
+		return StragglerWait, nil
+	case "drop":
+		return StragglerDrop, nil
+	case "stale":
+		return StragglerStale, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown straggler policy %q (want wait|drop|stale)", s)
+}
+
+// Config tunes the runtime. Zero values take the documented defaults.
+type Config struct {
+	// Heartbeat is the ping period (default 2ms — in-process scale; a
+	// multi-machine deployment would use hundreds of ms).
+	Heartbeat time.Duration
+	// SuspectAfter is the liveness deadline: a peer silent for this long
+	// is suspectable (default 50×Heartbeat).
+	SuspectAfter time.Duration
+	// MaxRetries bounds nack/resend rounds per exchange (default 5).
+	MaxRetries int
+	// BackoffBase/BackoffMax bound the per-attempt timeout, which doubles
+	// each retry (defaults 3ms / 100ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Jitter is the multiplicative jitter fraction on each backoff step,
+	// drawn deterministically from Seed (default 0.5).
+	Jitter float64
+	// Policy handles suspected (dead) peers; OnStraggler handles alive-
+	// but-late peers (defaults FailFast / StragglerWait).
+	Policy      Policy
+	OnStraggler StragglerPolicy
+	// StragglerFactor scales the expected exchange time (from the live
+	// StageComm EWMA, when a StageTimer is attached) into the first wait
+	// budget (default 4).
+	StragglerFactor float64
+	// MaxStall is the hard wall-clock bound on one exchange — the
+	// deadlock guard (default 10s).
+	MaxStall time.Duration
+	// MaxRejoins bounds how many times one rank may re-enter the view
+	// (default 3); afterwards eviction is permanent, which makes
+	// partition flip-flop livelocks terminate in bounded time.
+	MaxRejoins int
+	// RejoinWait bounds how long AwaitRejoin waits for the local
+	// transport to heal (default 2s).
+	RejoinWait time.Duration
+	// Seed feeds the deterministic backoff jitter.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 2 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 50 * c.Heartbeat
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 3 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 100 * time.Millisecond
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = 0.5
+	}
+	if c.StragglerFactor <= 0 {
+		c.StragglerFactor = 4
+	}
+	if c.MaxStall <= 0 {
+		c.MaxStall = 10 * time.Second
+	}
+	if c.MaxRejoins <= 0 {
+		c.MaxRejoins = 3
+	}
+	if c.RejoinWait <= 0 {
+		c.RejoinWait = 2 * time.Second
+	}
+	return c
+}
+
+// View is one epoch-numbered membership snapshot.
+type View struct {
+	Epoch uint64
+	Alive []bool
+}
+
+// AliveCount returns the number of live ranks.
+func (v View) AliveCount() int {
+	n := 0
+	for _, a := range v.Alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// LowestAlive returns the smallest live rank (the broadcast root), or -1.
+func (v View) LowestAlive() int {
+	for j, a := range v.Alive {
+		if a {
+			return j
+		}
+	}
+	return -1
+}
+
+// Stats is the runtime's cumulative fault accounting.
+type Stats struct {
+	Retries            uint64 // nack/resend rounds across all exchanges
+	Suspicions         uint64 // peers declared dead
+	DegradedIterations uint64 // exchanges completed without the full view
+	StaleReuses        uint64 // rounds served from a cached peer gradient
+	Rejoins            uint64 // ranks re-admitted to the view
+	SkippedSyncs       uint64 // parameter re-broadcasts abandoned
+	ViewChanges        uint64 // epoch bumps (suspicions + rejoins)
+	FinalAlive         int    // live ranks at snapshot time
+}
+
+// Runtime is the shared membership and accounting state for one cluster.
+// In-process it is literally shared memory; a multi-machine deployment
+// would back the same interface with a membership service.
+type Runtime struct {
+	p   int
+	cfg Config
+
+	mu          sync.Mutex
+	epoch       uint64
+	alive       []bool
+	rejoinCount []int
+	frontier    uint64 // highest exchange seq any member has started
+	ckpt        *checkpoint.State
+	ckptSeq     uint64
+
+	retries      atomic.Uint64
+	suspicions   atomic.Uint64
+	degraded     atomic.Uint64
+	staleReuses  atomic.Uint64
+	rejoins      atomic.Uint64
+	skippedSyncs atomic.Uint64
+	viewChanges  atomic.Uint64
+
+	// Optional telemetry mirrors (nil-safe when uninstrumented).
+	cRetries    *telemetry.Counter
+	cSuspicions *telemetry.Counter
+	cDegraded   *telemetry.Counter
+	rtt         []*telemetry.Gauge
+	st          *telemetry.StageTimer
+}
+
+// New creates a runtime for p ranks, all initially alive.
+func New(p int, cfg Config) *Runtime {
+	if p < 1 {
+		panic("cluster: need at least one rank")
+	}
+	rt := &Runtime{
+		p:           p,
+		cfg:         cfg.withDefaults(),
+		alive:       make([]bool, p),
+		rejoinCount: make([]int, p),
+		rtt:         make([]*telemetry.Gauge, p),
+	}
+	for i := range rt.alive {
+		rt.alive[i] = true
+	}
+	return rt
+}
+
+// P returns the cluster size.
+func (rt *Runtime) P() int { return rt.p }
+
+// Config returns the effective (defaulted) configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Instrument registers the cluster metrics on reg: retry / suspicion /
+// degraded-iteration counters, per-rank heartbeat RTT gauges, and
+// exposition-time gauges for the remaining accounting. Hot-path updates
+// stay pure atomics.
+func (rt *Runtime) Instrument(reg *telemetry.Registry) {
+	rt.cRetries = reg.Counter("fftgrad_cluster_retries_total",
+		"Exchange retry (nack/resend) rounds across all ranks.")
+	rt.cSuspicions = reg.Counter("fftgrad_cluster_suspicions_total",
+		"Peers declared dead after heartbeat silence.")
+	rt.cDegraded = reg.Counter("fftgrad_cluster_degraded_iterations_total",
+		"Exchanges completed without the full membership view.")
+	for j := 0; j < rt.p; j++ {
+		rt.rtt[j] = reg.Gauge(fmt.Sprintf(`fftgrad_cluster_heartbeat_rtt_seconds{rank="%d"}`, j),
+			"Last measured heartbeat round-trip time to this rank.")
+	}
+	reg.GaugeFunc("fftgrad_cluster_view_epoch", "current membership view epoch",
+		func() float64 { rt.mu.Lock(); defer rt.mu.Unlock(); return float64(rt.epoch) })
+	reg.GaugeFunc("fftgrad_cluster_alive_ranks", "ranks alive in the current view",
+		func() float64 { return float64(rt.View().AliveCount()) })
+	reg.GaugeFunc("fftgrad_cluster_stale_reuses_total", "rounds served from a cached peer gradient",
+		func() float64 { return float64(rt.staleReuses.Load()) })
+	reg.GaugeFunc("fftgrad_cluster_rejoins_total", "ranks re-admitted to the view",
+		func() float64 { return float64(rt.rejoins.Load()) })
+	reg.GaugeFunc("fftgrad_cluster_skipped_syncs_total", "parameter re-broadcasts abandoned",
+		func() float64 { return float64(rt.skippedSyncs.Load()) })
+}
+
+// AttachStageTimer lets the exchange derive its straggler wait budget
+// from the live StageComm throughput EWMA.
+func (rt *Runtime) AttachStageTimer(st *telemetry.StageTimer) { rt.st = st }
+
+// View returns a copy of the current membership view.
+func (rt *Runtime) View() View {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return View{Epoch: rt.epoch, Alive: append([]bool(nil), rt.alive...)}
+}
+
+// Stats snapshots the fault accounting.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		Retries:            rt.retries.Load(),
+		Suspicions:         rt.suspicions.Load(),
+		DegradedIterations: rt.degraded.Load(),
+		StaleReuses:        rt.staleReuses.Load(),
+		Rejoins:            rt.rejoins.Load(),
+		SkippedSyncs:       rt.skippedSyncs.Load(),
+		ViewChanges:        rt.viewChanges.Load(),
+		FinalAlive:         rt.View().AliveCount(),
+	}
+}
+
+// PublishCheckpoint stores the latest training snapshot for rejoiners.
+// The lowest alive rank publishes at every epoch boundary.
+func (rt *Runtime) PublishCheckpoint(st *checkpoint.State, seq uint64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if st != nil && seq >= rt.ckptSeq {
+		rt.ckpt = st
+		rt.ckptSeq = seq
+	}
+}
+
+// LatestCheckpoint returns the most recent published snapshot (nil when
+// none has been published yet).
+func (rt *Runtime) LatestCheckpoint() (*checkpoint.State, uint64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ckpt, rt.ckptSeq
+}
+
+// noteExchangeStart advances the frontier — the seq a rejoiner enters at.
+func (rt *Runtime) noteExchangeStart(seq uint64) {
+	rt.mu.Lock()
+	if seq > rt.frontier {
+		rt.frontier = seq
+	}
+	rt.mu.Unlock()
+}
+
+// suspect declares rank dead on behalf of `by`. It refuses when `by` is
+// itself evicted (an out-of-view rank must not mutate the view) and when
+// the change would leave ≤ p/2 survivors (quorum guard).
+func (rt *Runtime) suspect(rank, by int) (View, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if !rt.alive[by] {
+		return View{}, fmt.Errorf("cluster: rank %d suspecting %d: %w", by, rank, ErrEvicted)
+	}
+	if !rt.alive[rank] { // already dead: no-op
+		return View{Epoch: rt.epoch, Alive: append([]bool(nil), rt.alive...)}, nil
+	}
+	n := 0
+	for _, a := range rt.alive {
+		if a {
+			n++
+		}
+	}
+	if n-1 <= rt.p/2 {
+		return View{}, fmt.Errorf("cluster: rank %d suspecting %d would leave %d/%d alive: %w",
+			by, rank, n-1, rt.p, ErrNoQuorum)
+	}
+	rt.alive[rank] = false
+	rt.epoch++
+	rt.suspicions.Add(1)
+	rt.viewChanges.Add(1)
+	rt.cSuspicions.Inc(by)
+	return View{Epoch: rt.epoch, Alive: append([]bool(nil), rt.alive...)}, nil
+}
+
+// rejoin re-admits rank to the view, returning the new view, the
+// exchange frontier (the seq to resume at) and the latest checkpoint to
+// restore (nil when the rank was never evicted — its live state is still
+// valid — or when none was published).
+func (rt *Runtime) rejoin(rank int) (View, uint64, *checkpoint.State, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.rejoinCount[rank] >= rt.cfg.MaxRejoins {
+		return View{}, 0, nil, fmt.Errorf("cluster: rank %d exceeded %d rejoins: %w",
+			rank, rt.cfg.MaxRejoins, ErrEvicted)
+	}
+	rt.rejoinCount[rank]++
+	st := rt.ckpt
+	if rt.alive[rank] {
+		// Transient self-down without eviction: live state is intact and
+		// strictly fresher than any checkpoint.
+		st = nil
+	}
+	rt.alive[rank] = true
+	rt.epoch++
+	rt.rejoins.Add(1)
+	rt.viewChanges.Add(1)
+	return View{Epoch: rt.epoch, Alive: append([]bool(nil), rt.alive...)}, rt.frontier, st, nil
+}
+
+// observeRTT records a heartbeat round trip to peer.
+func (rt *Runtime) observeRTT(peer int, seconds float64) {
+	if peer >= 0 && peer < len(rt.rtt) {
+		rt.rtt[peer].Set(seconds)
+	}
+}
+
+func (rt *Runtime) noteRetry(rank, n int) {
+	rt.retries.Add(uint64(n))
+	rt.cRetries.Add(rank, n)
+}
+
+func (rt *Runtime) noteDegraded(rank int) {
+	rt.degraded.Add(1)
+	rt.cDegraded.Inc(rank)
+}
+
+func (rt *Runtime) noteStaleReuse() { rt.staleReuses.Add(1) }
+
+func (rt *Runtime) noteSkippedSync() { rt.skippedSyncs.Add(1) }

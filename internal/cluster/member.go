@@ -1,0 +1,689 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fftgrad/internal/checkpoint"
+	"fftgrad/internal/comm"
+	"fftgrad/internal/telemetry"
+)
+
+// Wire message kinds on top of comm.Message.Kind.
+const (
+	kindData     = 1 // one rank's compressed gradient for exchange Seq
+	kindNack     = 2 // "resend your data for Seq" (repair request)
+	kindPing     = 3 // heartbeat, payload = sender's send-time nanos
+	kindPong     = 4 // heartbeat echo, payload mirrored back
+	kindSync     = 5 // parameter re-broadcast from the root, tagged Seq
+	kindSyncNack = 6 // "resend the sync for Seq"
+)
+
+// sentRing is how many recent exchange payloads each member keeps for
+// nack repair. A rejoiner enters at the frontier, so it never needs a
+// payload older than the deepest in-flight exchange; 4 is generous.
+const sentRing = 4
+
+// ExchangeResult is one completed failure-aware allgather.
+type ExchangeResult struct {
+	// Msgs[j] is rank j's payload, nil when rank j did not contribute
+	// (dropped under DropRescale / StragglerDrop and nothing cached).
+	Msgs [][]byte
+	// Stale[j] marks contributions served from the previous round's cache.
+	Stale []bool
+	// View is the membership view the exchange completed under.
+	View View
+	// Contributors counts non-nil entries of Msgs.
+	Contributors int
+	// Degraded is true when Contributors < p.
+	Degraded bool
+	// EpochChanged is true when the view epoch moved during this exchange
+	// (a suspicion or rejoin happened); the caller should force a
+	// parameter re-sync to repair any divergence.
+	EpochChanged bool
+}
+
+// Member is one rank's handle on the failure-aware runtime: it owns the
+// rank's transport, a receiver goroutine that keeps draining it (so
+// heartbeats are answered even mid-compute), and a heartbeat goroutine.
+type Member struct {
+	rt   *Runtime
+	tr   comm.Transport
+	rank int
+	p    int
+
+	// dataCh carries kindData/kindSync messages from the receiver to the
+	// exchange loop. Buffered generously: the receiver never blocks on it
+	// (messages that would block are dropped like a full NIC queue, and
+	// nack repair recovers them).
+	dataCh chan comm.Message
+
+	// pending stashes data messages for future seqs (a fast peer may send
+	// iteration i+1 while we are still collecting i).
+	pending map[uint64][][]byte
+
+	// lastGood[j] is the most recent payload received from rank j, for
+	// StaleReuse / StragglerStale.
+	lastGood [][]byte
+
+	// lag[j] tracks rank j's heartbeat RTT EWMA (seconds).
+	lag []*telemetry.EWMA
+
+	sentMu sync.Mutex
+	sent   [sentRing]struct {
+		seq     uint64
+		payload []byte
+	}
+
+	syncMu  sync.Mutex
+	syncSeq uint64
+	syncBuf []byte
+
+	lastSeen []atomic.Int64 // unix nanos of the last message from each peer
+	selfDown atomic.Bool    // local transport is failing (crash window)
+
+	viewEpoch uint64 // last view epoch this member acted on
+
+	rng *rand.Rand // backoff jitter; only touched by the exchange goroutine
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// Join attaches rank's transport to the runtime and starts its receiver
+// and heartbeat loops. Close must be called when the worker exits.
+func (rt *Runtime) Join(tr comm.Transport) *Member {
+	rank := tr.RankID()
+	m := &Member{
+		rt:       rt,
+		tr:       tr,
+		rank:     rank,
+		p:        rt.p,
+		dataCh:   make(chan comm.Message, 64*rt.p),
+		pending:  make(map[uint64][][]byte),
+		lastGood: make([][]byte, rt.p),
+		lag:      make([]*telemetry.EWMA, rt.p),
+		lastSeen: make([]atomic.Int64, rt.p),
+		rng:      rand.New(rand.NewSource(rt.cfg.Seed ^ int64(rank)*0x9E3779B9)),
+		closed:   make(chan struct{}),
+	}
+	for j := range m.lag {
+		m.lag[j] = telemetry.NewEWMA()
+	}
+	now := time.Now().UnixNano()
+	for j := range m.lastSeen {
+		m.lastSeen[j].Store(now)
+	}
+	m.wg.Add(2)
+	go m.receiver()
+	go m.heartbeater()
+	return m
+}
+
+// Rank returns this member's rank.
+func (m *Member) Rank() int { return m.rank }
+
+// Close stops the member's goroutines and closes its transport.
+func (m *Member) Close() {
+	m.closeOnce.Do(func() {
+		close(m.closed)
+		m.tr.Close()
+	})
+	m.wg.Wait()
+}
+
+// noteSeen refreshes a peer's liveness timestamp.
+func (m *Member) noteSeen(peer int) {
+	if peer >= 0 && peer < m.p {
+		m.lastSeen[peer].Store(time.Now().UnixNano())
+	}
+}
+
+// seenWithin reports whether peer sent anything in the last d.
+func (m *Member) seenWithin(peer int, d time.Duration) bool {
+	return time.Since(time.Unix(0, m.lastSeen[peer].Load())) < d
+}
+
+// receiver drains the transport for the member's whole life. Keeping one
+// goroutine always in Recv means pings, pongs and nacks are answered
+// even while the worker is deep in compute — so RTT gauges are honest
+// and a busy rank is never mistaken for a dead one.
+func (m *Member) receiver() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.closed:
+			return
+		default:
+		}
+		msg, err := m.tr.Recv(50 * time.Millisecond)
+		if err != nil {
+			if errors.Is(err, comm.ErrClosed) {
+				return
+			}
+			if comm.IsRetryable(err) {
+				m.selfDown.Store(false)
+				continue
+			}
+			// Terminal transport error (e.g. a chaos crash window): mark
+			// ourselves down and keep probing until the window passes.
+			m.selfDown.Store(true)
+			select {
+			case <-m.closed:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			continue
+		}
+		m.selfDown.Store(false)
+		m.noteSeen(msg.From)
+		switch msg.Kind {
+		case kindPing:
+			// Echo the sender's timestamp back so it can compute the RTT.
+			_ = m.tr.Send(msg.From, comm.Message{Seq: msg.Seq, Kind: kindPong, Payload: msg.Payload})
+		case kindPong:
+			if len(msg.Payload) == 8 {
+				sent := int64(binary.LittleEndian.Uint64(msg.Payload))
+				rtt := time.Since(time.Unix(0, sent)).Seconds()
+				if rtt >= 0 {
+					m.lag[msg.From].Update(rtt)
+					m.rt.observeRTT(msg.From, rtt)
+				}
+			}
+		case kindNack:
+			if payload, ok := m.lookupSent(msg.Seq); ok {
+				_ = m.tr.Send(msg.From, comm.Message{Seq: msg.Seq, Kind: kindData, Payload: payload})
+			}
+		case kindSyncNack:
+			m.syncMu.Lock()
+			seq, buf := m.syncSeq, m.syncBuf
+			m.syncMu.Unlock()
+			if buf != nil && seq >= msg.Seq {
+				_ = m.tr.Send(msg.From, comm.Message{Seq: seq, Kind: kindSync, Payload: buf})
+			}
+		case kindData, kindSync:
+			select {
+			case m.dataCh <- msg:
+			default:
+				// Queue overflow behaves like packet loss; nack repair or
+				// the sync retry loop recovers.
+			}
+		}
+	}
+}
+
+// heartbeater pings every peer each Heartbeat period with the send-time
+// nanos as payload; the echo drives the RTT EWMAs and liveness clocks.
+func (m *Member) heartbeater() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.rt.cfg.Heartbeat)
+	defer tick.Stop()
+	var buf [8]byte
+	for {
+		select {
+		case <-m.closed:
+			return
+		case <-tick.C:
+		}
+		if m.selfDown.Load() {
+			continue
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(time.Now().UnixNano()))
+		for j := 0; j < m.p; j++ {
+			if j == m.rank {
+				continue
+			}
+			_ = m.tr.Send(j, comm.Message{Kind: kindPing, Payload: buf[:]})
+		}
+	}
+}
+
+// storeSent remembers payload for nack repair. The ring slot is copied:
+// the caller may reuse its buffer the moment Exchange returns.
+func (m *Member) storeSent(seq uint64, payload []byte) {
+	m.sentMu.Lock()
+	slot := &m.sent[seq%sentRing]
+	slot.seq = seq
+	slot.payload = append(slot.payload[:0], payload...)
+	m.sentMu.Unlock()
+}
+
+func (m *Member) lookupSent(seq uint64) ([]byte, bool) {
+	m.sentMu.Lock()
+	defer m.sentMu.Unlock()
+	slot := &m.sent[seq%sentRing]
+	if slot.seq != seq || slot.payload == nil {
+		return nil, false
+	}
+	// Copy out: the slot may be overwritten while the send is in flight.
+	return append([]byte(nil), slot.payload...), true
+}
+
+// attemptTimeout is the wait budget for one collection attempt. The
+// first attempt gets the straggler allowance — StragglerFactor times the
+// expected exchange time from the live StageComm EWMA (floored at
+// BackoffBase) — and each retry doubles it, capped at BackoffMax, plus
+// deterministic jitter so lockstep ranks don't nack in phase.
+func (m *Member) attemptTimeout(attempt int, msgBytes int) time.Duration {
+	cfg := m.rt.cfg
+	base := cfg.BackoffBase
+	if rate := m.rt.st.Rate(telemetry.StageComm); rate > 0 && msgBytes > 0 {
+		expected := time.Duration(float64(msgBytes) * float64(m.p) / rate * float64(time.Second))
+		if d := time.Duration(cfg.StragglerFactor * float64(expected)); d > base {
+			base = d
+		}
+	}
+	d := base << uint(attempt)
+	if d > cfg.BackoffMax || d <= 0 {
+		d = cfg.BackoffMax
+	}
+	jitter := time.Duration(cfg.Jitter * m.rng.Float64() * float64(d))
+	return d + jitter
+}
+
+// Exchange is the failure-aware allgather: every live rank contributes
+// payload under sequence number seq and receives everyone's payloads.
+// Missing peers are repaired by nack/resend up to MaxRetries rounds;
+// peers still absent afterwards are classified as stragglers (fresh
+// heartbeat → OnStraggler policy) or dead (suspicion + Policy). The
+// returned error is always typed (see the Err* sentinels).
+func (m *Member) Exchange(seq uint64, payload []byte) (*ExchangeResult, error) {
+	if m.selfDown.Load() {
+		return nil, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrSelfDown)
+	}
+	view := m.rt.View()
+	if !view.Alive[m.rank] {
+		return nil, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrEvicted)
+	}
+	startEpoch := m.viewEpoch
+	m.viewEpoch = view.Epoch
+	m.rt.noteExchangeStart(seq)
+	m.storeSent(seq, payload)
+
+	msgs := make([][]byte, m.p)
+	stale := make([]bool, m.p)
+	msgs[m.rank] = payload
+
+	// Adopt anything a fast peer already sent for this seq.
+	if got := m.pending[seq]; got != nil {
+		for j, b := range got {
+			if b != nil && msgs[j] == nil {
+				msgs[j] = b
+			}
+		}
+		delete(m.pending, seq)
+	}
+
+	// Fan out our contribution to every live peer.
+	for j := 0; j < m.p; j++ {
+		if j == m.rank || !view.Alive[j] {
+			continue
+		}
+		if err := m.tr.Send(j, comm.Message{Seq: seq, Kind: kindData, Payload: payload}); err != nil {
+			if !comm.IsRetryable(err) {
+				m.selfDown.Store(true)
+				return nil, fmt.Errorf("cluster: rank %d send: %w (%v)", m.rank, ErrSelfDown, err)
+			}
+		}
+	}
+
+	deadline := time.Now().Add(m.rt.cfg.MaxStall)
+	retries := 0
+	degraded := false
+
+	for attempt := 0; ; attempt++ {
+		// Collect until this attempt's budget expires or we are complete.
+		budget := m.attemptTimeout(attempt, len(payload))
+		if remain := time.Until(deadline); budget > remain {
+			budget = remain
+		}
+		m.collect(seq, msgs, budget, view)
+
+		missing := missingRanks(msgs, view)
+		if len(missing) == 0 {
+			break
+		}
+		if m.selfDown.Load() {
+			if retries > 0 {
+				m.rt.noteRetry(m.rank, retries)
+			}
+			return nil, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrSelfDown)
+		}
+		if time.Now().After(deadline) {
+			if retries > 0 {
+				m.rt.noteRetry(m.rank, retries)
+			}
+			return nil, fmt.Errorf("cluster: rank %d exchange %d missing %v after %s: %w",
+				m.rank, seq, missing, m.rt.cfg.MaxStall, ErrStalled)
+		}
+
+		if attempt < m.rt.cfg.MaxRetries {
+			// Repair round: nack every missing peer.
+			for _, j := range missing {
+				_ = m.tr.Send(j, comm.Message{Seq: seq, Kind: kindNack})
+			}
+			retries++
+			continue
+		}
+
+		// Retry budget exhausted: classify each absentee.
+		resolved, err := m.resolveMissing(seq, missing, msgs, stale, &view, &degraded)
+		if err != nil {
+			if retries > 0 {
+				m.rt.noteRetry(m.rank, retries)
+			}
+			return nil, err
+		}
+		if resolved {
+			break
+		}
+		// StragglerWait on a provably-live peer: nack again and keep
+		// collecting (the MaxStall deadline still bounds the loop).
+		for _, j := range missingRanks(msgs, view) {
+			_ = m.tr.Send(j, comm.Message{Seq: seq, Kind: kindNack})
+		}
+		retries++
+	}
+
+	if retries > 0 {
+		m.rt.noteRetry(m.rank, retries)
+	}
+	// Refresh the cache for StaleReuse after the round completes.
+	for j := 0; j < m.p; j++ {
+		if j != m.rank && msgs[j] != nil && !stale[j] {
+			m.lastGood[j] = msgs[j]
+		}
+	}
+	res := &ExchangeResult{Msgs: msgs, Stale: stale, View: view}
+	for _, b := range msgs {
+		if b != nil {
+			res.Contributors++
+		}
+	}
+	res.Degraded = degraded || res.Contributors < m.p
+	if res.Degraded {
+		m.rt.noteDegraded(m.rank)
+	}
+	latest := m.rt.View()
+	res.EpochChanged = latest.Epoch != startEpoch
+	res.View = latest
+	return res, nil
+}
+
+// collect drains dataCh into msgs until the exchange is complete for the
+// current view or the budget expires. Messages for other seqs are
+// stashed in pending (future) or dropped (past).
+func (m *Member) collect(seq uint64, msgs [][]byte, budget time.Duration, view View) {
+	deadline := time.Now().Add(budget)
+	for {
+		if missingCount(msgs, view) == 0 {
+			return
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case msg := <-m.dataCh:
+			timer.Stop()
+			m.absorb(seq, msgs, msg)
+		case <-m.closed:
+			timer.Stop()
+			return
+		case <-timer.C:
+			return
+		}
+	}
+}
+
+// absorb files one data/sync message relative to exchange seq.
+func (m *Member) absorb(seq uint64, msgs [][]byte, msg comm.Message) {
+	if msg.Kind == kindSync {
+		// A sync raced into the data stream: keep it for SyncBroadcast.
+		m.syncMu.Lock()
+		if msg.Seq >= m.syncSeq {
+			m.syncSeq, m.syncBuf = msg.Seq, msg.Payload
+		}
+		m.syncMu.Unlock()
+		return
+	}
+	switch {
+	case msg.Seq == seq:
+		if msg.From >= 0 && msg.From < m.p && msgs[msg.From] == nil {
+			msgs[msg.From] = msg.Payload
+		}
+	case msg.Seq > seq:
+		got := m.pending[msg.Seq]
+		if got == nil {
+			got = make([][]byte, m.p)
+			m.pending[msg.Seq] = got
+		}
+		if msg.From >= 0 && msg.From < m.p && got[msg.From] == nil {
+			got[msg.From] = msg.Payload
+		}
+	default:
+		// Stale duplicate from a past exchange: drop.
+	}
+}
+
+// resolveMissing classifies and handles each absent rank once the retry
+// budget is spent. Returns resolved=true when the exchange can complete
+// with the (possibly degraded) msgs as they now stand, false when the
+// caller should keep waiting (StragglerWait).
+func (m *Member) resolveMissing(seq uint64, missing []int, msgs [][]byte, stale []bool, view *View, degraded *bool) (bool, error) {
+	cfg := m.rt.cfg
+	keepWaiting := false
+	for _, j := range missing {
+		if m.seenWithin(j, cfg.SuspectAfter) {
+			// Alive but late: a straggler.
+			switch cfg.OnStraggler {
+			case StragglerWait:
+				keepWaiting = true
+			case StragglerDrop:
+				*degraded = true // round proceeds without j; no view change
+			case StragglerStale:
+				if m.lastGood[j] != nil {
+					msgs[j] = m.lastGood[j]
+					stale[j] = true
+					m.rt.noteStaleReuse()
+				}
+				*degraded = true
+			}
+			continue
+		}
+		// Heartbeat-silent past the deadline: dead. Suspicion first — the
+		// quorum guard turns an unrecoverable partition into a fast typed
+		// error no matter which degradation policy is configured.
+		nv, err := m.rt.suspect(j, m.rank)
+		if err != nil {
+			if errors.Is(err, ErrEvicted) {
+				return false, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrEvicted)
+			}
+			return false, err // ErrNoQuorum
+		}
+		*view = nv
+		switch cfg.Policy {
+		case FailFast:
+			return false, fmt.Errorf("cluster: rank %d saw rank %d fail at exchange %d: %w",
+				m.rank, j, seq, ErrPeerFailed)
+		case DropRescale:
+			*degraded = true
+		case StaleReuse:
+			if m.lastGood[j] != nil {
+				msgs[j] = m.lastGood[j]
+				stale[j] = true
+				m.rt.noteStaleReuse()
+			}
+			*degraded = true
+		}
+	}
+	if keepWaiting {
+		return false, nil
+	}
+	return true, nil
+}
+
+// missingRanks lists live ranks whose slot in msgs is still empty.
+func missingRanks(msgs [][]byte, view View) []int {
+	var out []int
+	for j, b := range msgs {
+		if b == nil && view.Alive[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func missingCount(msgs [][]byte, view View) int {
+	n := 0
+	for j, b := range msgs {
+		if b == nil && view.Alive[j] {
+			n++
+		}
+	}
+	return n
+}
+
+// SyncBroadcast distributes the root's parameter snapshot under sync
+// sequence seq. The root stores the payload (for syncNack repair) and
+// sends to every live peer; non-roots wait for it, nacking on timeout.
+// It returns the received payload and ok=false when the sync had to be
+// abandoned (counted; the next SyncEvery boundary repairs the drift).
+func (m *Member) SyncBroadcast(seq uint64, payload []byte, root int) ([]byte, bool, error) {
+	if m.selfDown.Load() {
+		return nil, false, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrSelfDown)
+	}
+	view := m.rt.View()
+	if !view.Alive[m.rank] {
+		return nil, false, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrEvicted)
+	}
+	if m.rank == root {
+		m.syncMu.Lock()
+		m.syncSeq = seq
+		m.syncBuf = append(m.syncBuf[:0], payload...)
+		buf := m.syncBuf
+		m.syncMu.Unlock()
+		for j := 0; j < m.p; j++ {
+			if j == root || !view.Alive[j] {
+				continue
+			}
+			_ = m.tr.Send(j, comm.Message{Seq: seq, Kind: kindSync, Payload: buf})
+		}
+		return payload, true, nil
+	}
+
+	// Maybe the receiver already stashed it.
+	if got, ok := m.takeSync(seq); ok {
+		return got, true, nil
+	}
+	deadline := time.Now().Add(m.rt.cfg.MaxStall)
+	for attempt := 0; attempt <= m.rt.cfg.MaxRetries; attempt++ {
+		budget := m.attemptTimeout(attempt, len(m.syncBuf))
+		if remain := time.Until(deadline); budget > remain {
+			budget = remain
+		}
+		end := time.Now().Add(budget)
+		for {
+			remain := time.Until(end)
+			if remain <= 0 {
+				break
+			}
+			timer := time.NewTimer(remain)
+			select {
+			case msg := <-m.dataCh:
+				timer.Stop()
+				m.stash(msg)
+				if got, ok := m.takeSync(seq); ok {
+					return got, true, nil
+				}
+			case <-m.closed:
+				timer.Stop()
+				return nil, false, fmt.Errorf("cluster: rank %d: %w", m.rank, comm.ErrClosed)
+			case <-timer.C:
+			}
+			if time.Now().After(end) {
+				break
+			}
+		}
+		if m.selfDown.Load() {
+			return nil, false, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrSelfDown)
+		}
+		_ = m.tr.Send(root, comm.Message{Seq: seq, Kind: kindSyncNack})
+	}
+	// Root is gone or unreachable: skip this sync and let the next one
+	// (under the new view's root) repair the drift.
+	m.rt.noteSkippedSync()
+	return nil, false, nil
+}
+
+// takeSync returns the stored sync payload when it covers seq.
+func (m *Member) takeSync(seq uint64) ([]byte, bool) {
+	m.syncMu.Lock()
+	defer m.syncMu.Unlock()
+	if m.syncBuf != nil && m.syncSeq >= seq {
+		return append([]byte(nil), m.syncBuf...), true
+	}
+	return nil, false
+}
+
+// stash files a message outside any active exchange: syncs to the sync
+// buffer, data to pending for the next Exchange to adopt.
+func (m *Member) stash(msg comm.Message) {
+	if msg.Kind == kindSync {
+		m.syncMu.Lock()
+		if msg.Seq >= m.syncSeq {
+			m.syncSeq, m.syncBuf = msg.Seq, msg.Payload
+		}
+		m.syncMu.Unlock()
+		return
+	}
+	got := m.pending[msg.Seq]
+	if got == nil {
+		got = make([][]byte, m.p)
+		m.pending[msg.Seq] = got
+	}
+	if msg.From >= 0 && msg.From < m.p && got[msg.From] == nil {
+		got[msg.From] = msg.Payload
+	}
+}
+
+// AwaitRejoin parks until the local transport heals (selfDown clears),
+// then re-enters the view. It returns the view joined, the exchange
+// frontier to resume at, and the checkpoint to restore (nil when the
+// rank was never evicted or none is published).
+func (m *Member) AwaitRejoin() (View, uint64, *checkpoint.State, error) {
+	deadline := time.Now().Add(m.rt.cfg.RejoinWait)
+	for m.selfDown.Load() {
+		if time.Now().After(deadline) {
+			return View{}, 0, nil, fmt.Errorf("cluster: rank %d transport did not heal within %s: %w",
+				m.rank, m.rt.cfg.RejoinWait, ErrRejoinTimeout)
+		}
+		select {
+		case <-m.closed:
+			return View{}, 0, nil, fmt.Errorf("cluster: rank %d: %w", m.rank, comm.ErrClosed)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Probe the transport directly: selfDown only clears when the
+	// receiver loop gets a non-terminal result, which it will shortly;
+	// the loop above plus this rejoin gives a consistent re-entry.
+	view, frontier, st, err := m.rt.rejoin(m.rank)
+	if err != nil {
+		return View{}, 0, nil, err
+	}
+	m.viewEpoch = view.Epoch
+	// Drop stale per-exchange state from before the crash.
+	for k := range m.pending {
+		if k < frontier {
+			delete(m.pending, k)
+		}
+	}
+	return view, frontier, st, nil
+}

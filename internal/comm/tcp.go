@@ -1,12 +1,14 @@
 package comm
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"fftgrad/internal/telemetry"
 )
@@ -15,13 +17,24 @@ import (
 // connections (a full mesh of point-to-point links), the transport a
 // deployment across machines would use. The in-process Cluster and
 // TCPComm expose the same collective semantics; tests assert they agree.
+//
+// With a Timeout set, every frame read/write arms a connection deadline
+// first, so a crashed or wedged peer surfaces as a typed, retryable
+// timeout (*OpError wrapping ErrTimeout, IsRetryable == true) instead of
+// hanging the collective forever.
 type TCPComm struct {
-	rank   int
-	p      int
-	conns  []net.Conn // conns[j] = link to rank j (nil for j == rank)
-	ln     net.Listener
-	tx, rx *telemetry.Counter // actual frame bytes on the wire (nil = off)
+	rank    int
+	p       int
+	conns   []net.Conn // conns[j] = link to rank j (nil for j == rank)
+	ln      net.Listener
+	timeout time.Duration      // per-frame I/O deadline; 0 = block forever
+	tx, rx  *telemetry.Counter // actual frame bytes on the wire (nil = off)
 }
+
+// SetTimeout arms a per-frame I/O deadline on every subsequent collective.
+// Call before the first collective (the field is read concurrently by the
+// per-peer sender goroutines afterwards). Zero restores blocking I/O.
+func (c *TCPComm) SetTimeout(d time.Duration) { c.timeout = d }
 
 // Instrument registers bytes-on-wire counters on reg and starts
 // accounting every frame (4-byte length prefix + payload) this endpoint
@@ -58,12 +71,64 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
+// wrapNetErr types a raw socket error: net.Error timeouts become
+// *OpError{Err: ErrTimeout} (retryable), everything else is wrapped
+// as-is so errors.Is/As still reach the cause.
+func (c *TCPComm) wrapNetErr(op string, peer int, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return &OpError{Op: op, Rank: c.rank, Peer: peer, Err: fmt.Errorf("%w (%v)", ErrTimeout, err)}
+	}
+	return &OpError{Op: op, Rank: c.rank, Peer: peer, Err: err}
+}
+
+// writeFrameTo writes one frame to peer j, arming the write deadline when
+// a timeout is configured.
+func (c *TCPComm) writeFrameTo(j int, payload []byte) error {
+	conn := c.conns[j]
+	if conn == nil {
+		return &OpError{Op: "write", Rank: c.rank, Peer: j, Err: ErrPeerDown}
+	}
+	if c.timeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+			return c.wrapNetErr("write", j, err)
+		}
+	}
+	return c.wrapNetErr("write", j, writeFrame(conn, payload))
+}
+
+// readFrameFrom reads one frame from peer j, arming the read deadline
+// when a timeout is configured.
+func (c *TCPComm) readFrameFrom(j int) ([]byte, error) {
+	conn := c.conns[j]
+	if conn == nil {
+		return nil, &OpError{Op: "read", Rank: c.rank, Peer: j, Err: ErrPeerDown}
+	}
+	if c.timeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, c.wrapNetErr("read", j, err)
+		}
+	}
+	payload, err := readFrame(conn)
+	return payload, c.wrapNetErr("read", j, err)
+}
+
 // DialTCPCluster builds rank's endpoint of a p-rank mesh. addrs[i] is the
 // listen address of rank i; the caller must have rank's listener already
 // bound (pass it as ln) so that no connection races the listen call.
 // Ranks dial every lower rank and accept from every higher rank; the
 // dialer identifies itself with a 4-byte rank header.
 func DialTCPCluster(rank, p int, addrs []string, ln net.Listener) (*TCPComm, error) {
+	return DialTCPClusterContext(context.Background(), rank, p, addrs, ln)
+}
+
+// DialTCPClusterContext is DialTCPCluster honoring ctx: dials use
+// DialContext, accepts poll a listener deadline so ctx cancellation (or
+// expiry) aborts mesh construction with a typed error instead of
+// blocking on a peer that never arrives.
+func DialTCPClusterContext(ctx context.Context, rank, p int, addrs []string, ln net.Listener) (*TCPComm, error) {
 	if rank < 0 || rank >= p {
 		return nil, fmt.Errorf("comm: rank %d out of [0,%d)", rank, p)
 	}
@@ -75,21 +140,45 @@ func DialTCPCluster(rank, p int, addrs []string, ln net.Listener) (*TCPComm, err
 	var wg sync.WaitGroup
 	errs := make([]error, 2)
 
-	// Accept from higher ranks.
+	// Accept from higher ranks, polling a short accept deadline so ctx is
+	// observed even while no peer is dialing.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		dl, hasDeadline := ln.(interface{ SetDeadline(time.Time) error })
 		for accepted := 0; accepted < p-1-rank; accepted++ {
-			conn, err := ln.Accept()
-			if err != nil {
-				errs[0] = err
-				return
+			var conn net.Conn
+			for {
+				if err := ctx.Err(); err != nil {
+					errs[0] = &OpError{Op: "accept", Rank: rank, Peer: -1, Err: err}
+					return
+				}
+				if hasDeadline {
+					_ = dl.SetDeadline(time.Now().Add(200 * time.Millisecond))
+				}
+				var err error
+				conn, err = ln.Accept()
+				if err != nil {
+					if ne, ok := err.(net.Error); ok && ne.Timeout() && hasDeadline {
+						continue // poll ctx and re-arm
+					}
+					errs[0] = c.wrapNetErr("accept", -1, err)
+					return
+				}
+				break
+			}
+			if hasDeadline {
+				_ = dl.SetDeadline(time.Time{})
+			}
+			if deadline, ok := ctx.Deadline(); ok {
+				_ = conn.SetReadDeadline(deadline)
 			}
 			var hdr [4]byte
 			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-				errs[0] = err
+				errs[0] = c.wrapNetErr("accept", -1, err)
 				return
 			}
+			_ = conn.SetReadDeadline(time.Time{})
 			peer := int(binary.LittleEndian.Uint32(hdr[:]))
 			if peer <= rank || peer >= p {
 				errs[0] = fmt.Errorf("comm: unexpected peer rank %d", peer)
@@ -103,18 +192,23 @@ func DialTCPCluster(rank, p int, addrs []string, ln net.Listener) (*TCPComm, err
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		var d net.Dialer
 		for j := 0; j < rank; j++ {
-			conn, err := net.Dial("tcp", addrs[j])
+			conn, err := d.DialContext(ctx, "tcp", addrs[j])
 			if err != nil {
-				errs[1] = err
+				errs[1] = c.wrapNetErr("dial", j, err)
 				return
 			}
 			var hdr [4]byte
 			binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
+			if deadline, ok := ctx.Deadline(); ok {
+				_ = conn.SetWriteDeadline(deadline)
+			}
 			if _, err := conn.Write(hdr[:]); err != nil {
-				errs[1] = err
+				errs[1] = c.wrapNetErr("dial", j, err)
 				return
 			}
+			_ = conn.SetWriteDeadline(time.Time{})
 			c.conns[j] = conn
 		}
 	}()
@@ -193,7 +287,7 @@ func (c *TCPComm) Allgather(data []byte) ([][]byte, error) {
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
-			if sendErrs[j] = writeFrame(c.conns[j], data); sendErrs[j] == nil {
+			if sendErrs[j] = c.writeFrameTo(j, data); sendErrs[j] == nil {
 				c.tx.Add(c.rank, 4+len(data))
 			}
 		}(j)
@@ -203,17 +297,17 @@ func (c *TCPComm) Allgather(data []byte) ([][]byte, error) {
 		if j == c.rank {
 			continue
 		}
-		payload, err := readFrame(c.conns[j])
+		payload, err := c.readFrameFrom(j)
 		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("comm: recv from rank %d: %w", j, err)
+			firstErr = err
 		}
 		c.rx.Add(c.rank, 4+len(payload))
 		out[j] = payload
 	}
 	wg.Wait()
-	for j, err := range sendErrs {
+	for _, err := range sendErrs {
 		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("comm: send to rank %d: %w", j, err)
+			firstErr = err
 		}
 	}
 	return out, firstErr
@@ -231,7 +325,7 @@ func (c *TCPComm) Broadcast(data []byte, root int) ([]byte, error) {
 			wg.Add(1)
 			go func(j int) {
 				defer wg.Done()
-				if errs[j] = writeFrame(c.conns[j], data); errs[j] == nil {
+				if errs[j] = c.writeFrameTo(j, data); errs[j] == nil {
 					c.tx.Add(c.rank, 4+len(data))
 				}
 			}(j)
@@ -244,7 +338,7 @@ func (c *TCPComm) Broadcast(data []byte, root int) ([]byte, error) {
 		}
 		return data, nil
 	}
-	payload, err := readFrame(c.conns[root])
+	payload, err := c.readFrameFrom(root)
 	if err == nil {
 		c.rx.Add(c.rank, 4+len(payload))
 	}
@@ -270,8 +364,8 @@ func (c *TCPComm) Allreduce(x []float32) error {
 	for i := 0; i <= p; i++ {
 		bounds[i] = i * n / p
 	}
-	nextConn := c.conns[(c.rank+1)%p]
-	prevConn := c.conns[(c.rank-1+p)%p]
+	next := (c.rank + 1) % p
+	prev := (c.rank - 1 + p) % p
 
 	sendChunk := func(idx int) error {
 		lo, hi := bounds[idx], bounds[idx+1]
@@ -279,14 +373,14 @@ func (c *TCPComm) Allreduce(x []float32) error {
 		for i := lo; i < hi; i++ {
 			binary.LittleEndian.PutUint32(buf[(i-lo)*4:], math.Float32bits(x[i]))
 		}
-		if err := writeFrame(nextConn, buf); err != nil {
+		if err := c.writeFrameTo(next, buf); err != nil {
 			return err
 		}
 		c.tx.Add(c.rank, 4+len(buf))
 		return nil
 	}
 	recvChunk := func() ([]float32, error) {
-		buf, err := readFrame(prevConn)
+		buf, err := c.readFrameFrom(prev)
 		if err != nil {
 			return nil, err
 		}

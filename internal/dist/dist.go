@@ -129,6 +129,14 @@ type Config struct {
 	// Resume, when non-nil, restores parameters and optimizer momentum on
 	// every worker before training starts (kill-and-resume).
 	Resume *checkpoint.State
+
+	// Fault, when non-nil, routes the gradient exchange through the
+	// failure-aware cluster runtime (internal/cluster) instead of the
+	// barrier-based collectives: heartbeats, bounded retry, straggler
+	// and dead-rank degradation policies, and checkpoint-based rejoin.
+	// Optionally injects a deterministic chaos schedule. Mutually
+	// exclusive with UseSparseAllreduce and MeasureAlpha.
+	Fault *FaultConfig
 }
 
 // IterTrace is one iteration's timing breakdown on rank 0.
@@ -181,6 +189,10 @@ type Result struct {
 	// Telemetry is the end-of-run snapshot of Config.Telemetry (nil when
 	// no registry was supplied).
 	Telemetry telemetry.Snapshot
+	// Fault is the fault-tolerance accounting of a Config.Fault run (nil
+	// otherwise): retries, suspicions, degraded iterations, rejoins,
+	// injected chaos counts, and permanently lost workers.
+	Fault *FaultReport
 }
 
 // ModeledWallSeconds returns the end-to-end modeled wall time: measured
@@ -235,6 +247,9 @@ func Train(c Config) (*Result, error) {
 		return nil, fmt.Errorf("dist: Model and Train dataset are required")
 	}
 	cfg := c.withDefaults()
+	if cfg.Fault != nil {
+		return trainFault(cfg)
+	}
 	p := cfg.Workers
 	cluster := comm.NewCluster(p)
 

@@ -1,0 +1,449 @@
+package dist
+
+// Failure-aware training path: when Config.Fault is set, the exchange
+// runs through the internal/cluster runtime over a point-to-point mesh
+// instead of the barrier-based collectives. Dead ranks are suspected and
+// handled by the configured degradation policy, stragglers by the
+// straggler policy, and a crashed rank rejoins mid-run from the latest
+// in-runtime checkpoint. Config.Fault.Chaos optionally wraps every
+// worker's transport in the deterministic fault injector — the test
+// harness for all of the above.
+//
+// Divergence accounting: a degraded round makes survivors average over
+// fewer (or one-round-stale) contributions, so replicas can drift apart
+// until the next parameter re-broadcast. The runtime therefore forces a
+// re-sync whenever the membership epoch changes, and a rank whose own
+// gradient was computed but never shipped folds it into the feedback
+// residual (when the compressor is error-feedback wrapped) — the same
+// bounded-error budget that covers sparsification (Assumption 3.2 /
+// Sec. 3.4) covers the one-round stale or missing contribution.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"fftgrad/internal/chaos"
+	"fftgrad/internal/checkpoint"
+	"fftgrad/internal/cluster"
+	"fftgrad/internal/comm"
+	"fftgrad/internal/compress"
+	"fftgrad/internal/data"
+	"fftgrad/internal/nn"
+	"fftgrad/internal/optim"
+	"fftgrad/internal/telemetry"
+)
+
+// FaultConfig enables the failure-aware runtime for a run.
+type FaultConfig struct {
+	// Cluster tunes heartbeats, retry/backoff, policies and rejoin.
+	Cluster cluster.Config
+	// Chaos, when non-nil, injects the given deterministic fault schedule
+	// into every worker's transport.
+	Chaos *chaos.Config
+}
+
+// FaultReport is the end-of-run fault accounting (Result.Fault).
+type FaultReport struct {
+	// Cluster is the runtime's cumulative view: retries, suspicions,
+	// degraded iterations, stale reuses, rejoins, skipped syncs.
+	Cluster cluster.Stats
+	// Chaos counts the injected faults (nil when no chaos was configured).
+	Chaos *chaos.Stats
+	// LostWorkers counts ranks that left permanently and did not return
+	// (the run still completed under the degradation policy).
+	LostWorkers int
+}
+
+// residualSink is implemented by error-feedback compressors; the trainer
+// uses it to keep a computed-but-unshipped gradient in the information
+// stream instead of discarding it.
+type residualSink interface{ AddToResidual([]float32) }
+
+// trainFault is Train for Config.Fault != nil.
+func trainFault(cfg Config) (*Result, error) {
+	if cfg.UseSparseAllreduce {
+		return nil, fmt.Errorf("dist: Fault and UseSparseAllreduce are mutually exclusive (the ring collective has no failure-aware variant yet)")
+	}
+	if cfg.MeasureAlpha {
+		return nil, fmt.Errorf("dist: MeasureAlpha requires the barrier-based exchange; disable Fault")
+	}
+	p := cfg.Workers
+	rt := cluster.New(p, cfg.Fault.Cluster)
+	mesh := comm.NewMesh(p)
+	var harness *chaos.Harness
+	if cfg.Fault.Chaos != nil {
+		harness = chaos.NewHarness(p, *cfg.Fault.Chaos)
+	}
+
+	if cfg.Adapt != nil {
+		cfg.stageTimer = cfg.Adapt.StageTimer()
+	} else if cfg.Telemetry != nil {
+		cfg.stageTimer = telemetry.NewStageTimer()
+	}
+	rt.AttachStageTimer(cfg.stageTimer)
+	if cfg.Telemetry != nil {
+		rt.Instrument(cfg.Telemetry)
+		if harness != nil {
+			harness.Instrument(cfg.Telemetry)
+		}
+		cfg.stageTimer.Register(cfg.Telemetry)
+		if cfg.Adapt != nil {
+			cfg.Adapt.Register(cfg.Telemetry)
+		}
+	}
+
+	members := make([]*cluster.Member, p)
+	for rank := 0; rank < p; rank++ {
+		var tr comm.Transport = mesh.Endpoint(rank)
+		if harness != nil {
+			tr = harness.Wrap(tr)
+		}
+		members[rank] = rt.Join(tr)
+	}
+
+	results := make([]*Result, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for rank := 0; rank < p; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			results[rank], errs[rank] = runWorkerFault(cfg, members[rank], rt)
+			// A worker that finished cleanly keeps its member alive —
+			// heartbeats and nack repair keep serving a slower rank still
+			// catching up after a rejoin. A terminally failed worker goes
+			// silent instead, so survivors suspect it rather than waiting
+			// on a straggler that will never deliver.
+			if errs[rank] != nil {
+				members[rank].Close()
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for _, m := range members {
+		m.Close()
+	}
+
+	report := &FaultReport{Cluster: rt.Stats()}
+	if harness != nil {
+		s := harness.Stats()
+		report.Chaos = &s
+	}
+	for rank, err := range errs {
+		if err == nil {
+			continue
+		}
+		// A non-root rank that died and could not come back is a degraded
+		// but successful run — exactly what the policies exist for. Every
+		// other error class (quorum loss, fail-fast, stall, or losing the
+		// bookkeeping root) fails the run, typed.
+		if rank != 0 && (cluster.IsRecoverable(err) || errors.Is(err, cluster.ErrRejoinTimeout)) {
+			report.LostWorkers++
+			continue
+		}
+		return nil, err
+	}
+	res := results[0]
+	res.Fault = report
+	if cfg.Telemetry != nil {
+		res.Telemetry = cfg.Telemetry.Snapshot()
+	}
+	return res, nil
+}
+
+// runWorkerFault is runWorker with the exchange and parameter sync
+// routed through the failure-aware member.
+func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result, error) {
+	rank := m.Rank()
+	p := rt.P()
+	isRoot := rank == 0
+
+	net := cfg.Model(cfg.Seed)
+	n := net.NumParams()
+	shard := cfg.Train.Shard(rank, p)
+	it := data.NewIterator(shard.Len(), cfg.Batch, cfg.Seed+int64(rank)*7919)
+	sgd := optim.NewSGD(cfg.LR.LR(0), cfg.Momentum, n)
+	if cfg.Resume != nil {
+		if err := cfg.Resume.Apply(net, sgd); err != nil {
+			return nil, fmt.Errorf("dist: rank %d resume: %w", rank, err)
+		}
+	}
+	comp := cfg.NewCompressor()
+	compress.Instrument(comp, cfg.stageTimer)
+
+	grad := make([]float32, n)
+	avg := make([]float32, n)
+	recon := make([]float32, n)
+	delta := make([]float32, n)
+	loss := nn.SoftmaxCE{}
+	fp32 := compress.FP32{}
+
+	res := &Result{GradSize: n}
+	var totalMsgBytes float64
+	var lossSum float64
+	var lossCount int
+	totalIters := cfg.Epochs * cfg.ItersPerEpoch
+
+	var msgBuf []byte // mesh sends copy, so one buffer suffices
+	var syncFlat []float32
+	var syncPayload []byte
+	var liveRatio float64
+
+	// Seed the rejoin store so a rank crashing before the first epoch
+	// boundary can still restore something consistent.
+	if isRoot {
+		rt.PublishCheckpoint(checkpoint.Capture(net, sgd, 0, 0), 0)
+	}
+
+	iter := 0
+	forceSync := false
+	// rejoin parks until the transport heals, restores the published
+	// checkpoint when this rank was evicted, and fast-forwards to the
+	// exchange frontier. Returns a terminal error when re-entry failed.
+	rejoin := func() error {
+		view, frontier, st, err := m.AwaitRejoin()
+		if err != nil {
+			return fmt.Errorf("dist: rank %d: %w", rank, err)
+		}
+		if st != nil {
+			if aerr := st.Apply(net, sgd); aerr != nil {
+				return fmt.Errorf("dist: rank %d restoring checkpoint on rejoin: %w", rank, aerr)
+			}
+		}
+		if f := int(frontier); f > iter {
+			iter = f
+		}
+		forceSync = true
+		_ = view
+		return nil
+	}
+
+	for iter < totalIters {
+		epoch := iter / cfg.ItersPerEpoch
+		sgd.LR = cfg.LR.LR(epoch)
+		theta := math.NaN()
+		if cfg.ThetaSchedule != nil {
+			theta = cfg.ThetaSchedule.Theta(epoch)
+			if ts, ok := comp.(compress.ThetaSetter); ok {
+				ts.SetTheta(theta)
+			}
+		}
+
+		// --- local gradient ---------------------------------------------
+		t0 := time.Now()
+		x, labels := shard.Batch(it.Next())
+		net.ZeroGrads()
+		logits := net.Forward(x, true)
+		l, dl := loss.Loss(logits, labels)
+		net.Backward(dl)
+		net.FlattenGrads(grad)
+		computeT := time.Since(t0)
+		if isRoot {
+			lossSum += l
+			lossCount++
+			if cfg.SampleGradients > 0 && iter%cfg.SampleGradients == 0 {
+				res.GradSamples = append(res.GradSamples, append([]float32(nil), grad...))
+			}
+		}
+
+		// --- adaptive compression decision -------------------------------
+		iterComp := comp
+		compressed := true
+		if cfg.Adapt != nil {
+			adTheta := theta
+			if math.IsNaN(adTheta) {
+				adTheta = 0
+			}
+			d := cfg.Adapt.DecideIter(iter, liveRatio, adTheta)
+			if !d.Compress {
+				iterComp = compress.Compressor(fp32)
+				compressed = false
+			} else if d.ThetaAdjusted {
+				if ts, ok := comp.(compress.ThetaSetter); ok {
+					ts.SetTheta(d.Theta)
+					theta = d.Theta
+				}
+			}
+		}
+
+		// --- compress + failure-aware exchange ----------------------------
+		t0 = time.Now()
+		msg, err := compress.AppendCompress(iterComp, msgBuf[:0], grad)
+		if err != nil {
+			return nil, fmt.Errorf("dist: rank %d compress: %w", rank, err)
+		}
+		msgBuf = msg
+		compressT := time.Since(t0)
+		msgBytes := len(msg)
+		if compressed && msgBytes > 0 {
+			liveRatio = float64(4*n) / float64(msgBytes)
+		}
+
+		tEx := time.Now()
+		ex, err := m.Exchange(uint64(iter), msg)
+		exchangeS := time.Since(tEx).Seconds()
+		if err != nil {
+			if cluster.IsRecoverable(err) {
+				// This gradient was computed but never averaged anywhere:
+				// keep it in the stream via the error-feedback residual.
+				if sink, ok := comp.(residualSink); ok {
+					sink.AddToResidual(grad)
+				}
+				if rerr := rejoin(); rerr != nil {
+					return res, rerr
+				}
+				continue
+			}
+			return nil, fmt.Errorf("dist: rank %d exchange %d: %w", rank, iter, err)
+		}
+
+		// --- average over actual contributors -----------------------------
+		t0 = time.Now()
+		inv := 1 / float32(ex.Contributors)
+		for i := range avg {
+			avg[i] = 0
+		}
+		maxBytes := 0
+		for _, mm := range ex.Msgs {
+			if mm == nil {
+				continue
+			}
+			if len(mm) > maxBytes {
+				maxBytes = len(mm)
+			}
+			if err := compress.DecompressInto(iterComp, recon, mm); err != nil {
+				return nil, fmt.Errorf("dist: rank %d decompress: %w", rank, err)
+			}
+			for i, v := range recon {
+				avg[i] += v
+			}
+		}
+		for i := range avg {
+			avg[i] *= inv
+		}
+		decompressT := time.Since(t0)
+
+		if st := cfg.stageTimer; st != nil && msgBytes > 0 {
+			if cfg.Fabric != nil {
+				if isRoot {
+					st.ObserveStage(telemetry.StageComm, maxBytes, cfg.Fabric.Allgather(p, maxBytes))
+				}
+			} else {
+				st.ObserveStage(telemetry.StageComm, msgBytes, exchangeS)
+			}
+		}
+
+		// --- update --------------------------------------------------------
+		t0 = time.Now()
+		sgd.Delta(delta, avg)
+		net.AddToParams(delta)
+		updateT := time.Since(t0)
+
+		// --- parameter re-broadcast ----------------------------------------
+		// The periodic sync also runs early after any view change: degraded
+		// rounds and rejoins both leave replicas slightly apart, and the
+		// re-broadcast is what bounds that drift window.
+		var syncBytes int
+		if (iter+1)%cfg.SyncEvery == 0 || forceSync || ex.EpochChanged {
+			root := ex.View.LowestAlive()
+			if root >= 0 {
+				if syncFlat == nil {
+					syncFlat = make([]float32, n)
+				}
+				var payload []byte
+				if rank == root {
+					flat := net.GetParams(syncFlat)
+					payload, _ = fp32.AppendCompress(syncPayload[:0], flat)
+					syncPayload = payload
+				}
+				got, ok, serr := m.SyncBroadcast(uint64(iter+1), payload, root)
+				if serr != nil {
+					if cluster.IsRecoverable(serr) {
+						if rerr := rejoin(); rerr != nil {
+							return res, rerr
+						}
+						continue
+					}
+					return nil, fmt.Errorf("dist: rank %d sync %d: %w", rank, iter, serr)
+				}
+				if ok && rank != root {
+					if err := fp32.DecompressInto(syncFlat, got); err != nil {
+						return nil, err
+					}
+					net.SetParams(syncFlat)
+				}
+				if ok {
+					syncBytes = n * 4
+				}
+			}
+			forceSync = false
+		}
+
+		// --- bookkeeping (rank 0) ------------------------------------------
+		if isRoot {
+			res.Iterations++
+			totalMsgBytes += float64(msgBytes)
+			res.ComputeSeconds += computeT.Seconds() + updateT.Seconds()
+			res.CompressSeconds += compressT.Seconds() + decompressT.Seconds()
+			res.CommMeasuredSeconds += exchangeS
+			if !compressed {
+				res.BypassedIterations++
+			}
+			var commS float64
+			if cfg.Fabric != nil {
+				commS = cfg.Fabric.Allgather(p, maxBytes)
+				if syncBytes > 0 {
+					commS += cfg.Fabric.Broadcast(p, syncBytes)
+				}
+				res.CommSeconds += commS
+			}
+			if cfg.Trace {
+				res.Trace = append(res.Trace, IterTrace{
+					Iter:          iter,
+					ComputeS:      computeT.Seconds() + updateT.Seconds(),
+					CompressS:     compressT.Seconds() + decompressT.Seconds(),
+					CommS:         commS,
+					CommMeasuredS: exchangeS,
+					MsgBytes:      msgBytes,
+					Theta:         theta,
+					Compressed:    compressed,
+				})
+			}
+		}
+
+		// --- epoch boundary -------------------------------------------------
+		if (iter+1)%cfg.ItersPerEpoch == 0 {
+			if isRoot {
+				stats := EpochStats{
+					Epoch:     epoch,
+					TrainLoss: lossSum / float64(lossCount),
+					LR:        sgd.LR,
+					Theta:     theta,
+				}
+				lossSum, lossCount = 0, 0
+				if cfg.Test != nil {
+					stats.TestAcc = evaluate(net, cfg.Test, cfg.Batch)
+				}
+				res.Epochs = append(res.Epochs, stats)
+				if cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil && (epoch+1)%cfg.CheckpointEvery == 0 {
+					cfg.OnCheckpoint(checkpoint.Capture(net, sgd, int64(epoch), int64(iter)))
+				}
+			}
+			// The current sync root (not necessarily rank 0 — it may be
+			// dead) publishes the rejoin checkpoint.
+			if rank == ex.View.LowestAlive() {
+				rt.PublishCheckpoint(checkpoint.Capture(net, sgd, int64(epoch), int64(iter)), uint64(iter+1))
+			}
+		}
+		iter++
+	}
+
+	if isRoot && res.Iterations > 0 {
+		res.AvgMsgBytes = totalMsgBytes / float64(res.Iterations)
+		res.CompressionRatio = float64(n*4) / res.AvgMsgBytes
+	}
+	return res, nil
+}

@@ -81,6 +81,25 @@ func (c *Compressor) Decompress(dst []float32, msg []byte) error {
 	return c.inner.Decompress(dst, msg)
 }
 
+// AddToResidual folds g into the residual. The failure-aware trainer
+// calls this with a gradient that was computed but never shipped (the
+// rank crashed or was evicted before its exchange completed): instead of
+// discarding the work, the information re-enters the stream on the next
+// successful iteration, exactly like sparsification error under the
+// Sec. 3.4 bounded-error assumption.
+func (c *Compressor) AddToResidual(g []float32) {
+	if c.residual == nil {
+		c.residual = make([]float32, len(g))
+		c.carry = make([]float32, len(g))
+	}
+	if len(c.residual) != len(g) {
+		return
+	}
+	for i, v := range g {
+		c.residual[i] += v
+	}
+}
+
 // ResidualNorm returns the L2 norm of the current residual — a direct
 // measurement of how much information is in flight (deferred, not lost).
 func (c *Compressor) ResidualNorm() float64 {
