@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json experiments examples fmt check chaos
+.PHONY: all build vet test race bench bench-json experiments examples fmt check chaos guard fuzz
 
 all: build vet test
 
@@ -11,7 +11,7 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/ ./internal/telemetry/ ./internal/adapt/ ./internal/cluster/ ./internal/chaos/
+	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/ ./internal/telemetry/ ./internal/adapt/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/checkpoint/
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/comm/ ./internal/dist/ ./internal/ps/ ./internal/cluster/ ./internal/chaos/
+	$(GO) test -race ./internal/comm/ ./internal/dist/ ./internal/ps/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/
 
 # Chaos gate: the failure-policy suite plus a short fault-injected
 # training run (5% drop, delays, one crash+rejoin) that must converge.
@@ -31,6 +31,21 @@ chaos:
 	$(GO) test -run 'Chaos|Fault|Partition|Rejoin|Straggler|Suspect' -v ./internal/cluster/ ./internal/chaos/ ./internal/dist/
 	$(GO) run ./cmd/trainer -model mlp -epochs 2 -workers 4 -fault-aware \
 		-chaos-drop 0.05 -chaos-delay 10ms -chaos-crash 2 -chaos-crash-at 1200 -chaos-crash-for 1000
+
+# Guard gate: the integrity suite plus a training run under seeded
+# single-bit wire corruption — every corrupt frame must be caught by
+# the CRC and repaired, and the run must converge.
+guard:
+	$(GO) test -run 'Guard|Frame|Scrub|Detector|Fingerprint|Corrupt|Ring|WriteFileAtomic' -v \
+		./internal/guard/ ./internal/checkpoint/ ./internal/chaos/ ./internal/dist/
+	$(GO) run ./cmd/trainer -model mlp -epochs 2 -workers 4 -fault-aware -guard \
+		-chaos-corrupt 0.05
+
+# Fuzz smoke: a short wall-clock-bounded pass over the compressed
+# message decoder and the guard frame decoder.
+fuzz:
+	$(GO) test -fuzz=FuzzDecompressRobustness -fuzztime=15s -run '^$$' ./internal/compress/
+	$(GO) test -fuzz=FuzzUnframe -fuzztime=15s -run '^$$' ./internal/guard/
 
 # One pass over every benchmark (each experiment bench runs its full
 # quick workload once).

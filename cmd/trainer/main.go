@@ -21,6 +21,7 @@ import (
 	"fftgrad/internal/compress"
 	"fftgrad/internal/data"
 	"fftgrad/internal/dist"
+	"fftgrad/internal/guard"
 	"fftgrad/internal/models"
 	"fftgrad/internal/netsim"
 	"fftgrad/internal/nn"
@@ -63,7 +64,15 @@ func main() {
 	chaosCrash := flag.Int("chaos-crash", -1, "chaos: rank to crash mid-run (-1: none)")
 	chaosCrashAt := flag.Uint64("chaos-crash-at", 1000, "chaos: crash at this transport-op index")
 	chaosCrashFor := flag.Uint64("chaos-crash-for", 1000, "chaos: recover after this many ops (0: never)")
+	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "chaos: per-message single-bit-flip probability")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault-schedule seed")
+
+	// Gradient integrity guard (internal/guard).
+	guardOn := flag.Bool("guard", false, "enable the gradient integrity guard (CRC framing, scrub, anomaly detector, drift checks)")
+	guardCRC := flag.Bool("guard-crc", true, "with -guard, CRC32C-frame every compressed gradient message")
+	guardScrub := flag.String("guard-scrub", "clamp", "with -guard, non-finite gradient policy: off | clamp | skip")
+	guardDriftEvery := flag.Int("guard-drift-every", 50, "with -guard, iterations between cross-rank parameter fingerprint checks (0: off)")
+	guardRollbackAfter := flag.Int("guard-rollback-after", 6, "with -guard, consecutive anomalies before auto-rollback")
 	flag.Parse()
 
 	newCompressor, err := buildCompressor(*method, *theta)
@@ -113,7 +122,21 @@ func main() {
 	if *adaptive {
 		cfg.Adapt = adapt.New(adapt.Config{AdjustTheta: *adaptTheta}, nil)
 	}
-	chaosWanted := *chaosDrop > 0 || *chaosDelay > 0 || *chaosDup > 0 || *chaosCrash >= 0
+	if *guardOn {
+		policy, err := guard.ParseScrubPolicy(*guardScrub)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Guard = &guard.Config{
+			CRC:           *guardCRC,
+			Scrub:         policy,
+			Detect:        true,
+			DriftEvery:    *guardDriftEvery,
+			RollbackAfter: *guardRollbackAfter,
+		}
+	}
+	chaosWanted := *chaosDrop > 0 || *chaosDelay > 0 || *chaosDup > 0 || *chaosCrash >= 0 || *chaosCorrupt > 0
 	if *faultAware || chaosWanted {
 		policy, err := cluster.ParsePolicy(*onFailure)
 		if err != nil {
@@ -140,6 +163,7 @@ func main() {
 				DelayProb: *chaosDelayProb,
 				Delay:     *chaosDelay,
 				Dup:       *chaosDup,
+				Corrupt:   *chaosCorrupt,
 			}
 			if *chaosCrash >= 0 {
 				cc.Crashes = []chaos.CrashEvent{{Rank: *chaosCrash, AtOp: *chaosCrashAt, RecoverAfterOps: *chaosCrashFor}}
@@ -200,9 +224,13 @@ func main() {
 			fmt.Printf("fault runtime: %d worker(s) permanently lost; run completed degraded\n", res.Fault.LostWorkers)
 		}
 		if c := res.Fault.Chaos; c != nil {
-			fmt.Printf("chaos injected: %d drops, %d delays, %d dups, %d crashed ops, %d partitioned\n",
-				c.Drops, c.Delays, c.Dups, c.CrashedOps, c.Partitioned)
+			fmt.Printf("chaos injected: %d drops, %d delays, %d dups, %d corruptions, %d crashed ops, %d partitioned\n",
+				c.Drops, c.Delays, c.Dups, c.Corruptions, c.CrashedOps, c.Partitioned)
 		}
+	}
+	if g := res.Guard; g != nil {
+		fmt.Printf("guard: %d corrupt frames rejected, %d values scrubbed (%d gradients withheld), %d anomalies (%d clips, %d skipped updates, %d rollbacks), %d drift checks (%d forced re-syncs)\n",
+			g.CorruptFrames, g.ScrubbedValues, g.SkippedGradients, g.Anomalies, g.Clips, g.SkippedUpdates, g.Rollbacks, g.DriftChecks, g.DriftResyncs)
 	}
 	if *alpha && len(res.Alpha) > 0 {
 		e := stats.NewECDF(res.Alpha)

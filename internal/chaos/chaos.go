@@ -60,6 +60,12 @@ type Config struct {
 	Delay     time.Duration
 	// Dup is the per-message duplication probability.
 	Dup float64
+	// Corrupt is the per-message probability of a single bit flip at a
+	// deterministic position in the payload — the silent-corruption model
+	// exercised by the internal/guard CRC framing. A single flipped bit is
+	// always caught by CRC32C, so with framing enabled every corruption
+	// must surface as a rejected frame, never as a garbage gradient.
+	Corrupt float64
 
 	Crashes   []CrashEvent
 	Partition *Partition
@@ -70,6 +76,7 @@ type Stats struct {
 	Drops       uint64
 	Delays      uint64
 	Dups        uint64
+	Corruptions uint64
 	CrashedOps  uint64
 	Partitioned uint64
 }
@@ -81,7 +88,7 @@ type Harness struct {
 	globalOp atomic.Uint64
 	inPart   []bool // rank -> member of the partitioned side
 
-	drops, delays, dups, crashedOps, partitioned atomic.Uint64
+	drops, delays, dups, corruptions, crashedOps, partitioned atomic.Uint64
 }
 
 // NewHarness builds the shared fault scheduler for p ranks.
@@ -103,6 +110,7 @@ func (h *Harness) Stats() Stats {
 		Drops:       h.drops.Load(),
 		Delays:      h.delays.Load(),
 		Dups:        h.dups.Load(),
+		Corruptions: h.corruptions.Load(),
 		CrashedOps:  h.crashedOps.Load(),
 		Partitioned: h.partitioned.Load(),
 	}
@@ -116,6 +124,8 @@ func (h *Harness) Instrument(reg *telemetry.Registry) {
 		func() float64 { return float64(h.delays.Load()) })
 	reg.GaugeFunc("fftgrad_chaos_dups_total", "chaos-injected message duplications",
 		func() float64 { return float64(h.dups.Load()) })
+	reg.GaugeFunc("fftgrad_chaos_corruptions_total", "chaos-injected single-bit payload flips",
+		func() float64 { return float64(h.corruptions.Load()) })
 	reg.GaugeFunc("fftgrad_chaos_crashed_ops_total", "transport ops refused inside crash windows",
 		func() float64 { return float64(h.crashedOps.Load()) })
 	reg.GaugeFunc("fftgrad_chaos_partitioned_total", "messages dropped at a partition boundary",
@@ -204,6 +214,16 @@ func (t *Transport) Send(to int, m comm.Message) error {
 		t.h.drops.Add(1)
 		return nil // lost on the wire
 	}
+	if t.h.cfg.Corrupt > 0 && len(m.Payload) > 0 && t.roll(op, 0x05) < t.h.cfg.Corrupt {
+		t.h.corruptions.Add(1)
+		// Flip one deterministic bit. The payload is copied first: the
+		// sender's buffer must stay pristine — the wire corrupted the
+		// frame, not the process that produced it (the nack/resend path
+		// relies on the sender still holding the good bytes).
+		bit := splitmix64(uint64(t.h.cfg.Seed)^uint64(t.rank)*0xA24BAED4963EE407^op*0x9FB21C651E98DF25^0x06) % uint64(len(m.Payload)*8)
+		m.Payload = append([]byte(nil), m.Payload...)
+		m.Payload[bit/8] ^= 1 << (bit % 8)
+	}
 	dup := t.h.cfg.Dup > 0 && t.roll(op, 0x02) < t.h.cfg.Dup
 	if t.h.cfg.DelayProb > 0 && t.h.cfg.Delay > 0 && t.roll(op, 0x03) < t.h.cfg.DelayProb {
 		t.h.delays.Add(1)
@@ -257,7 +277,7 @@ func (t *Transport) Recv(timeout time.Duration) (comm.Message, error) {
 
 // String describes the schedule (for logs and run summaries).
 func (c Config) String() string {
-	s := fmt.Sprintf("chaos{seed=%d drop=%.2g delay=%.2g@%s dup=%.2g", c.Seed, c.Drop, c.DelayProb, c.Delay, c.Dup)
+	s := fmt.Sprintf("chaos{seed=%d drop=%.2g delay=%.2g@%s dup=%.2g corrupt=%.2g", c.Seed, c.Drop, c.DelayProb, c.Delay, c.Dup, c.Corrupt)
 	for _, cr := range c.Crashes {
 		s += fmt.Sprintf(" crash[r%d@%d+%d]", cr.Rank, cr.AtOp, cr.RecoverAfterOps)
 	}

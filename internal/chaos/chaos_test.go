@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"errors"
+	"math/bits"
 	"testing"
 	"time"
 
@@ -155,6 +156,68 @@ func TestDupDeliversTwice(t *testing.T) {
 		}
 		if msg.Seq != 5 || string(msg.Payload) != "twin" {
 			t.Fatalf("copy %d corrupted: %+v", i, msg)
+		}
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	mesh := comm.NewMesh(2)
+	h := NewHarness(2, Config{Seed: 13, Corrupt: 1})
+	src := h.Wrap(mesh.Endpoint(0))
+	dst := mesh.Endpoint(1)
+	orig := []byte{0x00, 0xFF, 0x55, 0xAA, 0x12, 0x34}
+	sent := append([]byte(nil), orig...)
+	if err := src.Send(1, comm.Message{Payload: sent}); err != nil {
+		t.Fatal(err)
+	}
+	// Corruption copies before flipping — the sender's buffer (the
+	// cluster's resend ring) must stay intact.
+	for i := range sent {
+		if sent[i] != orig[i] {
+			t.Fatal("corruption mutated the sender's buffer")
+		}
+	}
+	msg, err := dst.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffBits := 0
+	for i := range orig {
+		diffBits += bits.OnesCount8(msg.Payload[i] ^ orig[i])
+	}
+	if diffBits != 1 {
+		t.Fatalf("corruption flipped %d bits, want exactly 1", diffBits)
+	}
+	if h.Stats().Corruptions != 1 {
+		t.Fatalf("corruptions = %d, want 1", h.Stats().Corruptions)
+	}
+}
+
+// TestCorruptDeterministic: which messages are corrupted, and which bit
+// flips, is a pure function of the seed.
+func TestCorruptDeterministic(t *testing.T) {
+	run := func(seed int64) [][]byte {
+		mesh := comm.NewMesh(2)
+		h := NewHarness(2, Config{Seed: seed, Corrupt: 0.5})
+		src := h.Wrap(mesh.Endpoint(0))
+		dst := mesh.Endpoint(1)
+		var out [][]byte
+		for i := 0; i < 50; i++ {
+			if err := src.Send(1, comm.Message{Seq: uint64(i), Payload: []byte{1, 2, 3, 4}}); err != nil {
+				t.Fatal(err)
+			}
+			msg, err := dst.Recv(time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, append([]byte(nil), msg.Payload...))
+		}
+		return out
+	}
+	a, b := run(21), run(21)
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("same seed produced different corruption at message %d", i)
 		}
 	}
 }

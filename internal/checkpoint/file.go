@@ -1,0 +1,139 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// WriteFileAtomic serializes s to path so a crash mid-write can never
+// leave a half-written checkpoint under the final name: the bytes go to
+// a temp file in the same directory, are fsynced, and only then renamed
+// into place (rename within a directory is atomic on POSIX). The
+// directory is fsynced afterwards so the rename itself survives a
+// crash. Combined with the format's CRC trailer this gives the rollback
+// ring its invariant: any file that exists under its final name either
+// reads back bit-exact or is detected as corrupt.
+func WriteFileAtomic(path string, s *State) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Write(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory (best effort on platforms where
+// directories cannot be opened for sync).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// Ring is a keep-last-K on-disk retention ring of checkpoints: Save
+// writes atomically and prunes beyond Keep, Latest loads the newest
+// checkpoint that still passes its CRC — a corrupt or truncated latest
+// falls back to the previous one instead of failing the restore.
+type Ring struct {
+	Dir  string
+	Keep int
+}
+
+// NewRing creates (if needed) dir and returns a ring keeping the last
+// keep checkpoints (minimum 1).
+func NewRing(dir string, keep int) (*Ring, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Ring{Dir: dir, Keep: keep}, nil
+}
+
+// path names a slot by iteration; the zero-padded decimal makes
+// lexicographic order equal numeric order.
+func (r *Ring) path(iter int64) string {
+	return filepath.Join(r.Dir, fmt.Sprintf("ckpt-%012d.fgck", iter))
+}
+
+// Save writes s atomically and prunes the oldest slots beyond Keep.
+// Re-saving the same iteration overwrites its slot.
+func (r *Ring) Save(s *State) (string, error) {
+	path := r.path(s.Iter)
+	if err := WriteFileAtomic(path, s); err != nil {
+		return "", err
+	}
+	paths, err := r.Paths()
+	if err != nil {
+		return path, err
+	}
+	for len(paths) > r.Keep {
+		if err := os.Remove(paths[0]); err != nil && !os.IsNotExist(err) {
+			return path, err
+		}
+		paths = paths[1:]
+	}
+	return path, nil
+}
+
+// Paths lists the ring's checkpoint files, oldest first.
+func (r *Ring) Paths() ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(r.Dir, "ckpt-*.fgck"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Latest loads the newest checkpoint that passes integrity checking,
+// walking backwards past corrupt or truncated files. It returns the
+// state, the path it came from, and an error only when no slot in the
+// ring is readable.
+func (r *Ring) Latest() (*State, string, error) {
+	paths, err := r.Paths()
+	if err != nil {
+		return nil, "", err
+	}
+	var lastErr error
+	for i := len(paths) - 1; i >= 0; i-- {
+		f, err := os.Open(paths[i])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		s, err := Read(f)
+		f.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("%s: %w", filepath.Base(paths[i]), err)
+			continue
+		}
+		return s, paths[i], nil
+	}
+	if lastErr != nil {
+		return nil, "", fmt.Errorf("checkpoint: no readable checkpoint in ring: %w", lastErr)
+	}
+	return nil, "", fmt.Errorf("checkpoint: ring %s is empty", r.Dir)
+}

@@ -189,6 +189,14 @@ type Config struct {
 	RejoinWait time.Duration
 	// Seed feeds the deterministic backoff jitter.
 	Seed int64
+	// Verify, when non-nil, is the wire integrity check (internal/guard's
+	// frame verifier) applied to every inbound data and sync payload
+	// before it is surfaced to the exchange. A failing payload is counted
+	// and dropped in the receiver — a corrupt frame is treated exactly
+	// like a lost one, so the existing nack/resend (or sync retry) path
+	// repairs it with a fresh copy and garbage bytes never reach the
+	// decompressor.
+	Verify func(payload []byte) error
 }
 
 func (c Config) withDefaults() Config {
@@ -261,6 +269,7 @@ type Stats struct {
 	Rejoins            uint64 // ranks re-admitted to the view
 	SkippedSyncs       uint64 // parameter re-broadcasts abandoned
 	ViewChanges        uint64 // epoch bumps (suspicions + rejoins)
+	CorruptFrames      uint64 // inbound payloads rejected by Verify
 	FinalAlive         int    // live ranks at snapshot time
 }
 
@@ -279,13 +288,14 @@ type Runtime struct {
 	ckpt        *checkpoint.State
 	ckptSeq     uint64
 
-	retries      atomic.Uint64
-	suspicions   atomic.Uint64
-	degraded     atomic.Uint64
-	staleReuses  atomic.Uint64
-	rejoins      atomic.Uint64
-	skippedSyncs atomic.Uint64
-	viewChanges  atomic.Uint64
+	retries       atomic.Uint64
+	suspicions    atomic.Uint64
+	degraded      atomic.Uint64
+	staleReuses   atomic.Uint64
+	rejoins       atomic.Uint64
+	skippedSyncs  atomic.Uint64
+	viewChanges   atomic.Uint64
+	corruptFrames atomic.Uint64
 
 	// Optional telemetry mirrors (nil-safe when uninstrumented).
 	cRetries    *telemetry.Counter
@@ -344,6 +354,10 @@ func (rt *Runtime) Instrument(reg *telemetry.Registry) {
 		func() float64 { return float64(rt.rejoins.Load()) })
 	reg.GaugeFunc("fftgrad_cluster_skipped_syncs_total", "parameter re-broadcasts abandoned",
 		func() float64 { return float64(rt.skippedSyncs.Load()) })
+	if rt.cfg.Verify != nil {
+		reg.GaugeFunc("fftgrad_guard_corrupt_frames", "inbound frames rejected by the integrity check before decompression",
+			func() float64 { return float64(rt.corruptFrames.Load()) })
+	}
 }
 
 // AttachStageTimer lets the exchange derive its straggler wait budget
@@ -367,6 +381,7 @@ func (rt *Runtime) Stats() Stats {
 		Rejoins:            rt.rejoins.Load(),
 		SkippedSyncs:       rt.skippedSyncs.Load(),
 		ViewChanges:        rt.viewChanges.Load(),
+		CorruptFrames:      rt.corruptFrames.Load(),
 		FinalAlive:         rt.View().AliveCount(),
 	}
 }
@@ -472,5 +487,7 @@ func (rt *Runtime) noteDegraded(rank int) {
 }
 
 func (rt *Runtime) noteStaleReuse() { rt.staleReuses.Add(1) }
+
+func (rt *Runtime) noteCorrupt() { rt.corruptFrames.Add(1) }
 
 func (rt *Runtime) noteSkippedSync() { rt.skippedSyncs.Add(1) }

@@ -208,6 +208,17 @@ func (m *Member) receiver() {
 				_ = m.tr.Send(msg.From, comm.Message{Seq: seq, Kind: kindSync, Payload: buf})
 			}
 		case kindData, kindSync:
+			if v := m.rt.cfg.Verify; v != nil {
+				if err := v(msg.Payload); err != nil {
+					// Corrupt frame: reject before it can reach a
+					// decompressor. Dropping here makes corruption
+					// indistinguishable from loss, so the nack/resend (or
+					// sync retry) machinery fetches a fresh copy from the
+					// sender, whose buffer still holds the good bytes.
+					m.rt.noteCorrupt()
+					continue
+				}
+			}
 			select {
 			case m.dataCh <- msg:
 			default:

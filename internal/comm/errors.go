@@ -23,6 +23,12 @@ var (
 	// mailbox, broken connection). Not retryable on its own; recovery goes
 	// through the cluster layer's suspicion and rejoin protocol.
 	ErrPeerDown = errors.New("comm: peer down")
+	// ErrCorrupt marks a frame that failed an integrity check (bad magic,
+	// unknown version, CRC mismatch). Retransmitting the same bytes cannot
+	// help, but the payload itself is recoverable: the cluster layer treats
+	// a corrupt frame exactly like a lost one and repairs it through the
+	// nack/resend path, which fetches a fresh copy from the sender.
+	ErrCorrupt = errors.New("comm: corrupt frame")
 )
 
 // OpError decorates a transport error with the operation and the ranks

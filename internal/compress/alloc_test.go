@@ -6,6 +6,7 @@ import (
 	"runtime/debug"
 	"testing"
 
+	"fftgrad/internal/guard"
 	"fftgrad/internal/telemetry"
 )
 
@@ -69,7 +70,10 @@ func TestZeroAllocRoundTrip(t *testing.T) {
 		t.Skip("allocation counts are inflated under -race")
 	}
 	st := telemetry.NewStageTimer()
-	for _, c := range []Compressor{NewFFT(0.85), NewDCT(0.85), NewTopK(0.85), FP32{}} {
+	for _, c := range []Compressor{
+		NewFFT(0.85), NewDCT(0.85), NewTopK(0.85), FP32{},
+		guard.NewFramed(NewFFT(0.85), true),
+	} {
 		c := c
 		t.Run(c.Name(), func(t *testing.T) {
 			Instrument(c, st)

@@ -2,9 +2,14 @@ package compress
 
 import (
 	"testing"
+
+	"fftgrad/internal/guard"
 )
 
-// fuzzTargets builds one of every decompressor.
+// fuzzTargets builds one of every decompressor, including the chunked
+// composite and the guard's CRC-framed wrapper (whose decoder must
+// reject — never crash on — arbitrary bytes before they reach the
+// inner codec).
 func fuzzTargets() []Compressor {
 	return []Compressor{
 		FP32{},
@@ -13,6 +18,8 @@ func fuzzTargets() []Compressor {
 		NewTernGrad(),
 		NewFFT(0.85),
 		NewDCT(0.85),
+		NewChunked(64, func() Compressor { return NewFFT(0.85) }),
+		guard.NewFramed(NewFFT(0.85), true),
 	}
 }
 

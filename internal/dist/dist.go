@@ -27,6 +27,7 @@ import (
 	"fftgrad/internal/comm"
 	"fftgrad/internal/compress"
 	"fftgrad/internal/data"
+	"fftgrad/internal/guard"
 	"fftgrad/internal/nn"
 	"fftgrad/internal/optim"
 	"fftgrad/internal/pack"
@@ -137,6 +138,21 @@ type Config struct {
 	// Optionally injects a deterministic chaos schedule. Mutually
 	// exclusive with UseSparseAllreduce and MeasureAlpha.
 	Fault *FaultConfig
+
+	// Guard, when non-nil and enabled, activates the data-plane
+	// integrity layer (internal/guard): CRC32C wire framing (rejected
+	// before decompression, repaired via nack/resend under Fault),
+	// pre-compress NaN/Inf scrubbing, the EWMA gradient-norm anomaly
+	// detector with its clip → skip → rollback escalation, and periodic
+	// cross-rank parameter-fingerprint drift detection with forced
+	// re-sync. The same Config must reach every rank (it defines the
+	// wire format); with healthy gradients the guards are bit-exact
+	// pure overhead. Incompatible with UseSparseAllreduce.
+	Guard *guard.Config
+
+	// guardStats is the run-wide shared guard accounting; created in
+	// withDefaults when Guard is enabled.
+	guardStats *guard.Stats
 }
 
 // IterTrace is one iteration's timing breakdown on rank 0.
@@ -193,6 +209,10 @@ type Result struct {
 	// otherwise): retries, suspicions, degraded iterations, rejoins,
 	// injected chaos counts, and permanently lost workers.
 	Fault *FaultReport
+	// Guard is the integrity-layer accounting of a Config.Guard run (nil
+	// otherwise): corrupt frames rejected, values scrubbed, anomalies
+	// and the escalation actions taken, drift checks and forced re-syncs.
+	Guard *guard.Report
 }
 
 // ModeledWallSeconds returns the end-to-end modeled wall time: measured
@@ -238,6 +258,15 @@ func (c *Config) withDefaults() Config {
 			cfg.ItersPerEpoch = 1
 		}
 	}
+	if cfg.Guard != nil {
+		if cfg.Guard.Enabled() {
+			g := cfg.Guard.WithDefaults()
+			cfg.Guard = &g
+			cfg.guardStats = &guard.Stats{}
+		} else {
+			cfg.Guard = nil
+		}
+	}
 	return cfg
 }
 
@@ -247,6 +276,9 @@ func Train(c Config) (*Result, error) {
 		return nil, fmt.Errorf("dist: Model and Train dataset are required")
 	}
 	cfg := c.withDefaults()
+	if cfg.Guard != nil && cfg.UseSparseAllreduce {
+		return nil, fmt.Errorf("dist: Guard requires the compressed-message exchange; disable UseSparseAllreduce")
+	}
 	if cfg.Fault != nil {
 		return trainFault(cfg)
 	}
@@ -266,6 +298,9 @@ func Train(c Config) (*Result, error) {
 		cfg.stageTimer.Register(cfg.Telemetry)
 		if cfg.Adapt != nil {
 			cfg.Adapt.Register(cfg.Telemetry)
+		}
+		if cfg.guardStats != nil {
+			cfg.guardStats.Register(cfg.Telemetry)
 		}
 	}
 
@@ -288,6 +323,10 @@ func Train(c Config) (*Result, error) {
 	if cfg.Telemetry != nil {
 		results[0].Telemetry = cfg.Telemetry.Snapshot()
 	}
+	if cfg.guardStats != nil {
+		rep := cfg.guardStats.Report()
+		results[0].Guard = &rep
+	}
 	return results[0], nil
 }
 
@@ -306,7 +345,8 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			return nil, fmt.Errorf("dist: rank %d resume: %w", rank, err)
 		}
 	}
-	comp := cfg.NewCompressor()
+	gs := newGuardState(cfg, rank, n)
+	comp := gs.wrap(cfg.NewCompressor())
 	compress.Instrument(comp, cfg.stageTimer)
 
 	grad := make([]float32, n)
@@ -323,6 +363,18 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 	totalIters := cfg.Epochs * cfg.ItersPerEpoch
 
 	fp32 := compress.FP32{}
+	// wireFP32 is the FP32 codec as it appears on the wire (framed under
+	// guard): the adapt bypass and the parameter sync go through it, so
+	// every exchanged message shares one frame format. MeasureAlpha's
+	// side-channel allgather keeps the raw fp32 — it is a measurement,
+	// not part of the guarded data plane.
+	wireFP32 := gs.wrap(fp32)
+
+	// Guard bookkeeping: forceSync triggers an off-cycle parameter
+	// re-broadcast (after drift or rollback); the retained ring seeds
+	// with the initial state so a rollback always has a target.
+	forceSync := false
+	gs.retain(checkpoint.Capture(net, sgd, 0, -1))
 
 	// Compressed messages are double-buffered across iterations: Allgather
 	// returns aliases of the senders' buffers, and peers keep reading
@@ -361,6 +413,7 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 		l, dl := loss.Loss(logits, labels)
 		net.Backward(dl)
 		net.FlattenGrads(grad)
+		gs.scrubGrad(grad)
 		computeT := time.Since(t0)
 		if isRoot {
 			lossSum += l
@@ -383,7 +436,7 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			}
 			d := cfg.Adapt.DecideIter(iter, liveRatio, adTheta)
 			if !d.Compress {
-				iterComp = fp32
+				iterComp = wireFP32
 				compressed = false
 			} else if d.ThetaAdjusted {
 				if ts, ok := comp.(compress.ThetaSetter); ok {
@@ -391,6 +444,9 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 					theta = d.Theta
 				}
 			}
+		}
+		if gs.driftDue(iter) {
+			gs.attachFingerprint(net, iterComp)
 		}
 
 		// --- compress + exchange + average ---------------------------------
@@ -461,6 +517,9 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 				avg[i] *= inv
 			}
 			decompressT = time.Since(t0)
+			if gs.driftDue(iter) && gs.checkDrift(msgs, nil) {
+				forceSync = true
+			}
 		}
 
 		// --- exchange-rate observation (the live Tcomm of Eq. 2) -----------
@@ -522,15 +581,25 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			}
 		}
 
-		// --- update --------------------------------------------------------
+		// --- numerical health + update -------------------------------------
+		// The detector sees the post-average norm (identical on every
+		// rank), so all ranks take the same escalation rung in lockstep.
 		t0 = time.Now()
-		sgd.Delta(delta, avg)
-		net.AddToParams(delta)
+		switch gs.observe(avg) {
+		case guard.ActionRollback:
+			gs.rollback(net, sgd)
+			forceSync = true
+		case guard.ActionSkip:
+			// Poisoned round: no update.
+		default:
+			sgd.Delta(delta, avg)
+			net.AddToParams(delta)
+		}
 		updateT := time.Since(t0)
 
 		// --- periodic parameter re-broadcast -------------------------------
 		var syncBytes int
-		if (iter+1)%cfg.SyncEvery == 0 {
+		if (iter+1)%cfg.SyncEvery == 0 || forceSync {
 			if syncFlat == nil {
 				syncFlat = make([]float32, n)
 			}
@@ -541,18 +610,24 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 				// collective's barrier, at least one of which separates
 				// consecutive syncs.
 				flat := net.GetParams(syncFlat)
-				payload, _ = fp32.AppendCompress(syncPayload[:0], flat)
+				var err error
+				payload, err = compress.AppendCompress(wireFP32, syncPayload[:0], flat)
+				if err != nil {
+					return nil, err
+				}
 				syncPayload = payload
 			}
 			got := cm.Broadcast(payload, 0)
 			if !isRoot {
-				if err := fp32.DecompressInto(syncFlat, got); err != nil {
+				if err := compress.DecompressInto(wireFP32, syncFlat, got); err != nil {
 					return nil, err
 				}
 				net.SetParams(syncFlat)
 			}
 			syncBytes = n * 4
+			forceSync = false
 		}
+		gs.maybeRetain(iter, epoch, net, sgd)
 
 		// --- bookkeeping (rank 0) ------------------------------------------
 		if isRoot {

@@ -31,6 +31,7 @@ import (
 	"fftgrad/internal/comm"
 	"fftgrad/internal/compress"
 	"fftgrad/internal/data"
+	"fftgrad/internal/guard"
 	"fftgrad/internal/nn"
 	"fftgrad/internal/optim"
 	"fftgrad/internal/telemetry"
@@ -71,7 +72,13 @@ func trainFault(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("dist: MeasureAlpha requires the barrier-based exchange; disable Fault")
 	}
 	p := cfg.Workers
-	rt := cluster.New(p, cfg.Fault.Cluster)
+	clCfg := cfg.Fault.Cluster
+	if v := (*guardState)(nil).verifier(cfg); v != nil {
+		// Guard framing on: the cluster receiver rejects corrupt frames
+		// before they can reach a decompressor; nack/resend repairs them.
+		clCfg.Verify = v
+	}
+	rt := cluster.New(p, clCfg)
 	mesh := comm.NewMesh(p)
 	var harness *chaos.Harness
 	if cfg.Fault.Chaos != nil {
@@ -92,6 +99,9 @@ func trainFault(cfg Config) (*Result, error) {
 		cfg.stageTimer.Register(cfg.Telemetry)
 		if cfg.Adapt != nil {
 			cfg.Adapt.Register(cfg.Telemetry)
+		}
+		if cfg.guardStats != nil {
+			cfg.guardStats.Register(cfg.Telemetry)
 		}
 	}
 
@@ -151,6 +161,11 @@ func trainFault(cfg Config) (*Result, error) {
 	if cfg.Telemetry != nil {
 		res.Telemetry = cfg.Telemetry.Snapshot()
 	}
+	if cfg.guardStats != nil {
+		rep := cfg.guardStats.Report()
+		rep.CorruptFrames = report.Cluster.CorruptFrames
+		res.Guard = &rep
+	}
 	return res, nil
 }
 
@@ -171,7 +186,8 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 			return nil, fmt.Errorf("dist: rank %d resume: %w", rank, err)
 		}
 	}
-	comp := cfg.NewCompressor()
+	gs := newGuardState(cfg, rank, n)
+	comp := gs.wrap(cfg.NewCompressor())
 	compress.Instrument(comp, cfg.stageTimer)
 
 	grad := make([]float32, n)
@@ -180,6 +196,8 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 	delta := make([]float32, n)
 	loss := nn.SoftmaxCE{}
 	fp32 := compress.FP32{}
+	wireFP32 := gs.wrap(fp32)
+	gs.retain(checkpoint.Capture(net, sgd, 0, -1))
 
 	res := &Result{GradSize: n}
 	var totalMsgBytes float64
@@ -240,6 +258,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 		l, dl := loss.Loss(logits, labels)
 		net.Backward(dl)
 		net.FlattenGrads(grad)
+		gs.scrubGrad(grad)
 		computeT := time.Since(t0)
 		if isRoot {
 			lossSum += l
@@ -259,7 +278,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 			}
 			d := cfg.Adapt.DecideIter(iter, liveRatio, adTheta)
 			if !d.Compress {
-				iterComp = compress.Compressor(fp32)
+				iterComp = wireFP32
 				compressed = false
 			} else if d.ThetaAdjusted {
 				if ts, ok := comp.(compress.ThetaSetter); ok {
@@ -267,6 +286,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 					theta = d.Theta
 				}
 			}
+		}
+		if gs.driftDue(iter) {
+			gs.attachFingerprint(net, iterComp)
 		}
 
 		// --- compress + failure-aware exchange ----------------------------
@@ -325,6 +347,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 			avg[i] *= inv
 		}
 		decompressT := time.Since(t0)
+		if gs.driftDue(iter) && gs.checkDrift(ex.Msgs, ex.Stale) {
+			forceSync = true
+		}
 
 		if st := cfg.stageTimer; st != nil && msgBytes > 0 {
 			if cfg.Fabric != nil {
@@ -338,8 +363,16 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 
 		// --- update --------------------------------------------------------
 		t0 = time.Now()
-		sgd.Delta(delta, avg)
-		net.AddToParams(delta)
+		switch gs.observe(avg) {
+		case guard.ActionRollback:
+			gs.rollback(net, sgd)
+			forceSync = true
+		case guard.ActionSkip:
+			// Poisoned round: no update.
+		default:
+			sgd.Delta(delta, avg)
+			net.AddToParams(delta)
+		}
 		updateT := time.Since(t0)
 
 		// --- parameter re-broadcast ----------------------------------------
@@ -356,7 +389,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 				var payload []byte
 				if rank == root {
 					flat := net.GetParams(syncFlat)
-					payload, _ = fp32.AppendCompress(syncPayload[:0], flat)
+					payload, _ = compress.AppendCompress(wireFP32, syncPayload[:0], flat)
 					syncPayload = payload
 				}
 				got, ok, serr := m.SyncBroadcast(uint64(iter+1), payload, root)
@@ -370,7 +403,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 					return nil, fmt.Errorf("dist: rank %d sync %d: %w", rank, iter, serr)
 				}
 				if ok && rank != root {
-					if err := fp32.DecompressInto(syncFlat, got); err != nil {
+					if err := compress.DecompressInto(wireFP32, syncFlat, got); err != nil {
 						return nil, err
 					}
 					net.SetParams(syncFlat)
@@ -438,6 +471,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 				rt.PublishCheckpoint(checkpoint.Capture(net, sgd, int64(epoch), int64(iter)), uint64(iter+1))
 			}
 		}
+		gs.maybeRetain(iter, epoch, net, sgd)
 		iter++
 	}
 

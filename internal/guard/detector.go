@@ -1,0 +1,144 @@
+package guard
+
+import "math"
+
+// Action is the escalation rung the detector picked for one iteration.
+type Action uint8
+
+const (
+	// ActionNone: healthy norm, apply the update as-is.
+	ActionNone Action = iota
+	// ActionClip: anomalous norm, rescale the averaged gradient down to
+	// the allowed envelope and apply.
+	ActionClip
+	// ActionSkip: repeated (or non-finite) anomaly, discard this
+	// iteration's update entirely.
+	ActionSkip
+	// ActionRollback: the anomaly persisted past RollbackAfter
+	// consecutive iterations — restore the last retained checkpoint.
+	ActionRollback
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionClip:
+		return "clip"
+	case ActionSkip:
+		return "skip"
+	case ActionRollback:
+		return "rollback"
+	}
+	return "none"
+}
+
+// detAlpha is the EWMA smoothing factor for the norm baseline. Slower
+// than the telemetry throughput EWMAs (0.2): the baseline must not
+// chase a burst, or the burst stops looking anomalous.
+const detAlpha = 0.1
+
+// Detector is the EWMA gradient-norm anomaly detector. It tracks an
+// exponential moving mean and variance of the *post-average* gradient
+// norm and flags iterations whose z-score exceeds ZThreshold,
+// escalating clip → skip-update → rollback as anomalies persist.
+//
+// Observing the post-average norm (identical on every rank in the
+// barrier path, near-identical under degraded fault-path rounds) means
+// all ranks take the same action in lockstep without any coordination
+// round. A non-finite norm can't be clipped, so it enters the ladder at
+// skip.
+//
+// Healthy samples absorb into the baseline and reset the consecutive
+// counter; anomalous samples absorb only their clipped envelope value,
+// so a genuine regime shift slowly re-trains the baseline instead of
+// triggering rollbacks forever.
+type Detector struct {
+	zThresh       float64
+	skipAfter     int
+	rollbackAfter int
+	warmup        int
+
+	mean, variance float64
+	samples        int
+	consecutive    int
+	z              float64
+}
+
+// NewDetector builds a detector from the (defaulted) config thresholds.
+func NewDetector(cfg Config) *Detector {
+	cfg = cfg.WithDefaults()
+	return &Detector{
+		zThresh:       cfg.ZThreshold,
+		skipAfter:     cfg.SkipAfter,
+		rollbackAfter: cfg.RollbackAfter,
+		warmup:        cfg.Warmup,
+	}
+}
+
+// Z returns the last observed z-score (exported to the telemetry
+// gauge).
+func (d *Detector) Z() float64 { return d.z }
+
+// Reset clears the baseline and the escalation state. Called after a
+// rollback: the restored parameters produce pre-burst norms, so the
+// burst-era statistics no longer apply.
+func (d *Detector) Reset() {
+	d.mean, d.variance, d.samples, d.consecutive, d.z = 0, 0, 0, 0, 0
+}
+
+// Observe feeds one post-average gradient norm and returns the action
+// plus, for ActionClip, the factor to scale the gradient by (<1).
+func (d *Detector) Observe(norm float64) (Action, float64) {
+	if math.IsNaN(norm) || math.IsInf(norm, 0) {
+		// Not clippable: a non-finite average is garbage whatever its
+		// magnitude. Escalate straight from skip.
+		d.z = math.Inf(1)
+		return d.escalate(), 1
+	}
+	if d.samples == 0 {
+		d.mean, d.variance, d.samples, d.z = norm, 0, 1, 0
+		return ActionNone, 1
+	}
+	sigma := math.Sqrt(d.variance)
+	// Floor sigma so ultra-stable baselines (or the first few samples)
+	// don't turn ordinary jitter into huge z-scores.
+	if floor := 0.05*d.mean + 1e-12; sigma < floor {
+		sigma = floor
+	}
+	d.z = (norm - d.mean) / sigma
+	if d.samples < d.warmup || d.z <= d.zThresh {
+		d.absorb(norm)
+		d.consecutive = 0
+		return ActionNone, 1
+	}
+	allowed := d.mean + d.zThresh*sigma
+	scale := 1.0
+	if norm > 0 {
+		scale = allowed / norm
+	}
+	d.absorb(allowed)
+	if a := d.escalate(); a != ActionClip {
+		return a, 1
+	}
+	return ActionClip, scale
+}
+
+// escalate advances the consecutive-anomaly ladder.
+func (d *Detector) escalate() Action {
+	d.consecutive++
+	switch {
+	case d.consecutive > d.rollbackAfter:
+		d.consecutive = 0
+		return ActionRollback
+	case d.consecutive > d.skipAfter || math.IsInf(d.z, 1):
+		return ActionSkip
+	default:
+		return ActionClip
+	}
+}
+
+func (d *Detector) absorb(norm float64) {
+	dev := norm - d.mean
+	d.mean += detAlpha * dev
+	d.variance += detAlpha * (dev*dev - d.variance)
+	d.samples++
+}

@@ -1,0 +1,190 @@
+package guard
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"fftgrad/internal/comm"
+)
+
+// Wire frame, version 1. Little-endian, 8-byte fixed header:
+//
+//	offset  size  field
+//	0       2     magic "GF" (0x47 0x46)
+//	2       1     version (1)
+//	3       1     flags (bit0: CRC present, bit1: fingerprint present)
+//	4       4     CRC32C over the whole frame minus this field (0 when
+//	              bit0 clear)
+//	8       8     parameter fingerprint (only when bit1 set)
+//	...           payload (compressed gradient bytes)
+//
+// The CRC covers magic, version, flags, the optional fingerprint and
+// the payload — everything except its own field — so a flip anywhere
+// that could change how the frame is interpreted is caught. The one
+// undetectable flip is bit0 of flags turning the check itself off,
+// which leaves the payload bit-exact and is therefore harmless.
+// CRC32C (Castagnoli) detects every single-bit flip and all burst
+// errors up to 32 bits — the silent-corruption model chaos injects —
+// and the Castagnoli table lives at package level so the hot path is
+// hash/crc32.Update with zero allocations.
+const (
+	frameMagic0  = 0x47
+	frameMagic1  = 0x46
+	FrameVersion = 1
+
+	flagCRC = 1 << 0
+	flagFP  = 1 << 1
+
+	headerLen = 8
+	fpLen     = 8
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends a framed copy of payload to dst and returns the
+// extended slice. The compressor wrapper (Framed) builds frames in
+// place without this extra copy; AppendFrame is for standalone payloads
+// such as control messages and tests.
+func AppendFrame(dst, payload []byte, withCRC bool) []byte {
+	start := len(dst)
+	dst = appendHeader(dst, withCRC, 0, false)
+	dst = append(dst, payload...)
+	return sealFrame(dst, start)
+}
+
+// AppendFrameFP is AppendFrame with a parameter fingerprint riding in
+// the header.
+func AppendFrameFP(dst, payload []byte, withCRC bool, fp uint64) []byte {
+	start := len(dst)
+	dst = appendHeader(dst, withCRC, fp, true)
+	dst = append(dst, payload...)
+	return sealFrame(dst, start)
+}
+
+// appendHeader appends the fixed header (CRC field zeroed) and the
+// optional fingerprint. The stack array keeps this allocation-free.
+func appendHeader(dst []byte, withCRC bool, fp uint64, hasFP bool) []byte {
+	var hdr [headerLen + fpLen]byte
+	hdr[0], hdr[1], hdr[2] = frameMagic0, frameMagic1, FrameVersion
+	if withCRC {
+		hdr[3] |= flagCRC
+	}
+	n := headerLen
+	if hasFP {
+		hdr[3] |= flagFP
+		putU64(hdr[headerLen:], fp)
+		n += fpLen
+	}
+	return append(dst, hdr[:n]...)
+}
+
+// sealFrame computes the CRC over everything but the CRC field of the
+// frame starting at start and patches it into the header.
+func sealFrame(dst []byte, start int) []byte {
+	f := dst[start:]
+	if f[3]&flagCRC != 0 {
+		putU32(f[4:], frameCRC(f))
+	}
+	return dst
+}
+
+// frameCRC covers the frame minus the CRC field itself.
+func frameCRC(f []byte) uint32 {
+	return crc32.Update(crc32.Update(0, castagnoli, f[:4]), castagnoli, f[headerLen:])
+}
+
+// Unframe validates msg and returns its payload (aliasing msg, no
+// copy). Errors wrap comm.ErrCorrupt.
+func Unframe(msg []byte) ([]byte, error) {
+	body, err := frameBody(msg)
+	if err != nil {
+		return nil, err
+	}
+	if msg[3]&flagFP != 0 {
+		body = body[fpLen:]
+	}
+	return body, nil
+}
+
+// Verify runs the integrity check without touching the payload — this
+// is the hook the cluster receiver applies to inbound data/sync frames
+// so corruption is rejected before a gradient is ever assembled.
+func Verify(msg []byte) error {
+	_, err := frameBody(msg)
+	return err
+}
+
+// PeekFingerprint extracts the parameter fingerprint from a framed
+// message, if one is present. It assumes the frame was already
+// verified.
+func PeekFingerprint(msg []byte) (uint64, bool) {
+	if len(msg) < headerLen+fpLen || msg[3]&flagFP == 0 {
+		return 0, false
+	}
+	return getU64(msg[headerLen:]), true
+}
+
+// frameBody validates magic, version, length and CRC, returning the
+// bytes after the fixed header (fingerprint included when present).
+func frameBody(msg []byte) ([]byte, error) {
+	if len(msg) < headerLen {
+		return nil, fmt.Errorf("guard: %d-byte frame shorter than header: %w", len(msg), comm.ErrCorrupt)
+	}
+	if msg[0] != frameMagic0 || msg[1] != frameMagic1 {
+		return nil, fmt.Errorf("guard: bad magic %#02x%02x: %w", msg[0], msg[1], comm.ErrCorrupt)
+	}
+	if msg[2] != FrameVersion {
+		return nil, fmt.Errorf("guard: unknown frame version %d: %w", msg[2], comm.ErrCorrupt)
+	}
+	if msg[3]&flagFP != 0 && len(msg) < headerLen+fpLen {
+		return nil, fmt.Errorf("guard: frame truncated before fingerprint: %w", comm.ErrCorrupt)
+	}
+	if msg[3]&flagCRC != 0 {
+		want := getU32(msg[4:])
+		if got := frameCRC(msg); got != want {
+			return nil, fmt.Errorf("guard: crc mismatch (want %#08x got %#08x): %w", want, got, comm.ErrCorrupt)
+		}
+	}
+	return msg[headerLen:], nil
+}
+
+func putU32(b []byte, v uint32) {
+	_ = b[3]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}
+
+// Fingerprint hashes the parameter vector with FNV-1a 64 over the raw
+// float32 bit patterns. Bit-identical parameters — the cross-rank
+// invariant BSP training maintains — hash identically; any divergence
+// (a missed sync, an applied garbage gradient, uninitialized memory)
+// shows up as a mismatch with probability ~1-2^-64. Allocation-free.
+func Fingerprint(params []float32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range params {
+		b := math.Float32bits(v)
+		h = (h ^ uint64(b&0xff)) * prime64
+		h = (h ^ uint64(b>>8&0xff)) * prime64
+		h = (h ^ uint64(b>>16&0xff)) * prime64
+		h = (h ^ uint64(b>>24)) * prime64
+	}
+	return h
+}

@@ -1,0 +1,50 @@
+package guard
+
+import (
+	"errors"
+	"testing"
+
+	"fftgrad/internal/comm"
+)
+
+// FuzzUnframe feeds arbitrary bytes to the frame decoder: every input
+// must either decode cleanly or fail with an error wrapping
+// comm.ErrCorrupt — never panic, and never return a payload that
+// re-frames to something failing Verify.
+func FuzzUnframe(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, []byte("payload"), true))
+	f.Add(AppendFrame(nil, []byte("payload"), false))
+	f.Add(AppendFrameFP(nil, []byte("payload"), true, 0xFEEDFACE))
+	f.Add(AppendFrameFP(nil, nil, false, 1))
+	f.Add([]byte{0x47, 0x46, 1, 0xFF, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Unframe(data)
+		if err != nil {
+			if !errors.Is(err, comm.ErrCorrupt) {
+				t.Fatalf("Unframe error %v does not wrap comm.ErrCorrupt", err)
+			}
+			return
+		}
+		// Verify must agree with Unframe on validity.
+		if verr := Verify(data); verr != nil {
+			t.Fatalf("Unframe accepted a frame Verify rejects: %v", verr)
+		}
+		// Accepted payloads round-trip through a fresh frame.
+		fp, hasFP := PeekFingerprint(data)
+		var again []byte
+		if hasFP {
+			again = AppendFrameFP(nil, payload, true, fp)
+		} else {
+			again = AppendFrame(nil, payload, true)
+		}
+		got, err := Unframe(again)
+		if err != nil {
+			t.Fatalf("re-framed payload rejected: %v", err)
+		}
+		if string(got) != string(payload) {
+			t.Fatal("payload mutated across re-framing")
+		}
+	})
+}
