@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json experiments examples fmt check chaos guard fuzz
+.PHONY: all build vet test race bench bench-json benchdiff experiments examples fmt check chaos guard fuzz trace-smoke
 
 all: build vet test
 
@@ -11,7 +11,7 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/ ./internal/telemetry/ ./internal/adapt/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/checkpoint/
+	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/ ./internal/telemetry/ ./internal/adapt/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/checkpoint/ ./internal/trace/
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/comm/ ./internal/dist/ ./internal/ps/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/
+	$(GO) test -race ./internal/comm/ ./internal/dist/ ./internal/ps/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/trace/
 
 # Chaos gate: the failure-policy suite plus a short fault-injected
 # training run (5% drop, delays, one crash+rejoin) that must converge.
@@ -56,6 +56,19 @@ bench:
 # per-compressor throughput, wire ratio and allocs/op.
 bench-json:
 	$(GO) run ./cmd/compressbench -json BENCH_compress.json
+
+# Compare two bench-json reports (OLD=... NEW=..., defaulting to a
+# self-diff of BENCH_compress.json); exits non-zero on regression.
+benchdiff:
+	$(GO) run ./cmd/benchdiff -threshold 0.10 $(or $(OLD),BENCH_compress.json) $(or $(NEW),BENCH_compress.json)
+
+# Trace smoke: a short chaos run with the flight recorder armed must
+# produce a Perfetto-loadable trace_event dump covering every rank.
+trace-smoke:
+	$(GO) run ./cmd/trainer -model mlp -epochs 2 -workers 4 -fault-aware -guard \
+		-chaos-drop 0.05 -chaos-corrupt 0.02 -chaos-crash 2 -chaos-crash-at 1200 -chaos-crash-for 1000 \
+		-trace-out trace-smoke.json
+	python3 -c "import json,sys; ev=json.load(open('trace-smoke.json')); ranks={e.get('tid') for e in ev if e.get('ph')=='X'}; assert ranks>={0,1,2,3}, ranks; print('trace-smoke: %d events, ranks %s' % (len(ev), sorted(ranks)))"
 
 # Regenerate every paper figure/table and ablation.
 experiments:

@@ -1,0 +1,147 @@
+// Command benchdiff compares two compressbench -json reports (see `make
+// bench-json`) and prints per-benchmark ns/op and allocs/op deltas. It
+// exits non-zero when any benchmark regressed beyond the threshold, so
+// CI can gate performance changes:
+//
+//	go run ./cmd/compressbench -json old.json        # on the base commit
+//	go run ./cmd/compressbench -json new.json        # on the candidate
+//	go run ./cmd/benchdiff -threshold 0.10 old.json new.json
+//
+// A regression is a ns/op increase of more than -threshold (fractional,
+// default 0.10 = 10%) or any allocs/op increase. Benchmarks present in
+// only one report are listed but never fail the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type primitiveResult struct {
+	Name        string  `json:"name"`
+	BytesPerSec float64 `json:"bytes_per_sec"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+}
+
+type compressorResult struct {
+	Method            string  `json:"method"`
+	Theta             float64 `json:"theta"`
+	Ratio             float64 `json:"ratio"`
+	CompressBytesPS   float64 `json:"compress_bytes_per_sec"`
+	DecompressBytesPS float64 `json:"decompress_bytes_per_sec"`
+	AllocsPerOp       uint64  `json:"allocs_per_op"`
+}
+
+type report struct {
+	WorkingSetMB int                `json:"working_set_mb"`
+	Iters        int                `json:"iters"`
+	Primitives   []primitiveResult  `json:"primitives"`
+	Compressors  []compressorResult `json:"compressors"`
+}
+
+// bench is one comparable benchmark row, normalised to ns/op so reports
+// with different working-set sizes still compare per-operation cost.
+type bench struct {
+	nsPerOp float64
+	allocs  uint64
+}
+
+func (r *report) benches() map[string]bench {
+	bytes := float64(r.WorkingSetMB) * (1 << 20)
+	nsPerOp := func(rate float64) float64 {
+		if rate <= 0 {
+			return 0
+		}
+		return bytes / rate * 1e9
+	}
+	out := make(map[string]bench)
+	for _, p := range r.Primitives {
+		out["primitive/"+p.Name] = bench{nsPerOp(p.BytesPerSec), p.AllocsPerOp}
+	}
+	for _, c := range r.Compressors {
+		key := fmt.Sprintf("%s/theta=%.2f", c.Method, c.Theta)
+		out[key+"/compress"] = bench{nsPerOp(c.CompressBytesPS), c.AllocsPerOp}
+		out[key+"/decompress"] = bench{nsPerOp(c.DecompressBytesPS), c.AllocsPerOp}
+	}
+	return out
+}
+
+func load(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "fractional ns/op increase tolerated before failing (0.10 = 10%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	oldB, newB := oldRep.benches(), newRep.benches()
+	names := make([]string, 0, len(oldB)+len(newB))
+	for n := range oldB {
+		names = append(names, n)
+	}
+	for n := range newB {
+		if _, ok := oldB[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-32s %14s %14s %8s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	regressions := 0
+	for _, n := range names {
+		o, haveOld := oldB[n]
+		nw, haveNew := newB[n]
+		switch {
+		case !haveOld:
+			fmt.Printf("%-32s %14s %14.0f %8s %12d  (new)\n", n, "-", nw.nsPerOp, "-", nw.allocs)
+			continue
+		case !haveNew:
+			fmt.Printf("%-32s %14.0f %14s %8s %12s  (removed)\n", n, o.nsPerOp, "-", "-", "-")
+			continue
+		}
+		delta := 0.0
+		if o.nsPerOp > 0 {
+			delta = (nw.nsPerOp - o.nsPerOp) / o.nsPerOp
+		}
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION(ns/op)"
+			regressions++
+		}
+		if nw.allocs > o.allocs {
+			mark += fmt.Sprintf("  REGRESSION(allocs %d->%d)", o.allocs, nw.allocs)
+			regressions++
+		}
+		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%% %12d%s\n", n, o.nsPerOp, nw.nsPerOp, delta*100, nw.allocs, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%% threshold\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}

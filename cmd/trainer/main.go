@@ -12,11 +12,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"fftgrad/internal/adapt"
 	"fftgrad/internal/chaos"
+	"fftgrad/internal/checkpoint"
 	"fftgrad/internal/cluster"
 	"fftgrad/internal/compress"
 	"fftgrad/internal/data"
@@ -29,6 +34,7 @@ import (
 	"fftgrad/internal/sparsify"
 	"fftgrad/internal/stats"
 	"fftgrad/internal/telemetry"
+	itrace "fftgrad/internal/trace"
 )
 
 func main() {
@@ -47,6 +53,9 @@ func main() {
 	trace := flag.Bool("trace", false, "print a per-iteration timing breakdown")
 	sparseAR := flag.Bool("sparse-allreduce", false, "exchange via the sparse ring allreduce instead of allgather (uses -theta, ignores -method)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live Prometheus/JSON metrics on this address (e.g. :9090)")
+	traceOut := flag.String("trace-out", "", "record a per-iteration distributed timeline and write it here as Chrome trace_event JSON (open in ui.perfetto.dev)")
+	traceIters := flag.Int("trace-iters", 256, "with -trace-out, iterations of history the per-rank trace ring retains")
+	pprofOn := flag.Bool("pprof", false, "with -metrics-addr, also serve net/http/pprof under /debug/pprof/")
 	adaptive := flag.Bool("adapt", false, "let the online perf-model controller bypass compression when it cannot win on the fabric")
 	adaptTheta := flag.Bool("adapt-theta", false, "with -adapt, also let the controller steer theta toward the beneficial ratio")
 
@@ -172,18 +181,62 @@ func main() {
 			fmt.Printf("chaos schedule: %s\n", cc)
 		}
 	}
+	var tracer *itrace.Tracer
+	if *traceOut != "" {
+		tracer = itrace.New(*workers, *traceIters*itrace.DefaultEventsPerIteration)
+		cfg.Tracer = tracer
+		cfg.Flight = itrace.NewFlightRecorder(tracer, flightPath(*traceOut))
+		defer func() {
+			if r := recover(); r != nil {
+				cfg.Flight.Trigger(0, itrace.ReasonPanic)
+				panic(r)
+			}
+		}()
+	}
 	if *metricsAddr != "" {
-		bound, shutdown, err := telemetry.Serve(*metricsAddr, cfg.Telemetry)
+		mux := http.NewServeMux()
+		mux.Handle("/", cfg.Telemetry.Handler())
+		if tracer != nil {
+			mux.Handle("/trace", tracer.Handler())
+		}
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		bound, shutdown, err := telemetry.ServeHandler(*metricsAddr, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer func() { _ = shutdown() }()
 		fmt.Printf("metrics: http://%s/metrics (Prometheus) and /metrics.json\n", bound)
+		if tracer != nil {
+			fmt.Printf("trace:   http://%s/trace (Chrome trace_event JSON)\n", bound)
+		}
+		if *pprofOn {
+			fmt.Printf("pprof:   http://%s/debug/pprof/\n", bound)
+		}
 	}
 
 	fmt.Printf("training %s with %s (θ=%.2f) on %d workers\n", *model, *method, *theta, *workers)
 	res, err := dist.Train(cfg)
+	if tracer != nil {
+		// Dump the timeline even when training failed: the final
+		// iterations leading into the error are exactly what a
+		// postmortem wants to see.
+		data, merr := tracer.MarshalJSON()
+		if merr == nil {
+			merr = checkpoint.WriteBytesAtomic(*traceOut, data)
+		}
+		if merr != nil {
+			fmt.Fprintf(os.Stderr, "trace dump failed: %v\n", merr)
+		} else {
+			fmt.Printf("trace: wrote %s (%d bytes; open in ui.perfetto.dev)\n", *traceOut, len(data))
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -248,6 +301,13 @@ func main() {
 		}
 		fmt.Print(tt.String())
 	}
+}
+
+// flightPath derives the flight-recorder dump path from the trace
+// output path: trace.json -> trace.flight.json.
+func flightPath(traceOut string) string {
+	ext := filepath.Ext(traceOut)
+	return strings.TrimSuffix(traceOut, ext) + ".flight" + ext
 }
 
 func buildCompressor(method string, theta float64) (func() compress.Compressor, error) {

@@ -22,6 +22,7 @@ import (
 
 	"fftgrad/internal/comm"
 	"fftgrad/internal/telemetry"
+	"fftgrad/internal/trace"
 )
 
 // ErrCrashed is returned by a chaos endpoint whose rank is inside a
@@ -87,9 +88,16 @@ type Harness struct {
 	cfg      Config
 	globalOp atomic.Uint64
 	inPart   []bool // rank -> member of the partitioned side
+	tracer   *trace.Tracer
 
 	drops, delays, dups, corruptions, crashedOps, partitioned atomic.Uint64
 }
+
+// AttachTracer marks injected incidents — crash-window entry/exit and
+// payload bit flips — on the affected rank's trace track, so a chaos
+// postmortem shows cause (injection) and effect (nacks, corrupt-frame
+// drops, rejoins) on one timeline. Call before Wrap.
+func (h *Harness) AttachTracer(tr *trace.Tracer) { h.tracer = tr }
 
 // NewHarness builds the shared fault scheduler for p ranks.
 func NewHarness(p int, cfg Config) *Harness {
@@ -134,15 +142,32 @@ func (h *Harness) Instrument(reg *telemetry.Registry) {
 
 // Wrap returns tr with this harness's fault schedule applied.
 func (h *Harness) Wrap(tr comm.Transport) *Transport {
-	return &Transport{h: h, inner: tr, rank: tr.RankID()}
+	return &Transport{h: h, inner: tr, rank: tr.RankID(), tc: h.tracer.Rank(tr.RankID())}
 }
 
 // Transport is one rank's fault-injected view of an inner transport.
 type Transport struct {
-	h     *Harness
-	inner comm.Transport
-	rank  int
-	ops   atomic.Uint64 // this rank's operation counter
+	h       *Harness
+	inner   comm.Transport
+	rank    int
+	ops     atomic.Uint64 // this rank's operation counter
+	tc      *trace.Ctx
+	wasDown atomic.Bool // last observed crash-window state, for edge events
+}
+
+// noteCrashEdge records crash-window transitions (entry and exit) as
+// instant events, once per edge rather than once per refused op.
+func (t *Transport) noteCrashEdge(op uint64, down bool) {
+	if t.tc == nil {
+		return
+	}
+	if t.wasDown.CompareAndSwap(!down, down) {
+		if down {
+			t.tc.Instant(trace.OpCrash, int64(op))
+		} else {
+			t.tc.Instant(trace.OpRecover, int64(op))
+		}
+	}
 }
 
 // RankID implements comm.Transport.
@@ -204,8 +229,10 @@ func (t *Transport) Send(to int, m comm.Message) error {
 	g := t.h.globalOp.Add(1) - 1
 	if t.crashedAt(op) {
 		t.h.crashedOps.Add(1)
+		t.noteCrashEdge(op, true)
 		return &comm.OpError{Op: "send", Rank: t.rank, Peer: to, Err: ErrCrashed}
 	}
+	t.noteCrashEdge(op, false)
 	if t.h.partitionedAt(g, t.rank, to) {
 		t.h.partitioned.Add(1)
 		return nil // crosses the partition: silently lost
@@ -223,6 +250,7 @@ func (t *Transport) Send(to int, m comm.Message) error {
 		bit := splitmix64(uint64(t.h.cfg.Seed)^uint64(t.rank)*0xA24BAED4963EE407^op*0x9FB21C651E98DF25^0x06) % uint64(len(m.Payload)*8)
 		m.Payload = append([]byte(nil), m.Payload...)
 		m.Payload[bit/8] ^= 1 << (bit % 8)
+		t.tc.Instant(trace.OpChaosCorrupt, int64(to))
 	}
 	dup := t.h.cfg.Dup > 0 && t.roll(op, 0x02) < t.h.cfg.Dup
 	if t.h.cfg.DelayProb > 0 && t.h.cfg.Delay > 0 && t.roll(op, 0x03) < t.h.cfg.DelayProb {
@@ -264,6 +292,7 @@ func (t *Transport) Recv(timeout time.Duration) (comm.Message, error) {
 	op := t.ops.Add(1) - 1
 	if t.crashedAt(op) {
 		t.h.crashedOps.Add(1)
+		t.noteCrashEdge(op, true)
 		// Drain without delivering, then report the crash.
 		for {
 			if _, err := t.inner.Recv(0); err != nil {
@@ -272,6 +301,7 @@ func (t *Transport) Recv(timeout time.Duration) (comm.Message, error) {
 		}
 		return comm.Message{}, &comm.OpError{Op: "recv", Rank: t.rank, Peer: -1, Err: ErrCrashed}
 	}
+	t.noteCrashEdge(op, false)
 	return t.inner.Recv(timeout)
 }
 

@@ -16,13 +16,29 @@ import (
 // ring its invariant: any file that exists under its final name either
 // reads back bit-exact or is detected as corrupt.
 func WriteFileAtomic(path string, s *State) error {
+	return writeAtomic(path, func(f *os.File) error { return Write(f, s) })
+}
+
+// WriteBytesAtomic writes raw bytes with the same temp + fsync + rename
+// discipline — for non-checkpoint artifacts (flight-recorder trace
+// dumps) that must never appear half-written under their final name.
+func WriteBytesAtomic(path string, data []byte) error {
+	return writeAtomic(path, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// writeAtomic runs write against a temp file in path's directory, then
+// fsyncs and renames it into place and fsyncs the directory.
+func writeAtomic(path string, write func(f *os.File) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := Write(tmp, s); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		return err
 	}

@@ -39,6 +39,7 @@ import (
 
 	"fftgrad/internal/checkpoint"
 	"fftgrad/internal/telemetry"
+	"fftgrad/internal/trace"
 )
 
 // Typed failure classes. Workers classify with errors.Is.
@@ -303,6 +304,7 @@ type Runtime struct {
 	cDegraded   *telemetry.Counter
 	rtt         []*telemetry.Gauge
 	st          *telemetry.StageTimer
+	tracer      *trace.Tracer
 }
 
 // New creates a runtime for p ranks, all initially alive.
@@ -363,6 +365,12 @@ func (rt *Runtime) Instrument(reg *telemetry.Registry) {
 // AttachStageTimer lets the exchange derive its straggler wait budget
 // from the live StageComm throughput EWMA.
 func (rt *Runtime) AttachStageTimer(st *telemetry.StageTimer) { rt.st = st }
+
+// AttachTracer records per-member exchange sub-spans and cluster
+// incident instants (nacks, resends, suspicions, view changes, rejoins,
+// corrupt-frame drops) on tr's per-rank tracks. Call before Join; a nil
+// tracer keeps tracing off with zero hot-path cost.
+func (rt *Runtime) AttachTracer(tr *trace.Tracer) { rt.tracer = tr }
 
 // View returns a copy of the current membership view.
 func (rt *Runtime) View() View {

@@ -12,6 +12,7 @@ import (
 	"fftgrad/internal/checkpoint"
 	"fftgrad/internal/comm"
 	"fftgrad/internal/telemetry"
+	"fftgrad/internal/trace"
 )
 
 // Wire message kinds on top of comm.Message.Kind.
@@ -89,6 +90,11 @@ type Member struct {
 
 	viewEpoch uint64 // last view epoch this member acted on
 
+	// tc is this rank's trace track (nil when tracing is off). The
+	// exchange goroutine and the receiver both record on it; the ring's
+	// lock-free append makes that safe.
+	tc *trace.Ctx
+
 	rng *rand.Rand // backoff jitter; only touched by the exchange goroutine
 
 	closed    chan struct{}
@@ -111,6 +117,7 @@ func (rt *Runtime) Join(tr comm.Transport) *Member {
 		lag:      make([]*telemetry.EWMA, rt.p),
 		lastSeen: make([]atomic.Int64, rt.p),
 		rng:      rand.New(rand.NewSource(rt.cfg.Seed ^ int64(rank)*0x9E3779B9)),
+		tc:       rt.tracer.Rank(rank),
 		closed:   make(chan struct{}),
 	}
 	for j := range m.lag {
@@ -198,6 +205,7 @@ func (m *Member) receiver() {
 			}
 		case kindNack:
 			if payload, ok := m.lookupSent(msg.Seq); ok {
+				m.tc.Instant(trace.OpResend, int64(msg.From))
 				_ = m.tr.Send(msg.From, comm.Message{Seq: msg.Seq, Kind: kindData, Payload: payload})
 			}
 		case kindSyncNack:
@@ -216,6 +224,7 @@ func (m *Member) receiver() {
 					// sync retry) machinery fetches a fresh copy from the
 					// sender, whose buffer still holds the good bytes.
 					m.rt.noteCorrupt()
+					m.tc.Instant(trace.OpCorruptFrame, int64(msg.From))
 					continue
 				}
 			}
@@ -315,6 +324,7 @@ func (m *Member) Exchange(seq uint64, payload []byte) (*ExchangeResult, error) {
 	startEpoch := m.viewEpoch
 	m.viewEpoch = view.Epoch
 	m.rt.noteExchangeStart(seq)
+	m.tc.SetIter(seq)
 	m.storeSent(seq, payload)
 
 	msgs := make([][]byte, m.p)
@@ -336,7 +346,15 @@ func (m *Member) Exchange(seq uint64, payload []byte) (*ExchangeResult, error) {
 		if j == m.rank || !view.Alive[j] {
 			continue
 		}
-		if err := m.tr.Send(j, comm.Message{Seq: seq, Kind: kindData, Payload: payload}); err != nil {
+		var ts time.Time
+		if m.tc != nil {
+			ts = time.Now()
+		}
+		err := m.tr.Send(j, comm.Message{Seq: seq, Kind: kindData, Payload: payload})
+		if m.tc != nil {
+			m.tc.SpanSince(trace.OpSendPeer, int64(j), ts)
+		}
+		if err != nil {
 			if !comm.IsRetryable(err) {
 				m.selfDown.Store(true)
 				return nil, fmt.Errorf("cluster: rank %d send: %w (%v)", m.rank, ErrSelfDown, err)
@@ -377,6 +395,7 @@ func (m *Member) Exchange(seq uint64, payload []byte) (*ExchangeResult, error) {
 		if attempt < m.rt.cfg.MaxRetries {
 			// Repair round: nack every missing peer.
 			for _, j := range missing {
+				m.tc.Instant(trace.OpNack, int64(j))
 				_ = m.tr.Send(j, comm.Message{Seq: seq, Kind: kindNack})
 			}
 			retries++
@@ -469,6 +488,7 @@ func (m *Member) absorb(seq uint64, msgs [][]byte, msg comm.Message) {
 	case msg.Seq == seq:
 		if msg.From >= 0 && msg.From < m.p && msgs[msg.From] == nil {
 			msgs[msg.From] = msg.Payload
+			m.tc.Instant(trace.OpRecvPeer, int64(msg.From))
 		}
 	case msg.Seq > seq:
 		got := m.pending[msg.Seq]
@@ -518,6 +538,10 @@ func (m *Member) resolveMissing(seq uint64, missing []int, msgs [][]byte, stale 
 				return false, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrEvicted)
 			}
 			return false, err // ErrNoQuorum
+		}
+		m.tc.Instant(trace.OpSuspect, int64(j))
+		if nv.Epoch != view.Epoch {
+			m.tc.Instant(trace.OpViewChange, int64(nv.Epoch))
 		}
 		*view = nv
 		switch cfg.Policy {
@@ -631,6 +655,7 @@ func (m *Member) SyncBroadcast(seq uint64, payload []byte, root int) ([]byte, bo
 	// Root is gone or unreachable: skip this sync and let the next one
 	// (under the new view's root) repair the drift.
 	m.rt.noteSkippedSync()
+	m.tc.Instant(trace.OpSkippedSync, int64(root))
 	return nil, false, nil
 }
 
@@ -689,6 +714,7 @@ func (m *Member) AwaitRejoin() (View, uint64, *checkpoint.State, error) {
 	if err != nil {
 		return View{}, 0, nil, err
 	}
+	m.tc.Instant(trace.OpRejoin, int64(view.Epoch))
 	m.viewEpoch = view.Epoch
 	// Drop stale per-exchange state from before the crash.
 	for k := range m.pending {

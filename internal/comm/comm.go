@@ -13,9 +13,11 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"fftgrad/internal/scratch"
 	"fftgrad/internal/telemetry"
+	"fftgrad/internal/trace"
 )
 
 // Cluster coordinates p ranks running in one process.
@@ -78,7 +80,13 @@ func (c *Cluster) Rank(rank int) *Comm {
 type Comm struct {
 	cluster *Cluster
 	rank    int
+	tc      *trace.Ctx
 }
+
+// AttachTrace records this rank's collective arrival waits (the barrier
+// span that visualizes rank skew in the timeline) on tc. A nil tc keeps
+// tracing off; recording is atomics-only either way.
+func (c *Comm) AttachTrace(tc *trace.Ctx) { c.tc = tc }
 
 // RankID returns this endpoint's rank.
 func (c *Comm) RankID() int { return c.rank }
@@ -95,7 +103,15 @@ func (c *Comm) Barrier() { c.cluster.barrier.await() }
 func (c *Comm) Allgather(data []byte) [][]byte {
 	cl := c.cluster
 	cl.slots[c.rank] = data
+	var tb time.Time
+	if c.tc != nil {
+		tb = time.Now()
+	}
 	cl.barrier.await() // all contributions visible
+	if c.tc != nil {
+		// The arrival wait: how long this rank idled for the slowest peer.
+		c.tc.SpanSince(trace.OpBarrier, int64(len(data)), tb)
+	}
 	out := make([][]byte, cl.p)
 	copy(out, cl.slots)
 	if cl.tx != nil {
@@ -120,8 +136,15 @@ func (c *Comm) Broadcast(data []byte, root int) []byte {
 	if c.rank == root {
 		cl.slots[root] = data
 	}
+	var tb time.Time
+	if c.tc != nil {
+		tb = time.Now()
+	}
 	cl.barrier.await()
 	out := cl.slots[root]
+	if c.tc != nil {
+		c.tc.SpanSince(trace.OpBarrier, int64(len(out)), tb)
+	}
 	if cl.tx != nil {
 		if c.rank == root {
 			cl.tx.Add(c.rank, (cl.p-1)*len(data))

@@ -8,6 +8,7 @@ import (
 
 	"fftgrad/internal/guard"
 	"fftgrad/internal/telemetry"
+	"fftgrad/internal/trace"
 )
 
 // allocGrad builds a deterministic pseudo-gradient with mixed scales.
@@ -84,6 +85,61 @@ func TestZeroAllocRoundTrip(t *testing.T) {
 				t.Errorf("%s: instrumented round trips recorded no StageSelect samples", c.Name())
 			}
 		})
+	}
+}
+
+// TestZeroAllocRoundTripTracingDisabled pins the tracing-off wiring:
+// WithSink(nil) must hand back the same un-teed timer, and the round
+// trip through it must stay at 0 allocs/op — a disabled tracer costs
+// nothing on the data path.
+func TestZeroAllocRoundTripTracingDisabled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	st := telemetry.NewStageTimer()
+	var tc *trace.Ctx // tracing off: nil ctx, nil sink
+	wst := st.WithSink(tc.StageSink())
+	if wst != st {
+		t.Fatal("WithSink(nil) must return the receiver unchanged")
+	}
+	c := NewFFT(0.85)
+	Instrument(c, wst)
+	if n := roundTripAllocs(t, c); n != 0 {
+		t.Errorf("tracing-disabled round trip allocates %.2f allocs/op, want 0", n)
+	}
+}
+
+// TestZeroAllocRoundTripTraced pins the tracing-ON per-iteration cost:
+// with a live trace sink teeing every stage observation into the ring,
+// the round trip must still be 0 allocs/op — ring appends are pure
+// atomics into pre-sized slots, so enabling the tracer changes CPU cost
+// only, never the allocation profile.
+func TestZeroAllocRoundTripTraced(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	tr := trace.New(1, 1<<14)
+	tc := tr.Rank(0)
+	st := telemetry.NewStageTimer().WithSink(tc.StageSink())
+	for _, c := range []Compressor{NewFFT(0.85), NewTopK(0.85)} {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			Instrument(c, st)
+			if n := roundTripAllocs(t, c); n != 0 {
+				t.Errorf("%s: traced round trip allocates %.2f allocs/op, want 0", c.Name(), n)
+			}
+		})
+	}
+	// The sink must actually have recorded stage spans into the ring.
+	var stageSpans int
+	for _, e := range tr.Events() {
+		switch e.Op {
+		case trace.OpConvert, trace.OpTransform, trace.OpSelect, trace.OpPack:
+			stageSpans++
+		}
+	}
+	if stageSpans == 0 {
+		t.Error("traced round trips recorded no stage spans in the ring")
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"fftgrad/internal/pack"
 	"fftgrad/internal/sparsify"
 	"fftgrad/internal/telemetry"
+	"fftgrad/internal/trace"
 )
 
 // Fabric prices collectives; netsim.Profile and netsim.Hierarchical both
@@ -120,6 +121,20 @@ type Config struct {
 	// Trace records a per-iteration timing breakdown (rank 0) into
 	// Result.Trace — the profile view of where an iteration goes.
 	Trace bool
+
+	// Tracer, when non-nil, records the full iteration lifecycle on
+	// per-rank timeline tracks (internal/trace): compute, scrub, the
+	// compressor's internal stage spans, exchange with per-peer sub-spans
+	// on the cluster path, decompress, update and sync, plus cluster and
+	// guard incidents as instant markers. Nil keeps tracing off with zero
+	// hot-path cost — the barrier path's output is bit-identical either
+	// way.
+	Tracer *trace.Tracer
+
+	// Flight, when non-nil, dumps Tracer's last-N-iteration timeline to
+	// disk the moment a guard rollback, quorum loss, chaos crash window
+	// or worker panic fires (see trace.FlightRecorder).
+	Flight *trace.FlightRecorder
 
 	// CheckpointEvery, when > 0, invokes OnCheckpoint with rank-0's
 	// captured state every CheckpointEvery epochs. The callback runs on
@@ -311,6 +326,14 @@ func Train(c Config) (*Result, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// Dump the timeline before the panic propagates: the
+					// flight recording is the postmortem for exactly this.
+					cfg.Flight.Trigger(rank, trace.ReasonPanic)
+					panic(r)
+				}
+			}()
 			results[rank], errs[rank] = runWorker(cfg, cluster.Rank(rank))
 		}(rank)
 	}
@@ -335,6 +358,15 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 	p := cm.P()
 	isRoot := rank == 0
 
+	// tc is this rank's timeline track (nil when tracing is off — every
+	// record call degrades to a pointer check). The compressor's internal
+	// stage timings reach the track through a sink-carrying handle of the
+	// shared stage timer, so Tm/Tf/Ts/Tp spans get rank and iteration
+	// attribution without the compressors knowing about tracing.
+	tc := cfg.Tracer.Rank(rank)
+	wst := cfg.stageTimer.WithSink(tc.StageSink())
+	cm.AttachTrace(tc)
+
 	net := cfg.Model(cfg.Seed) // identical init on every rank
 	n := net.NumParams()
 	shard := cfg.Train.Shard(rank, p)
@@ -345,9 +377,9 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			return nil, fmt.Errorf("dist: rank %d resume: %w", rank, err)
 		}
 	}
-	gs := newGuardState(cfg, rank, n)
+	gs := newGuardState(cfg, rank, n, tc)
 	comp := gs.wrap(cfg.NewCompressor())
-	compress.Instrument(comp, cfg.stageTimer)
+	compress.Instrument(comp, wst)
 
 	grad := make([]float32, n)
 	avg := make([]float32, n)
@@ -397,6 +429,11 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 	for iter := 0; iter < totalIters; iter++ {
 		epoch := iter / cfg.ItersPerEpoch
 		sgd.LR = cfg.LR.LR(epoch)
+		tc.SetIter(uint64(iter))
+		var tIter time.Time
+		if tc != nil {
+			tIter = time.Now()
+		}
 		theta := math.NaN()
 		if cfg.ThetaSchedule != nil {
 			theta = cfg.ThetaSchedule.Theta(epoch)
@@ -413,8 +450,15 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 		l, dl := loss.Loss(logits, labels)
 		net.Backward(dl)
 		net.FlattenGrads(grad)
-		gs.scrubGrad(grad)
+		if tc != nil {
+			tScrub := time.Now()
+			gs.scrubGrad(grad)
+			tc.SpanSince(trace.OpScrub, int64(n), tScrub)
+		} else {
+			gs.scrubGrad(grad)
+		}
 		computeT := time.Since(t0)
+		tc.SpanTimed(trace.OpCompute, int64(cfg.Batch), t0, computeT)
 		if isRoot {
 			lossSum += l
 			lossCount++
@@ -438,6 +482,7 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			if !d.Compress {
 				iterComp = wireFP32
 				compressed = false
+				tc.Instant(trace.OpBypass, 0)
 			} else if d.ThetaAdjusted {
 				if ts, ok := comp.(compress.ThetaSetter); ok {
 					ts.SetTheta(d.Theta)
@@ -464,10 +509,13 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			mask := sparsify.TopKSpatial(work, sparseTheta)
 			sp := pack.PackMask(work, mask)
 			compressT = time.Since(t0)
+			tc.SpanTimed(trace.OpCompress, int64(n), t0, compressT)
 
 			tEx := time.Now()
 			reduced, moved := cm.SparseAllreduce(sp)
-			exchangeS = time.Since(tEx).Seconds()
+			exchangeD := time.Since(tEx)
+			exchangeS = exchangeD.Seconds()
+			tc.SpanTimed(trace.OpExchange, int64(moved), tEx, exchangeD)
 
 			t0 = time.Now()
 			reduced.Unpack(avg)
@@ -475,6 +523,7 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 				avg[i] *= inv
 			}
 			decompressT = time.Since(t0)
+			tc.SpanTimed(trace.OpDecompress, int64(n), t0, decompressT)
 			// Per-rank sent volume normalized to an equivalent allgather
 			// message so ratios stay comparable across exchange modes.
 			msgBytes = moved / (p - 1 + boolToInt(p == 1))
@@ -488,13 +537,16 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			msgBufs[iter&1] = msg
 			compressT = time.Since(t0)
 			msgBytes = len(msg)
+			tc.SpanTimed(trace.OpCompress, int64(msgBytes), t0, compressT)
 			if compressed && msgBytes > 0 {
 				liveRatio = float64(4*n) / float64(msgBytes)
 			}
 
 			tEx := time.Now()
 			msgs := cm.Allgather(msg)
-			exchangeS = time.Since(tEx).Seconds()
+			exchangeD := time.Since(tEx)
+			exchangeS = exchangeD.Seconds()
+			tc.SpanTimed(trace.OpExchange, int64(msgBytes), tEx, exchangeD)
 			for _, m := range msgs {
 				if len(m) > maxBytes {
 					maxBytes = len(m)
@@ -517,6 +569,7 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 				avg[i] *= inv
 			}
 			decompressT = time.Since(t0)
+			tc.SpanTimed(trace.OpDecompress, int64(p), t0, decompressT)
 			if gs.driftDue(iter) && gs.checkDrift(msgs, nil) {
 				forceSync = true
 			}
@@ -589,6 +642,11 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 		case guard.ActionRollback:
 			gs.rollback(net, sgd)
 			forceSync = true
+			if isRoot {
+				// The decision is global and identical on every rank; one
+				// dump (root's) captures all tracks.
+				cfg.Flight.Trigger(rank, trace.ReasonRollback)
+			}
 		case guard.ActionSkip:
 			// Poisoned round: no update.
 		default:
@@ -596,10 +654,15 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			net.AddToParams(delta)
 		}
 		updateT := time.Since(t0)
+		tc.SpanTimed(trace.OpUpdate, int64(n), t0, updateT)
 
 		// --- periodic parameter re-broadcast -------------------------------
 		var syncBytes int
 		if (iter+1)%cfg.SyncEvery == 0 || forceSync {
+			var tSync time.Time
+			if tc != nil {
+				tSync = time.Now()
+			}
 			if syncFlat == nil {
 				syncFlat = make([]float32, n)
 			}
@@ -626,8 +689,10 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			}
 			syncBytes = n * 4
 			forceSync = false
+			tc.SpanSince(trace.OpSync, int64(syncBytes), tSync)
 		}
 		gs.maybeRetain(iter, epoch, net, sgd)
+		tc.SpanSince(trace.OpIteration, int64(msgBytes), tIter)
 
 		// --- bookkeeping (rank 0) ------------------------------------------
 		if isRoot {

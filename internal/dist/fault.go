@@ -35,6 +35,7 @@ import (
 	"fftgrad/internal/nn"
 	"fftgrad/internal/optim"
 	"fftgrad/internal/telemetry"
+	"fftgrad/internal/trace"
 )
 
 // FaultConfig enables the failure-aware runtime for a run.
@@ -79,10 +80,12 @@ func trainFault(cfg Config) (*Result, error) {
 		clCfg.Verify = v
 	}
 	rt := cluster.New(p, clCfg)
+	rt.AttachTracer(cfg.Tracer)
 	mesh := comm.NewMesh(p)
 	var harness *chaos.Harness
 	if cfg.Fault.Chaos != nil {
 		harness = chaos.NewHarness(p, *cfg.Fault.Chaos)
+		harness.AttachTracer(cfg.Tracer)
 	}
 
 	if cfg.Adapt != nil {
@@ -121,6 +124,12 @@ func trainFault(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					cfg.Flight.Trigger(rank, trace.ReasonPanic)
+					panic(r)
+				}
+			}()
 			results[rank], errs[rank] = runWorkerFault(cfg, members[rank], rt)
 			// A worker that finished cleanly keeps its member alive —
 			// heartbeats and nack repair keep serving a slower rank still
@@ -154,6 +163,13 @@ func trainFault(cfg Config) (*Result, error) {
 			report.LostWorkers++
 			continue
 		}
+		// Terminal failure: dump the timeline before surfacing the error —
+		// the last N iterations are exactly the postmortem evidence.
+		if errors.Is(err, cluster.ErrNoQuorum) {
+			cfg.Flight.Trigger(rank, trace.ReasonNoQuorum)
+		} else {
+			cfg.Flight.Trigger(rank, trace.ReasonFailure)
+		}
 		return nil, err
 	}
 	res := results[0]
@@ -176,6 +192,12 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 	p := rt.P()
 	isRoot := rank == 0
 
+	// Same tracing shape as the barrier path; the member additionally
+	// records per-peer send/recv sub-spans and cluster incidents on the
+	// same rank track (attached at Join via Runtime.AttachTracer).
+	tc := cfg.Tracer.Rank(rank)
+	wst := cfg.stageTimer.WithSink(tc.StageSink())
+
 	net := cfg.Model(cfg.Seed)
 	n := net.NumParams()
 	shard := cfg.Train.Shard(rank, p)
@@ -186,9 +208,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 			return nil, fmt.Errorf("dist: rank %d resume: %w", rank, err)
 		}
 	}
-	gs := newGuardState(cfg, rank, n)
+	gs := newGuardState(cfg, rank, n, tc)
 	comp := gs.wrap(cfg.NewCompressor())
-	compress.Instrument(comp, cfg.stageTimer)
+	compress.Instrument(comp, wst)
 
 	grad := make([]float32, n)
 	avg := make([]float32, n)
@@ -242,6 +264,11 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 	for iter < totalIters {
 		epoch := iter / cfg.ItersPerEpoch
 		sgd.LR = cfg.LR.LR(epoch)
+		tc.SetIter(uint64(iter))
+		var tIter time.Time
+		if tc != nil {
+			tIter = time.Now()
+		}
 		theta := math.NaN()
 		if cfg.ThetaSchedule != nil {
 			theta = cfg.ThetaSchedule.Theta(epoch)
@@ -258,8 +285,15 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 		l, dl := loss.Loss(logits, labels)
 		net.Backward(dl)
 		net.FlattenGrads(grad)
-		gs.scrubGrad(grad)
+		if tc != nil {
+			tScrub := time.Now()
+			gs.scrubGrad(grad)
+			tc.SpanSince(trace.OpScrub, int64(n), tScrub)
+		} else {
+			gs.scrubGrad(grad)
+		}
 		computeT := time.Since(t0)
+		tc.SpanTimed(trace.OpCompute, int64(cfg.Batch), t0, computeT)
 		if isRoot {
 			lossSum += l
 			lossCount++
@@ -280,6 +314,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 			if !d.Compress {
 				iterComp = wireFP32
 				compressed = false
+				tc.Instant(trace.OpBypass, 0)
 			} else if d.ThetaAdjusted {
 				if ts, ok := comp.(compress.ThetaSetter); ok {
 					ts.SetTheta(d.Theta)
@@ -300,15 +335,22 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 		msgBuf = msg
 		compressT := time.Since(t0)
 		msgBytes := len(msg)
+		tc.SpanTimed(trace.OpCompress, int64(msgBytes), t0, compressT)
 		if compressed && msgBytes > 0 {
 			liveRatio = float64(4*n) / float64(msgBytes)
 		}
 
 		tEx := time.Now()
 		ex, err := m.Exchange(uint64(iter), msg)
-		exchangeS := time.Since(tEx).Seconds()
+		exchangeD := time.Since(tEx)
+		exchangeS := exchangeD.Seconds()
+		tc.SpanTimed(trace.OpExchange, int64(msgBytes), tEx, exchangeD)
 		if err != nil {
 			if cluster.IsRecoverable(err) {
+				// The local transport is inside a chaos crash window (or this
+				// rank was evicted): dump the timeline while the pre-crash
+				// events are still in the ring, then park in rejoin.
+				cfg.Flight.Trigger(rank, trace.ReasonCrash)
 				// This gradient was computed but never averaged anywhere:
 				// keep it in the stream via the error-feedback residual.
 				if sink, ok := comp.(residualSink); ok {
@@ -347,6 +389,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 			avg[i] *= inv
 		}
 		decompressT := time.Since(t0)
+		tc.SpanTimed(trace.OpDecompress, int64(ex.Contributors), t0, decompressT)
 		if gs.driftDue(iter) && gs.checkDrift(ex.Msgs, ex.Stale) {
 			forceSync = true
 		}
@@ -367,6 +410,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 		case guard.ActionRollback:
 			gs.rollback(net, sgd)
 			forceSync = true
+			if isRoot {
+				cfg.Flight.Trigger(rank, trace.ReasonRollback)
+			}
 		case guard.ActionSkip:
 			// Poisoned round: no update.
 		default:
@@ -374,6 +420,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 			net.AddToParams(delta)
 		}
 		updateT := time.Since(t0)
+		tc.SpanTimed(trace.OpUpdate, int64(n), t0, updateT)
 
 		// --- parameter re-broadcast ----------------------------------------
 		// The periodic sync also runs early after any view change: degraded
@@ -381,6 +428,10 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 		// re-broadcast is what bounds that drift window.
 		var syncBytes int
 		if (iter+1)%cfg.SyncEvery == 0 || forceSync || ex.EpochChanged {
+			var tSync time.Time
+			if tc != nil {
+				tSync = time.Now()
+			}
 			root := ex.View.LowestAlive()
 			if root >= 0 {
 				if syncFlat == nil {
@@ -413,6 +464,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 				}
 			}
 			forceSync = false
+			tc.SpanSince(trace.OpSync, int64(syncBytes), tSync)
 		}
 
 		// --- bookkeeping (rank 0) ------------------------------------------
@@ -472,6 +524,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 			}
 		}
 		gs.maybeRetain(iter, epoch, net, sgd)
+		tc.SpanSince(trace.OpIteration, int64(msgBytes), tIter)
 		iter++
 	}
 

@@ -20,6 +20,7 @@ import (
 	"fftgrad/internal/guard"
 	"fftgrad/internal/nn"
 	"fftgrad/internal/optim"
+	"fftgrad/internal/trace"
 )
 
 type guardState struct {
@@ -27,6 +28,7 @@ type guardState struct {
 	stats  *guard.Stats
 	det    *guard.Detector
 	isRoot bool
+	tc     *trace.Ctx // this rank's timeline track (nil = tracing off)
 
 	fpFlat []float32 // fingerprint staging (reused every drift round)
 	ownFP  uint64
@@ -37,11 +39,11 @@ type guardState struct {
 	ring []*checkpoint.State
 }
 
-func newGuardState(cfg Config, rank, n int) *guardState {
+func newGuardState(cfg Config, rank, n int, tc *trace.Ctx) *guardState {
 	if cfg.Guard == nil {
 		return nil
 	}
-	gs := &guardState{cfg: *cfg.Guard, stats: cfg.guardStats, isRoot: rank == 0}
+	gs := &guardState{cfg: *cfg.Guard, stats: cfg.guardStats, isRoot: rank == 0, tc: tc}
 	if gs.cfg.Detect {
 		gs.det = guard.NewDetector(gs.cfg)
 	}
@@ -81,6 +83,7 @@ func (gs *guardState) scrubGrad(grad []float32) {
 	scrubbed, skip := guard.Scrub(grad, gs.cfg.Scrub, gs.cfg.ClampLimit)
 	if scrubbed > 0 {
 		gs.stats.AddScrubbed(scrubbed)
+		gs.tc.Instant(trace.OpScrubbed, int64(scrubbed))
 	}
 	if skip {
 		for i := range grad {
@@ -124,6 +127,7 @@ func (gs *guardState) checkDrift(msgs [][]byte, staleMask []bool) bool {
 			if gs.isRoot {
 				gs.stats.AddDriftResync()
 			}
+			gs.tc.Instant(trace.OpDriftResync, int64(j))
 			return true
 		}
 	}
@@ -158,14 +162,17 @@ func (gs *guardState) observe(avg []float32) guard.Action {
 		if gs.isRoot {
 			gs.stats.AddClip()
 		}
+		gs.tc.Instant(trace.OpClip, 0)
 	case guard.ActionSkip:
 		if gs.isRoot {
 			gs.stats.AddSkippedUpdate()
 		}
+		gs.tc.Instant(trace.OpSkipUpdate, 0)
 	case guard.ActionRollback:
 		if gs.isRoot {
 			gs.stats.AddRollback()
 		}
+		gs.tc.Instant(trace.OpRollback, 0)
 	}
 	return action
 }

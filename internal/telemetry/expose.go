@@ -144,11 +144,18 @@ func (r *Registry) Handler() http.Handler {
 // Serve starts an HTTP metrics endpoint on addr (e.g. ":9090"). It
 // returns the bound address (useful with ":0") and a shutdown function.
 func Serve(addr string, r *Registry) (bound string, shutdown func() error, err error) {
+	return ServeHandler(addr, r.Handler())
+}
+
+// ServeHandler is Serve with a caller-composed handler — the trainer
+// uses it to mount /trace and the optional pprof handlers on the same
+// mux as the registry endpoints.
+func ServeHandler(addr string, h http.Handler) (bound string, shutdown func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

@@ -99,6 +99,26 @@ func (e *EWMA) Value() float64 {
 	return e.e.value()
 }
 
+// StageSink receives a copy of every stage observation made through a
+// StageTimer that carries one — the seam through which per-rank tracing
+// sees compressor-internal stage timings without the compressors knowing
+// about tracing. Implementations must be cheap and allocation-free on
+// the steady-state path (the 0 allocs/op gates measure through them).
+type StageSink interface {
+	StageSpan(s Stage, bytes int, start time.Time, dur time.Duration)
+}
+
+// stageTimerCore holds the shared measurement state. Several StageTimer
+// handles (the base timer plus per-worker WithSink derivations) point at
+// one core, so every worker's observations feed the same EWMAs and
+// totals regardless of which handle recorded them.
+type stageTimerCore struct {
+	rate    [NumStages]ewmaFloat // bytes/sec EWMA
+	nanos   [NumStages]atomic.Int64
+	bytes   [NumStages]atomic.Int64
+	samples [NumStages]atomic.Int64
+}
+
 // StageTimer measures the live throughput of each pipeline stage. One
 // instance is shared by every worker's compressor and by the trainer's
 // exchange loop; all updates are atomic and allocation-free, so the
@@ -107,14 +127,31 @@ func (e *EWMA) Value() float64 {
 // A nil *StageTimer is valid and every method on it is a no-op, so
 // instrumented code paths need no nil checks at call sites.
 type StageTimer struct {
-	rate    [NumStages]ewmaFloat // bytes/sec EWMA
-	nanos   [NumStages]atomic.Int64
-	bytes   [NumStages]atomic.Int64
-	samples [NumStages]atomic.Int64
+	core *stageTimerCore
+	sink StageSink
 }
 
 // NewStageTimer creates an empty stage timer.
-func NewStageTimer() *StageTimer { return &StageTimer{} }
+func NewStageTimer() *StageTimer { return &StageTimer{core: &stageTimerCore{}} }
+
+// WithSink returns a handle sharing this timer's measurement state that
+// additionally forwards every observation to sink — one handle per
+// worker gives its observations rank attribution while the EWMAs stay
+// global. A nil receiver yields a fresh standalone timer (so tracing
+// works even when no shared timer was configured); a nil sink returns
+// the receiver unchanged.
+func (t *StageTimer) WithSink(sink StageSink) *StageTimer {
+	if t == nil {
+		if sink == nil {
+			return nil
+		}
+		return &StageTimer{core: &stageTimerCore{}, sink: sink}
+	}
+	if sink == nil {
+		return t
+	}
+	return &StageTimer{core: t.core, sink: sink}
+}
 
 // ObserveStage records that stage s processed n bytes in the given number
 // of seconds. Non-positive inputs are ignored.
@@ -122,20 +159,35 @@ func (t *StageTimer) ObserveStage(s Stage, n int, seconds float64) {
 	if t == nil || s >= NumStages || n <= 0 || seconds <= 0 {
 		return
 	}
-	t.rate[s].update(float64(n) / seconds)
-	t.nanos[s].Add(int64(seconds * 1e9))
-	t.bytes[s].Add(int64(n))
-	t.samples[s].Add(1)
+	t.core.observe(s, n, seconds)
+	if t.sink != nil {
+		d := time.Duration(seconds * 1e9)
+		t.sink.StageSpan(s, n, time.Now().Add(-d), d)
+	}
 }
 
 // ObserveSince is ObserveStage with the duration measured from start —
 // the form the in-pipeline hooks use: t0 := time.Now(); ...stage...;
 // timer.ObserveSince(stage, bytes, t0).
 func (t *StageTimer) ObserveSince(s Stage, n int, start time.Time) {
-	if t == nil {
+	if t == nil || s >= NumStages || n <= 0 {
 		return
 	}
-	t.ObserveStage(s, n, time.Since(start).Seconds())
+	d := time.Since(start)
+	if d <= 0 {
+		return
+	}
+	t.core.observe(s, n, d.Seconds())
+	if t.sink != nil {
+		t.sink.StageSpan(s, n, start, d)
+	}
+}
+
+func (c *stageTimerCore) observe(s Stage, n int, seconds float64) {
+	c.rate[s].update(float64(n) / seconds)
+	c.nanos[s].Add(int64(seconds * 1e9))
+	c.bytes[s].Add(int64(n))
+	c.samples[s].Add(1)
 }
 
 // Rate returns the EWMA throughput of stage s in bytes/second, or 0 when
@@ -144,7 +196,7 @@ func (t *StageTimer) Rate(s Stage) float64 {
 	if t == nil || s >= NumStages {
 		return 0
 	}
-	return t.rate[s].value()
+	return t.core.rate[s].value()
 }
 
 // MeanRate returns the lifetime mean throughput (total bytes over total
@@ -154,11 +206,11 @@ func (t *StageTimer) MeanRate(s Stage) float64 {
 	if t == nil || s >= NumStages {
 		return 0
 	}
-	ns := t.nanos[s].Load()
+	ns := t.core.nanos[s].Load()
 	if ns <= 0 {
 		return 0
 	}
-	return float64(t.bytes[s].Load()) / (float64(ns) / 1e9)
+	return float64(t.core.bytes[s].Load()) / (float64(ns) / 1e9)
 }
 
 // Samples returns how many observations stage s has received.
@@ -166,7 +218,7 @@ func (t *StageTimer) Samples(s Stage) int64 {
 	if t == nil || s >= NumStages {
 		return 0
 	}
-	return t.samples[s].Load()
+	return t.core.samples[s].Load()
 }
 
 // TotalSeconds returns the cumulative measured time of stage s.
@@ -174,7 +226,7 @@ func (t *StageTimer) TotalSeconds(s Stage) float64 {
 	if t == nil || s >= NumStages {
 		return 0
 	}
-	return float64(t.nanos[s].Load()) / 1e9
+	return float64(t.core.nanos[s].Load()) / 1e9
 }
 
 // Register exposes the timer on reg: one EWMA throughput gauge, one bytes
@@ -194,7 +246,7 @@ func (t *StageTimer) Register(reg *Registry) {
 		reg.GaugeFunc(
 			"fftgrad_stage_bytes_total{stage=\""+s.String()+"\"}",
 			"total bytes processed by one pipeline stage",
-			func() float64 { return float64(t.bytes[s].Load()) })
+			func() float64 { return float64(t.core.bytes[s].Load()) })
 		reg.GaugeFunc(
 			"fftgrad_stage_seconds_total{stage=\""+s.String()+"\"}",
 			"total measured seconds spent in one pipeline stage",

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// WriteJSON writes the tracer's current contents as a Chrome trace_event
+// JSON array (the "JSON Array Format" both Perfetto and chrome://tracing
+// accept): one metadata block naming the process and one thread per rank,
+// then every span as a complete ("X") event and every instant marker as
+// an "i" event, timestamps in microseconds since tracer start. A nil
+// tracer writes an empty array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	events := t.Events()
+	bw := &errWriter{w: w}
+	bw.str("[\n")
+	bw.str(`{"ph":"M","pid":1,"name":"process_name","args":{"name":"fftgrad trainer"}}`)
+	for rank := 0; rank < t.Ranks(); rank++ {
+		bw.str(",\n")
+		fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":"rank %d"}}`, rank, rank)
+	}
+	for _, e := range events {
+		bw.str(",\n")
+		ts := float64(e.Start) / 1e3 // ns → µs
+		if e.Dur > 0 || isSpan(e.Op) {
+			fmt.Fprintf(bw,
+				`{"ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,"name":%q,"cat":%q,"args":{"iter":%d,"arg":%d}}`,
+				e.Rank, ts, float64(e.Dur)/1e3, e.Op.String(), e.Op.Cat(), e.Seq, e.Arg)
+		} else {
+			fmt.Fprintf(bw,
+				`{"ph":"i","pid":1,"tid":%d,"ts":%.3f,"s":"t","name":%q,"cat":%q,"args":{"iter":%d,"arg":%d}}`,
+				e.Rank, ts, e.Op.String(), e.Op.Cat(), e.Seq, e.Arg)
+		}
+	}
+	bw.str("\n]\n")
+	return bw.err
+}
+
+// isSpan reports whether op is a duration-carrying pipeline/exchange
+// span (a span can legitimately measure 0ns on a fast clock and must
+// still export as "X", not degrade into an instant).
+func isSpan(op Op) bool {
+	switch op {
+	case OpIteration, OpCompute, OpScrub, OpConvert, OpTransform, OpSelect,
+		OpPack, OpCompress, OpDecompress, OpExchange, OpBarrier, OpSendPeer,
+		OpUpdate, OpSync:
+		return true
+	}
+	return false
+}
+
+// MarshalJSON renders the whole timeline to a byte slice — the form the
+// flight recorder hands to checkpoint.WriteBytesAtomic.
+func (t *Tracer) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := t.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Handler serves the live timeline as trace_event JSON — mounted at
+// /trace on the trainer's metrics mux. Safe to hit mid-run; the snapshot
+// skips events being overwritten during the scan.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="fftgrad-trace.json"`)
+		_ = t.WriteJSON(w)
+	})
+}
+
+// errWriter latches the first write error so the export body stays free
+// of per-line error plumbing.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+		return len(p), nil
+	}
+	return n, nil
+}
+
+func (e *errWriter) str(s string) { _, _ = io.WriteString(e, s) }

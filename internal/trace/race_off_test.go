@@ -1,0 +1,8 @@
+//go:build !race
+
+package trace
+
+// raceEnabled reports whether the race detector is active; the
+// allocation-regression tests skip under -race because instrumentation
+// adds bookkeeping allocations that are not present in production builds.
+const raceEnabled = false
