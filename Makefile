@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json benchdiff experiments examples fmt check chaos guard fuzz trace-smoke
+.PHONY: all build vet test race bench bench-json benchdiff bench-baseline bench-gate experiments examples fmt check chaos guard fuzz trace-smoke
 
 all: build vet test
 
@@ -61,6 +61,28 @@ bench-json:
 # self-diff of BENCH_compress.json); exits non-zero on regression.
 benchdiff:
 	$(GO) run ./cmd/benchdiff -threshold 0.10 $(or $(OLD),BENCH_compress.json) $(or $(NEW),BENCH_compress.json)
+
+# Regenerate the committed kernel baseline. Run on a quiet machine after
+# an intentional kernel change, and commit the result together with it.
+# Best-of-5 damps scheduler noise; -mb 8 matches the gate below (ns/op
+# rows are normalised against the report's working set, so both sides
+# of a diff must use the same size).
+bench-baseline:
+	$(GO) run ./cmd/compressbench -json BENCH_BASELINE.json -mb 8 -iters 5
+
+# Kernel regression gate: a fresh run diffed against the committed
+# baseline. Two tiers, because the baseline was recorded on a different
+# machine than the one running the gate:
+#   - allocs/op is hardware-independent and gated exactly (any increase
+#     in a steady-state-zero path fails, whatever the threshold);
+#   - ns/op is a coarse tripwire with a deliberately generous threshold
+#     (default 2.0 = up to 3x slower than the baseline box) that still
+#     catches algorithmic blowups — a lost fast path, accidental
+#     serialisation, O(n log n) turning into O(n^2) — without flagging
+#     ordinary cross-machine and scheduler variance.
+bench-gate:
+	$(GO) run ./cmd/compressbench -json BENCH_ci.json -mb 8 -iters 3
+	$(GO) run ./cmd/benchdiff -threshold $(or $(THRESHOLD),2.0) BENCH_BASELINE.json BENCH_ci.json
 
 # Trace smoke: a short chaos run with the flight recorder armed must
 # produce a Perfetto-loadable trace_event dump covering every rank.

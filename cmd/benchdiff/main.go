@@ -24,6 +24,7 @@ type primitiveResult struct {
 	Name        string  `json:"name"`
 	BytesPerSec float64 `json:"bytes_per_sec"`
 	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 }
 
 type compressorResult struct {
@@ -59,7 +60,13 @@ func (r *report) benches() map[string]bench {
 	}
 	out := make(map[string]bench)
 	for _, p := range r.Primitives {
-		out["primitive/"+p.Name] = bench{nsPerOp(p.BytesPerSec), p.AllocsPerOp}
+		b := bench{nsPerOp(p.BytesPerSec), p.AllocsPerOp}
+		if p.BytesPerOp > 0 && p.BytesPerSec > 0 {
+			// Kernel-matrix rows carry their own per-op working set (the
+			// -sizes element count), independent of the -mb gradient.
+			b.nsPerOp = p.BytesPerOp / p.BytesPerSec * 1e9
+		}
+		out["primitive/"+p.Name] = b
 	}
 	for _, c := range r.Compressors {
 		key := fmt.Sprintf("%s/theta=%.2f", c.Method, c.Theta)

@@ -12,6 +12,9 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"time"
 
 	"fftgrad/internal/cfft"
@@ -26,10 +29,14 @@ import (
 
 // primitiveResult is one row of the machine-readable report: a pipeline
 // primitive's best observed rate and its steady-state allocations.
+// BytesPerOp records the per-operation working set for rows whose size is
+// not the -mb gradient (the -sizes kernel matrix); benchdiff uses it to
+// normalise ns/op per row instead of assuming the report-level size.
 type primitiveResult struct {
 	Name        string  `json:"name"`
 	BytesPerSec float64 `json:"bytes_per_sec"`
 	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 }
 
 // compressorResult reports one full compressor: round-trip rates, the
@@ -53,11 +60,36 @@ type report struct {
 	Compressors  []compressorResult `json:"compressors"`
 }
 
+// parseSizes splits a comma-separated list of element counts, rounding
+// each up to the power of two the transform kernels require.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 2 {
+			return nil, fmt.Errorf("bad size %q", f)
+		}
+		out = append(out, cfft.NextPow2(v))
+	}
+	return out, nil
+}
+
 func main() {
 	mega := flag.Int("mb", 64, "working-set size in MB of FP32 gradients")
 	iters := flag.Int("iters", 5, "timing repetitions (max rate wins)")
+	sizes := flag.String("sizes", "65536,1048576", "comma-separated element counts for the transform/kernel benchmark matrix (rounded up to powers of two)")
 	jsonPath := flag.String("json", "", "write a machine-readable report to this file (e.g. BENCH_compress.json)")
 	flag.Parse()
+
+	matrixSizes, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "-sizes:", err)
+		os.Exit(2)
+	}
 
 	n := *mega << 20 / 4
 	r := rand.New(rand.NewSource(1))
@@ -69,12 +101,16 @@ func main() {
 
 	rep := report{WorkingSetMB: *mega, Iters: *iters}
 
-	// measure returns the best throughput over iters repetitions plus the
-	// steady-state heap allocations of one call (the Mallocs delta of the
-	// final repetition, after a warm-up call has populated plan caches,
-	// tuned quantizers and scratch pools).
-	measure := func(fn func()) (best float64, allocs uint64) {
+	// measureBytes returns the best throughput over iters repetitions plus
+	// the steady-state heap allocations of one call (the Mallocs delta of
+	// the final repetition, after a warm-up call has populated plan caches,
+	// tuned quantizers and scratch pools). The GC is paused during the
+	// measurement so a collection cannot clear the scratch pools mid-run
+	// and charge pool refills to the kernel under test — this keeps the
+	// allocs/op column deterministic enough for CI to diff across commits.
+	measureBytes := func(opBytes float64, fn func()) (best float64, allocs uint64) {
 		fn() // warm caches and pools; measure the steady state only
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
 		var ms runtime.MemStats
 		for i := 0; i < *iters; i++ {
 			runtime.ReadMemStats(&ms)
@@ -84,17 +120,30 @@ func main() {
 			el := time.Since(start).Seconds()
 			runtime.ReadMemStats(&ms)
 			allocs = ms.Mallocs - m0
-			if rps := bytes / el; rps > best {
+			if rps := opBytes / el; rps > best {
 				best = rps
 			}
 		}
 		return best, allocs
+	}
+	measure := func(fn func()) (best float64, allocs uint64) {
+		return measureBytes(bytes, fn)
 	}
 	rate := func(name string, fn func()) float64 {
 		best, allocs := measure(fn)
 		fmt.Printf("%-28s %8.2f GB/s %8d allocs/op\n", name, best/1e9, allocs)
 		rep.Primitives = append(rep.Primitives,
 			primitiveResult{Name: name, BytesPerSec: best, AllocsPerOp: allocs})
+		return best
+	}
+	// rateAt is rate for the -sizes kernel matrix: rows carry their own
+	// per-op byte count so benchdiff can normalise them independently of
+	// the -mb working set.
+	rateAt := func(name string, opBytes float64, fn func()) float64 {
+		best, allocs := measureBytes(opBytes, fn)
+		fmt.Printf("%-28s %8.2f GB/s %8d allocs/op\n", name, best/1e9, allocs)
+		rep.Primitives = append(rep.Primitives,
+			primitiveResult{Name: name, BytesPerSec: best, AllocsPerOp: allocs, BytesPerOp: opBytes})
 		return best
 	}
 
@@ -121,7 +170,17 @@ func main() {
 	}
 	ts := rate("top-k selection (Ts)", func() { topk.KthLargestBucket(mags, n/10) })
 
-	tp := rate("sparse packing (Tp)", func() { pack.PackNonzero(grad) })
+	// Tp packs an actually sparsified vector: a ~12% random survivor set,
+	// the shape PackNonzero sees after theta=0.85-0.9 selection. (A dense
+	// or periodic fixture would hand the branch predictor a pattern that
+	// real sparsified gradients never have.)
+	sparse := make([]float32, n)
+	for i := range sparse {
+		if r.Float64() < 0.12 {
+			sparse[i] = grad[i] + 1
+		}
+	}
+	tp := rate("sparse packing (Tp)", func() { pack.PackNonzero(sparse) })
 
 	q, err := quant.Tune(10, -1, 1, grad[:4096])
 	if err != nil {
@@ -154,6 +213,69 @@ func main() {
 			panic(err)
 		}
 	})
+
+	// Transform/kernel matrix over the -sizes element counts: the complex
+	// radix path, the real half-spectrum path, and the f16/pack bulk
+	// kernels, each at sizes matching real layer gradients. These rows are
+	// what the committed BENCH_BASELINE.json locks in: benchdiff fails CI
+	// when any of them regresses.
+	fmt.Printf("\ntransform/kernel matrix (-sizes %s):\n", *sizes)
+	for _, kn := range matrixSizes {
+		kr := rand.New(rand.NewSource(int64(kn)))
+		kplan := cfft.PlanFor(kn)
+		csrc := make([]complex128, kn)
+		cdst := make([]complex128, kn)
+		for i := range csrc {
+			csrc[i] = complex(float64(i%101)*0.01-0.5, float64(i%37)*0.01)
+		}
+		// One op = forward + inverse over kn complex128 values.
+		rtBytes := float64(2 * 16 * kn)
+		rateAt(fmt.Sprintf("fft-forward/n=%d", kn), float64(16*kn), func() {
+			kplan.Forward(cdst, csrc)
+		})
+		rateAt(fmt.Sprintf("fft-roundtrip/n=%d", kn), rtBytes, func() {
+			kplan.Forward(cdst, csrc)
+			kplan.Inverse(cdst, cdst)
+		})
+
+		rplan := cfft.RealPlanFor(kn)
+		rsrc := make([]float64, kn)
+		rdst := make([]float64, kn)
+		for i := range rsrc {
+			rsrc[i] = float64(i%101)*0.01 - 0.5
+		}
+		rspec := make([]complex128, rplan.SpectrumLen())
+		rateAt(fmt.Sprintf("realfft-roundtrip/n=%d", kn), float64(2*8*kn), func() {
+			rplan.Forward(rspec, rsrc)
+			rplan.Inverse(rdst, rspec)
+		})
+
+		// Gradient-like random values: a periodic ramp would let the
+		// branch predictor learn the scalar rounding branch's pattern and
+		// make the conversion look faster than it runs on real data.
+		fsrc := make([]float32, kn)
+		for i := range fsrc {
+			fsrc[i] = float32(kr.NormFloat64() * 0.1)
+		}
+		fh := make([]f16.Bits, kn)
+		fdec := make([]float32, kn)
+		rateAt(fmt.Sprintf("f16-roundtrip/n=%d", kn), float64(2*4*kn), func() {
+			f16.EncodeSlice(fh, fsrc)
+			f16.DecodeSlice(fdec, fh)
+		})
+
+		psrc := make([]float32, kn)
+		for i := range psrc {
+			if kr.Float64() < 0.12 { // ~12% density, a θ=0.85-ish survivor set
+				psrc[i] = fsrc[i] + 1
+			}
+		}
+		pdst := make([]float32, kn)
+		rateAt(fmt.Sprintf("pack-roundtrip/n=%d", kn), float64(2*4*kn), func() {
+			s := pack.PackNonzero(psrc)
+			s.Unpack(pdst)
+		})
+	}
 
 	// Every registered compressor end to end on the reused-buffer path:
 	// per-method compress/decompress rates, wire ratio and allocations.

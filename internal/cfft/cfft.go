@@ -22,14 +22,31 @@ import (
 	"fftgrad/internal/scratch"
 )
 
-// Plan holds the precomputed state (twiddle factors and the bit-reversal
-// permutation) for transforms of one fixed power-of-two length. Plans are
-// safe for concurrent use by multiple goroutines once created.
+// Plan holds the precomputed state (per-stage twiddle tables and the
+// bit-reversal permutation) for transforms of one fixed power-of-two
+// length. Plans are safe for concurrent use by multiple goroutines once
+// created.
+//
+// The butterfly network is fused radix-4: each pass combines two radix-2
+// stages, so a length-n transform makes ~log4(n) passes over the data
+// with 3 complex multiplies per 4 outputs (radix-2 pays 4). Fusing two
+// radix-2 stages keeps the plain radix-2 bit-reversal input ordering, so
+// no digit-reversal machinery is needed; when log2(n) is odd a single
+// multiplication-free size-2 stage runs first. Stages execute in a
+// depth-first recursion over sub-blocks, so every block at or below the
+// leaf size goes through all of its stages while cache-resident instead
+// of streaming the whole array once per stage.
 type Plan struct {
-	n       int
-	logN    int
-	twiddle []complex128 // twiddle[k] = exp(-2πi k / n), k in [0, n/2)
-	rev     []int32      // bit-reversal permutation
+	n    int
+	logN int
+	leaf int     // largest block transformed iteratively (cache-resident)
+	rev  []int32 // bit-reversal permutation
+	// tw[s] is the twiddle table for the fused stage of block size 1<<s:
+	// interleaved triples (W^k, W^2k, W^3k) with W = exp(-2πi/m), k in
+	// [0, m/4) — unit stride in the butterfly loop, forward sign (the
+	// inverse loop conjugates in registers). The size-4 stage is
+	// multiplication-free and has no table.
+	tw [][]complex128
 }
 
 // IsPow2 reports whether n is a positive power of two.
@@ -116,6 +133,16 @@ func cacheSlot(n int) int {
 	return bits.TrailingZeros(uint(n))
 }
 
+// leafLogEven/leafLogOdd pick the iterative-leaf block size for the
+// depth-first recursion: 2^12 complex128 = 64 KiB (or 128 KiB for odd
+// log2(n), keeping the same parity so the recursion bottoms out exactly
+// at the leaf) — small enough to stay L2-resident through all of its
+// stages on any modern core.
+const (
+	leafLogEven = 12
+	leafLogOdd  = 13
+)
+
 // NewPlan creates a transform plan for length n, which must be a positive
 // power of two.
 func NewPlan(n int) *Plan {
@@ -123,17 +150,39 @@ func NewPlan(n int) *Plan {
 		panic("cfft: plan length must be a power of two")
 	}
 	p := &Plan{
-		n:       n,
-		logN:    bits.TrailingZeros(uint(n)),
-		twiddle: make([]complex128, n/2),
-		rev:     make([]int32, n),
+		n:    n,
+		logN: bits.TrailingZeros(uint(n)),
+		rev:  make([]int32, n),
+		tw:   make([][]complex128, bits.TrailingZeros(uint(n))+1),
 	}
-	for k := 0; k < n/2; k++ {
-		ang := -2 * math.Pi * float64(k) / float64(n)
-		p.twiddle[k] = complex(math.Cos(ang), math.Sin(ang))
+	leafLog := leafLogEven
+	if p.logN&1 == 1 {
+		leafLog = leafLogOdd
 	}
+	if leafLog > p.logN {
+		leafLog = p.logN
+	}
+	p.leaf = 1 << leafLog
 	for i := 0; i < n; i++ {
 		p.rev[i] = int32(bits.Reverse(uint(i)) >> (bits.UintSize - p.logN))
+	}
+	// Fused-stage twiddle tables. The first fused stage is size 4 when
+	// log2(n) is even (twiddle-free) and size 8 after the size-2 opener
+	// when odd; every subsequent stage quadruples.
+	first := 16
+	if p.logN&1 == 1 {
+		first = 8
+	}
+	for m := first; m <= n; m <<= 2 {
+		q := m >> 2
+		t := make([]complex128, 3*q)
+		for k := 0; k < q; k++ {
+			for e := 1; e <= 3; e++ {
+				ang := -2 * math.Pi * float64(e*k) / float64(m)
+				t[3*k+e-1] = complex(math.Cos(ang), math.Sin(ang))
+			}
+		}
+		p.tw[bits.TrailingZeros(uint(m))] = t
 	}
 	return p
 }
@@ -152,81 +201,224 @@ func (p *Plan) Forward(dst, src []complex128) {
 
 // Inverse computes the inverse DFT of src into dst, normalized by 1/n, so
 // that Inverse(Forward(x)) == x up to round-off. dst and src must both have
-// length n; they may be the same slice.
+// length n; they may be the same slice. The 1/n scaling is folded into the
+// bit-reversal reorder pass, so no separate scaling sweep runs.
 func (p *Plan) Inverse(dst, src []complex128) {
 	p.transform(dst, src, true)
-	scale := complex(1/float64(p.n), 0)
-	for i := range dst {
-		dst[i] *= scale
-	}
 }
 
-// transform runs the iterative radix-2 butterflies. inverse selects
-// conjugated twiddles (no scaling applied here).
+// fftParMin is the element count above which a transform considers
+// dispatching its block recursion to the worker pool.
+const fftParMin = 1 << 16
+
+// transform reorders src into dst (folding the inverse 1/n normalization
+// into the same pass) and runs the fused radix-4 stage network in place.
 func (p *Plan) transform(dst, src []complex128, inverse bool) {
 	n := p.n
 	if len(dst) != n || len(src) != n {
 		panic("cfft: slice length does not match plan")
 	}
-	// Bit-reversal reorder. When dst and src alias we must swap in place.
-	if &dst[0] == &src[0] {
-		for i := 0; i < n; i++ {
-			j := int(p.rev[i])
-			if i < j {
-				dst[i], dst[j] = dst[j], dst[i]
-			}
-		}
+	p.reorder(dst, src, inverse)
+	if n >= fftParMin && parallel.Workers() > 1 {
+		p.stagesParallel(dst, inverse)
 	} else {
-		for i := 0; i < n; i++ {
-			dst[i] = src[p.rev[i]]
-		}
+		p.recurse(dst, inverse)
 	}
+}
 
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := n / size // stride through the twiddle table
-		blocks := n / size
-		// Parallelize across independent butterfly blocks when the work
-		// is large. Each block touches a disjoint [start,start+size) range.
-		// The capture-free For1 body keeps serial execution allocation-free.
-		if n >= 1<<15 && blocks > 1 {
-			parallel.ForGrain1(blocks, 4,
-				stageCtx{dst: dst, twiddle: p.twiddle, size: size, half: half, step: step, inverse: inverse},
-				func(s stageCtx, lo, hi int) {
-					for b := lo; b < hi; b++ {
-						start := b * s.size
-						butterflies(s.dst[start:start+s.size], s.twiddle, s.half, s.step, s.inverse)
-					}
-				})
+// reorder applies the bit-reversal permutation from src to dst, swapping
+// in place when they alias, and multiplies by 1/n on the way when inverse
+// (linearity lets the normalization ride the permutation pass for free).
+func (p *Plan) reorder(dst, src []complex128, inverse bool) {
+	n := p.n
+	rev := p.rev
+	if &dst[0] == &src[0] {
+		if inverse {
+			s := complex(1/float64(n), 0)
+			for i := 0; i < n; i++ {
+				j := int(rev[i])
+				if i < j {
+					dst[i], dst[j] = dst[j]*s, dst[i]*s
+				} else if i == j {
+					dst[i] *= s
+				}
+			}
 		} else {
-			for b := 0; b < blocks; b++ {
-				start := b * size
-				butterflies(dst[start:start+size], p.twiddle, half, step, inverse)
+			for i := 0; i < n; i++ {
+				j := int(rev[i])
+				if i < j {
+					dst[i], dst[j] = dst[j], dst[i]
+				}
 			}
 		}
+		return
+	}
+	if inverse {
+		s := complex(1/float64(n), 0)
+		for i := 0; i < n; i++ {
+			dst[i] = src[rev[i]] * s
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = src[rev[i]]
 	}
 }
 
-// stageCtx carries one butterfly stage's parameters through For1 by value,
-// so the loop body captures nothing.
-type stageCtx struct {
-	dst, twiddle []complex128
-	size, half   int
-	step         int
-	inverse      bool
+// recurse runs the stage network over one bit-reversed block depth-first:
+// all four quarter-blocks are fully transformed before the combining
+// stage touches the block, so blocks at or below the leaf size complete
+// every stage while still cache-resident. Iterative stage-at-a-time
+// execution would stream the full array from memory once per stage;
+// depth-first execution streams it roughly once per recursion level.
+func (p *Plan) recurse(x []complex128, inverse bool) {
+	m := len(x)
+	if m <= p.leaf {
+		p.leafStages(x, inverse)
+		return
+	}
+	q := m >> 2
+	p.recurse(x[:q], inverse)
+	p.recurse(x[q:2*q], inverse)
+	p.recurse(x[2*q:3*q], inverse)
+	p.recurse(x[3*q:], inverse)
+	radix4Range(x, p.tw[bits.TrailingZeros(uint(m))], 0, q, inverse)
 }
 
-// butterflies applies one radix-2 stage within a single block.
-func butterflies(block []complex128, twiddle []complex128, half, step int, inverse bool) {
-	for k := 0; k < half; k++ {
-		w := twiddle[k*step]
-		if inverse {
-			w = complex(real(w), -imag(w))
+// leafStages transforms one cache-resident block iteratively: the opening
+// multiplication-free stage (size 2 for odd log, size 4 for even), then
+// fused radix-4 stages up to the block size.
+func (p *Plan) leafStages(x []complex128, inverse bool) {
+	m := len(x)
+	if m == 1 {
+		return
+	}
+	lg := bits.TrailingZeros(uint(m))
+	s := 16
+	if lg&1 == 1 {
+		stage2(x)
+		s = 8
+	} else {
+		stage4(x, inverse)
+	}
+	for ; s <= m; s <<= 2 {
+		tw := p.tw[bits.TrailingZeros(uint(s))]
+		q := s >> 2
+		for b := 0; b < m; b += s {
+			radix4Range(x[b:b+s], tw, 0, q, inverse)
 		}
-		a := block[k]
-		b := block[k+half] * w
-		block[k] = a + b
-		block[k+half] = a - b
+	}
+}
+
+// stage2 applies the size-2 butterfly across the whole block (the opening
+// stage when log2(n) is odd; direction-independent and twiddle-free).
+func stage2(x []complex128) {
+	for j := 0; j+1 < len(x); j += 2 {
+		a, b := x[j], x[j+1]
+		x[j], x[j+1] = a+b, a-b
+	}
+}
+
+// stage4 applies the twiddle-free size-4 fused butterfly across the whole
+// block (the opening stage when log2(n) is even: all twiddles are 1).
+func stage4(x []complex128, inverse bool) {
+	for j := 0; j+3 < len(x); j += 4 {
+		x0, x1, x2, x3 := x[j], x[j+1], x[j+2], x[j+3]
+		s0, s1 := x0+x1, x0-x1
+		s2, s3 := x2+x3, x2-x3
+		// ±i·s3 written out as a rotation: i·(a+bi) = -b + ai.
+		r := complex(-imag(s3), real(s3))
+		if inverse {
+			x[j], x[j+1], x[j+2], x[j+3] = s0+s2, s1+r, s0-s2, s1-r
+		} else {
+			x[j], x[j+1], x[j+2], x[j+3] = s0+s2, s1-r, s0-s2, s1+r
+		}
+	}
+}
+
+// radix4Range applies the fused radix-4 butterfly to rows k in [lo, hi)
+// of one block. tw holds interleaved forward triples (W^k, W^2k, W^3k);
+// the inverse direction conjugates them in registers and swaps the ∓i
+// rotation, which is exactly the conjugate network. Fusing two radix-2
+// stages costs 3 complex multiplies per 4 outputs instead of 4 and makes
+// one memory pass instead of two.
+func radix4Range(x, tw []complex128, lo, hi int, inverse bool) {
+	q := len(x) >> 2
+	a := x[:q:q]
+	b := x[q : 2*q : 2*q]
+	c := x[2*q : 3*q : 3*q]
+	d := x[3*q:]
+	if inverse {
+		for k := lo; k < hi; k++ {
+			t := tw[3*k : 3*k+3]
+			w1 := complex(real(t[0]), -imag(t[0]))
+			w2 := complex(real(t[1]), -imag(t[1]))
+			w3 := complex(real(t[2]), -imag(t[2]))
+			u := b[k] * w2
+			v := c[k] * w1
+			z := d[k] * w3
+			s0, s1 := a[k]+u, a[k]-u
+			s2, s3 := v+z, v-z
+			r := complex(-imag(s3), real(s3))
+			a[k], c[k] = s0+s2, s0-s2
+			b[k], d[k] = s1+r, s1-r
+		}
+		return
+	}
+	for k := lo; k < hi; k++ {
+		t := tw[3*k : 3*k+3]
+		u := b[k] * t[1]
+		v := c[k] * t[0]
+		z := d[k] * t[2]
+		s0, s1 := a[k]+u, a[k]-u
+		s2, s3 := v+z, v-z
+		r := complex(-imag(s3), real(s3))
+		a[k], c[k] = s0+s2, s0-s2
+		b[k], d[k] = s1-r, s1+r
+	}
+}
+
+// parCtx carries a parallel sub-transform dispatch through ForGrain1 by
+// value, so the body captures nothing.
+type parCtx struct {
+	p       *Plan
+	x       []complex128
+	size    int
+	inverse bool
+}
+
+// stageCtx carries one combining stage's k-range dispatch.
+type stageCtx struct {
+	x, tw   []complex128
+	inverse bool
+}
+
+// stagesParallel splits the array into 4^d independent sub-blocks, runs
+// each through the serial depth-first recursion on the worker pool, then
+// executes the remaining d combining stages with their butterfly rows
+// partitioned across workers (rows of one stage are independent).
+func (p *Plan) stagesParallel(x []complex128, inverse bool) {
+	n := len(x)
+	blocks, size := 1, n
+	for size > p.leaf && size >= fftParMin && blocks < parallel.Workers() {
+		blocks <<= 2
+		size >>= 2
+	}
+	parallel.ForGrain1(blocks, 1, parCtx{p, x, size, inverse},
+		func(c parCtx, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				c.p.recurse(c.x[b*c.size:(b+1)*c.size], c.inverse)
+			}
+		})
+	for m := size << 2; m <= n; m <<= 2 {
+		tw := p.tw[bits.TrailingZeros(uint(m))]
+		q := m >> 2
+		for b := 0; b < n; b += m {
+			parallel.ForGrain1(q, 1<<13, stageCtx{x[b : b+m], tw, inverse},
+				func(c stageCtx, lo, hi int) {
+					radix4Range(c.x, c.tw, lo, hi, c.inverse)
+				})
+		}
 	}
 }
 

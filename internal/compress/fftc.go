@@ -98,39 +98,25 @@ func (c *FFT) AppendCompress(dst []byte, grad []float32) ([]byte, error) {
 		spec = new(sparsify.Spectrum)
 	}
 	defer c.specs.Put(spec)
-	if err := c.sp.AnalyzeIntoTimed(spec, work, c.theta.Load(), c.st); err != nil {
+	// The fused analyze+pack path builds the keep mask, zeroes dropped
+	// bins, and gathers the surviving coefficients as interleaved
+	// (re, im) float32 pairs in one cache-blocked sweep, so no separate
+	// mask-directed gather pass over the spectrum runs here.
+	theta := c.theta.Load()
+	nbins := cfft.PaddedLen(n)/2 + 1
+	kept := sparsify.KeepCount(nbins, theta)
+	valsb := scratch.Float32s(2*kept + 1)
+	defer scratch.PutFloat32s(valsb)
+	nvals, absMax, err := c.sp.AnalyzePackedTimed(spec, *valsb, work, theta, c.st)
+	if err != nil {
 		return nil, err
 	}
-	if spec.Kept == 0 {
-		// Nothing survives (θ=1): header-only message that decompresses
-		// to zeros.
+	if spec.Kept == 0 || absMax == 0 {
+		// Nothing survives (θ=1) or all-zero gradient: header-only
+		// message that decompresses to zeros.
 		return putHeader(dst, uint32(n), uint32(spec.N), 0, 0, 0, 0, 0, 0), nil
 	}
-
-	// Gather surviving coefficients as interleaved (re, im) float32 pairs.
-	t0 = time.Now()
-	valsb := scratch.Float32s(2 * spec.Kept)
-	defer scratch.PutFloat32s(valsb)
-	vals := (*valsb)[:0]
-	var absMax float64
-	for i, b := range spec.Bins {
-		if spec.Mask[i>>6]&(1<<(uint(i)&63)) == 0 {
-			continue
-		}
-		re, im := float32(real(b)), float32(imag(b))
-		vals = append(vals, re, im)
-		if a := math.Abs(float64(re)); a > absMax {
-			absMax = a
-		}
-		if a := math.Abs(float64(im)); a > absMax {
-			absMax = a
-		}
-	}
-	if absMax == 0 {
-		// All-zero gradient: same header-only form.
-		return putHeader(dst, uint32(n), uint32(spec.N), 0, 0, 0, 0, 0, 0), nil
-	}
-	c.st.ObserveSince(telemetry.StagePack, 4*n, t0)
+	vals := (*valsb)[:nvals]
 
 	t0 = time.Now()
 	q, err := c.qc.encoder(c.QuantBits, absMax, vals)

@@ -1,0 +1,139 @@
+package f16
+
+import (
+	"math"
+	"math/rand"
+
+	"fftgrad/internal/parallel"
+	"testing"
+)
+
+func benchData(n int) ([]float32, []Bits) {
+	r := rand.New(rand.NewSource(7))
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = float32(r.NormFloat64())
+	}
+	h := make([]Bits, n)
+	EncodeSlice(h, x)
+	return x, h
+}
+
+func BenchmarkEncodeSliceK(b *testing.B) {
+	x, h := benchData(1 << 16)
+	b.SetBytes(4 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeSlice(h, x)
+	}
+}
+
+func BenchmarkDecodeSliceK(b *testing.B) {
+	x, h := benchData(1 << 16)
+	out := make([]float32, len(x))
+	b.SetBytes(4 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DecodeSlice(out, h)
+	}
+}
+
+func BenchmarkEncodeScalarLoop(b *testing.B) {
+	x, h := benchData(1 << 16)
+	b.SetBytes(4 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, v := range x {
+			h[j] = FromFloat32(v)
+		}
+	}
+}
+
+func BenchmarkDecodeScalarLoop(b *testing.B) {
+	x, h := benchData(1 << 16)
+	out := make([]float32, len(x))
+	b.SetBytes(4 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, v := range h {
+			out[j] = v.Float32()
+		}
+	}
+}
+
+func BenchmarkEncodeBitsLoop(b *testing.B) {
+	x, h := benchData(1 << 16)
+	b.SetBytes(4 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, v := range x {
+			h[j] = encodeBits(math.Float32bits(v))
+		}
+	}
+}
+
+func BenchmarkDecodeBitsLoop(b *testing.B) {
+	x, h := benchData(1 << 16)
+	out := make([]float32, len(x))
+	b.SetBytes(4 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, v := range h {
+			out[j] = decodeBits(v)
+		}
+	}
+}
+
+func encodeScalarWrapped(dst []Bits, src []float32) {
+	parallel.For2(len(src), dst, src, func(dst []Bits, src []float32, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = FromFloat32(src[i])
+		}
+	})
+}
+
+func decodeScalarWrapped(dst []float32, src []Bits) {
+	parallel.For2(len(src), dst, src, func(dst []float32, src []Bits, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = src[i].Float32()
+		}
+	})
+}
+
+func BenchmarkEncodeWrappedScalarBig(b *testing.B) {
+	x, h := benchData(1 << 21)
+	b.SetBytes(4 << 21)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		encodeScalarWrapped(h, x)
+	}
+}
+
+func BenchmarkEncodeWrappedBranchFreeBig(b *testing.B) {
+	x, h := benchData(1 << 21)
+	b.SetBytes(4 << 21)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeSlice(h, x)
+	}
+}
+
+func BenchmarkDecodeWrappedScalarBig(b *testing.B) {
+	x, h := benchData(1 << 21)
+	out := make([]float32, len(x))
+	b.SetBytes(4 << 21)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decodeScalarWrapped(out, h)
+	}
+}
+
+func BenchmarkDecodeWrappedBranchFreeBig(b *testing.B) {
+	x, h := benchData(1 << 21)
+	out := make([]float32, len(x))
+	b.SetBytes(4 << 21)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DecodeSlice(out, h)
+	}
+}

@@ -1,0 +1,104 @@
+package f16
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeBitsExhaustive proves decodeBits == Bits.Float32 over the
+// entire 16-bit input space — zeros, subnormals, normals, infinities, and
+// every NaN payload.
+func TestDecodeBitsExhaustive(t *testing.T) {
+	for u := 0; u <= 0xFFFF; u++ {
+		h := Bits(u)
+		want := h.Float32()
+		got := decodeBits(h)
+		if math.Float32bits(want) != math.Float32bits(got) {
+			t.Fatalf("h=%#04x: scalar %#08x branchless %#08x", u,
+				math.Float32bits(want), math.Float32bits(got))
+		}
+	}
+}
+
+// TestEncodeBitsExhaustiveBoundaries sweeps every float32 whose high
+// halfword takes each of the 65536 possible values, crossed with low-bit
+// patterns chosen to hit each rounding decision (zero, just-below-half,
+// exact-half for both tie parities, just-above-half, all-ones). The high
+// half fixes the class (sign, exponent, top mantissa bits), so this
+// covers every class boundary — normal/subnormal, subnormal/underflow,
+// overflow-to-Inf, Inf, NaN payloads — with every rounding behaviour.
+func TestEncodeBitsExhaustiveBoundaries(t *testing.T) {
+	lows := []uint32{0x0000, 0x0FFF, 0x1000, 0x1001, 0x1FFF, 0xFFFF, 0x8000, 0x0001}
+	for hi := 0; hi <= 0xFFFF; hi++ {
+		for _, lo := range lows {
+			b := uint32(hi)<<16 | lo
+			want := FromFloat32(math.Float32frombits(b))
+			got := encodeBits(b)
+			if want != got {
+				t.Fatalf("bits=%#08x: scalar %#04x branchless %#04x", b, want, got)
+			}
+		}
+	}
+}
+
+// TestEncodeBitsRandom adds a dense random sweep on top of the structured
+// boundary scan.
+func TestEncodeBitsRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2_000_000; i++ {
+		b := r.Uint32()
+		want := FromFloat32(math.Float32frombits(b))
+		got := encodeBits(b)
+		if want != got {
+			t.Fatalf("bits=%#08x: scalar %#04x branchless %#04x", b, want, got)
+		}
+	}
+}
+
+// TestBranchlessEdgeValues spot-checks the documented edge cases by name,
+// so a future regression reports which class broke rather than a raw bit
+// pattern.
+func TestBranchlessEdgeValues(t *testing.T) {
+	cases := []struct {
+		name string
+		in   float32
+	}{
+		{"+0", 0},
+		{"-0", float32(math.Copysign(0, -1))},
+		{"+Inf", float32(math.Inf(1))},
+		{"-Inf", float32(math.Inf(-1))},
+		{"NaN", float32(math.NaN())},
+		{"MaxValue", MaxValue},
+		{"just above MaxValue", 65520},
+		{"midpoint 65504..65536 ties to Inf", 65520.000001},
+		{"MinNormal", MinNormal},
+		{"below MinNormal", MinNormal * 0.99},
+		{"MinSubnormal", MinSubnormal},
+		{"half of MinSubnormal (ties to zero)", MinSubnormal / 2},
+		{"just above half MinSubnormal", MinSubnormal * 0.500001},
+		{"largest subnormal", MinNormal - MinSubnormal},
+		{"one", 1},
+		{"one plus half ulp", 1.000244140625}, // exactly between 1 and 1+2^-10
+	}
+	for _, c := range cases {
+		b := math.Float32bits(c.in)
+		want := FromFloat32(c.in)
+		got := encodeBits(b)
+		if want != got {
+			t.Errorf("%s (%#08x): scalar %#04x branchless %#04x", c.name, b, want, got)
+		}
+	}
+	// NaN payloads: every quiet/signalling mantissa pattern in the top
+	// bits must keep NaN-ness and the payload slice the scalar keeps.
+	for _, man := range []uint32{1, 0x1FFF, 0x2000, 0x200000, 0x3FFFFF, 0x400000, 0x7FFFFF} {
+		for _, sign := range []uint32{0, 0x80000000} {
+			b := sign | 0x7F800000 | man
+			want := FromFloat32(math.Float32frombits(b))
+			got := encodeBits(b)
+			if want != got {
+				t.Errorf("NaN payload %#08x: scalar %#04x branchless %#04x", b, want, got)
+			}
+		}
+	}
+}

@@ -132,25 +132,91 @@ func (h Bits) IsInf() bool {
 	return h&expMask16 == expMask16 && h&manMask16 == 0
 }
 
+// encodeBits is the branch-free equivalent of FromFloat32, operating on
+// the raw float32 bit pattern. Every format class (normal, subnormal,
+// underflow, overflow, Inf, NaN payload) is computed unconditionally and
+// the right one selected with sign-extension masks, so the bulk loop has
+// no data-dependent branches for the hardware to mispredict on mixed
+// gradients. Bit-for-bit equivalent to FromFloat32 (the property tests
+// pin this across every class boundary).
+func encodeBits(b uint32) Bits {
+	sign := uint16(b>>16) & signMask16
+	x := b & 0x7FFFFFFF
+	e := int32(x >> 23)
+
+	// Class masks: all-ones when the condition holds (arithmetic shift of
+	// a negative int32).
+	isSub := uint32((e - 113) >> 31)                  // |v| below the smallest normal half
+	isTiny := uint32((e - 103) >> 31)                 // |v| too small even for a subnormal
+	isBig := uint32((142 - e) >> 31)                  // |v| at least 2^16, or Inf
+	isNaN := uint32(int32(0x7F800000-int32(x)) >> 31) // NaN of any payload
+
+	// Normal path: rebias the exponent by subtracting (127-15)<<23, then
+	// round-to-nearest-even on the 13 dropped bits by adding 0xFFF plus
+	// the result's LSB before shifting. A mantissa carry rolls into the
+	// exponent and, at e=142, correctly on to infinity.
+	nval := (x - 112<<23 + 0xFFF + (x >> 13 & 1)) >> 13
+
+	// Subnormal path: make the implicit leading 1 explicit and shift it
+	// down to weight 2^-24, rounding the same way. For out-of-class
+	// exponents shift is huge; Go defines oversized shifts as 0, so the
+	// value is garbage but fully masked out below.
+	man := b&0x7FFFFF | 0x800000
+	shift := uint32(126 - e)
+	sval := (man + 1<<(shift-1) - 1 + (man >> shift & 1)) >> shift
+
+	v := nval&^isSub | sval&isSub
+	v &^= isTiny
+	v = v&^isBig | expMask16&isBig
+	v = v&^isNaN | (expMask16|0x0200|x>>13&manMask16)&isNaN
+	return Bits(sign | uint16(v)&0x7FFF)
+}
+
+// decodeBits is the branch-free equivalent of Bits.Float32. The exponent
+// rebias (including subnormal normalization, which the scalar path does
+// with a loop) is delegated to the FPU: reinterpreting the half's
+// magnitude bits as a tiny float32 and multiplying by 2^112 is exact for
+// every finite input, because scaling by a power of two only touches the
+// exponent and float32 subnormals renormalize in hardware. Inf/NaN would
+// come out finite (2^16·1.m), so their exponent and quiet bits are OR-ed
+// back in under masks.
+func decodeBits(h Bits) float32 {
+	sign := uint32(h&signMask16) << 16
+	em := uint32(h &^ signMask16)
+	f := math.Float32frombits(em<<13) * math.Float32frombits(0x77800000) // ×2^112
+	b := math.Float32bits(f) | sign
+	isInf := uint32(int32(0x7BFF-int32(em)) >> 31) // em ≥ 0x7C00: Inf or NaN
+	isNaN := uint32(int32(0x7C00-int32(em)) >> 31) // em > 0x7C00: NaN
+	return math.Float32frombits(b | 0xFF<<23&isInf | 1<<22&isNaN)
+}
+
 // EncodeSlice converts src to binary16, writing into dst (which must be at
-// least len(src) long), in parallel. It returns dst[:len(src)].
+// least len(src) long), in parallel via the branch-free bulk kernel. It
+// returns dst[:len(src)].
 func EncodeSlice(dst []Bits, src []float32) []Bits {
 	dst = dst[:len(src)]
 	parallel.For2(len(src), dst, src, func(dst []Bits, src []float32, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = FromFloat32(src[i])
+		// Re-slice to the chunk and anchor dst's length to src's so the
+		// compiler drops both per-element bounds checks from the hot loop.
+		src = src[lo:hi]
+		dst = dst[lo:hi][:len(src)]
+		for i, v := range src {
+			dst[i] = encodeBits(math.Float32bits(v))
 		}
 	})
 	return dst
 }
 
-// DecodeSlice converts binary16 values back to float32 in parallel.
-// dst must be at least len(src) long; it returns dst[:len(src)].
+// DecodeSlice converts binary16 values back to float32 in parallel via
+// the branch-free bulk kernel. dst must be at least len(src) long; it
+// returns dst[:len(src)].
 func DecodeSlice(dst []float32, src []Bits) []float32 {
 	dst = dst[:len(src)]
 	parallel.For2(len(src), dst, src, func(dst []float32, src []Bits, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = src[i].Float32()
+		src = src[lo:hi]
+		dst = dst[lo:hi][:len(src)]
+		for i, h := range src {
+			dst[i] = decodeBits(h)
 		}
 	})
 	return dst
@@ -161,8 +227,9 @@ func DecodeSlice(dst []float32, src []Bits) []float32 {
 // FFT" step of the compression pipeline.
 func RoundTripSlice(x []float32) {
 	parallel.For1(len(x), x, func(x []float32, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			x[i] = FromFloat32(x[i]).Float32()
+		x = x[lo:hi]
+		for i, v := range x {
+			x[i] = decodeBits(encodeBits(math.Float32bits(v)))
 		}
 	})
 }

@@ -1,0 +1,60 @@
+package pack
+
+import (
+	"math/rand"
+	"testing"
+
+	"fftgrad/internal/parallel"
+)
+
+// packNonzeroBranchy is the pre-branch-free bitmap build, kept in the
+// benchmarks as the A/B reference for the branch-free word assembly.
+func packNonzeroBranchy(x []float32) *Sparse {
+	n := len(x)
+	bitmap := make([]uint64, BitmapWords(n))
+	words := len(bitmap)
+	parallel.ForGrain2(words, 64, bitmap, x, func(bitmap []uint64, x []float32, wlo, whi int) {
+		n := len(x)
+		for w := wlo; w < whi; w++ {
+			base := w << 6
+			end := base + 64
+			if end > n {
+				end = n
+			}
+			var word uint64
+			for i := base; i < end; i++ {
+				if x[i] != 0 {
+					word |= 1 << (uint(i) & 63)
+				}
+			}
+			bitmap[w] = word
+		}
+	})
+	return PackMask(x, bitmap)
+}
+
+func benchVec(n int, density float64) []float32 {
+	r := rand.New(rand.NewSource(3))
+	x := make([]float32, n)
+	for i := range x {
+		if density >= 1 || r.Float64() < density {
+			x[i] = float32(r.NormFloat64()) + 1
+		}
+	}
+	return x
+}
+
+func benchPack(b *testing.B, f func([]float32) *Sparse, x []float32) {
+	b.SetBytes(int64(4 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(x)
+	}
+}
+
+func BenchmarkPackDenseBranchy(b *testing.B)    { benchPack(b, packNonzeroBranchy, benchVec(1<<21, 1)) }
+func BenchmarkPackDenseBranchFree(b *testing.B) { benchPack(b, PackNonzero, benchVec(1<<21, 1)) }
+func BenchmarkPackSparseBranchy(b *testing.B) {
+	benchPack(b, packNonzeroBranchy, benchVec(1<<21, 0.12))
+}
+func BenchmarkPackSparseBranchFree(b *testing.B) { benchPack(b, PackNonzero, benchVec(1<<21, 0.12)) }

@@ -1,6 +1,7 @@
 package pack
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -219,5 +220,46 @@ func BenchmarkUnpackParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Unpack(dst)
+	}
+}
+
+// TestBranchFreeBitmapMatchesSerial pins the branch-free status-vector
+// build against the serial baseline on adversarial payloads: signed
+// zeros (both must be treated as zero, like the != 0 comparison), float32
+// subnormals, NaN and Inf (non-zero), across lengths that exercise the
+// 8-wide full-word path and every tail shape.
+func TestBranchFreeBitmapMatchesSerial(t *testing.T) {
+	specials := []float32{
+		0, float32(math.Copysign(0, -1)), 1, -1,
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		math.MaxFloat32,
+	}
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1000, 4096, 4097} {
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = specials[r.Intn(len(specials))]
+		}
+		got := PackNonzero(x)
+		want := PackNonzeroSerial(x)
+		if len(got.Bitmap) != len(want.Bitmap) {
+			t.Fatalf("n=%d: bitmap words %d != %d", n, len(got.Bitmap), len(want.Bitmap))
+		}
+		for w := range got.Bitmap {
+			if got.Bitmap[w] != want.Bitmap[w] {
+				t.Fatalf("n=%d word %d: %#x != %#x", n, w, got.Bitmap[w], want.Bitmap[w])
+			}
+		}
+		if len(got.Values) != len(want.Values) {
+			t.Fatalf("n=%d: %d values != %d", n, len(got.Values), len(want.Values))
+		}
+		for i := range got.Values {
+			gb := math.Float32bits(got.Values[i])
+			wb := math.Float32bits(want.Values[i])
+			if gb != wb {
+				t.Fatalf("n=%d value %d: %#x != %#x", n, i, gb, wb)
+			}
+		}
 	}
 }

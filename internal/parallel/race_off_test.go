@@ -1,0 +1,8 @@
+//go:build !race
+
+package parallel
+
+// raceEnabled reports whether the race detector is active; the
+// allocation gate is skipped under -race because instrumentation and
+// GC-driven sync.Pool eviction add spurious allocations.
+const raceEnabled = false

@@ -1,0 +1,124 @@
+package sparsify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gatherReference reproduces the unfused compressor gather: walk the mask
+// in bin order, collecting (re, im) float32 pairs and their max |value|.
+func gatherReference(spec *Spectrum) ([]float32, float64) {
+	vals := make([]float32, 0, 2*spec.Kept)
+	var absMax float64
+	for i, b := range spec.Bins {
+		if spec.Mask[i>>6]&(1<<(uint(i)&63)) == 0 {
+			continue
+		}
+		re, im := float32(real(b)), float32(imag(b))
+		vals = append(vals, re, im)
+		if a := math.Abs(float64(re)); a > absMax {
+			absMax = a
+		}
+		if a := math.Abs(float64(im)); a > absMax {
+			absMax = a
+		}
+	}
+	return vals, absMax
+}
+
+// TestAnalyzePackedMatchesReference pins the fused select+pack sweep
+// against AnalyzeInto + reference gather, bit for bit: same mask words,
+// same zeroed spectrum, same packed values in the same order, same
+// absMax — across signal shapes (random, constant, tie-heavy, sparse
+// impulse), lengths spanning several chunk counts, and the full theta
+// range including the keep-everything and drop-everything edges.
+func TestAnalyzePackedMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	signals := map[string]func(n int) []float32{
+		"random": func(n int) []float32 {
+			x := make([]float32, n)
+			for i := range x {
+				x[i] = float32(r.NormFloat64())
+			}
+			return x
+		},
+		// A periodic signal produces many exactly-equal magnitude bins,
+		// exercising the tie-fill ordering.
+		"tie-heavy": func(n int) []float32 {
+			x := make([]float32, n)
+			for i := range x {
+				x[i] = float32(i%16) - 7.5
+			}
+			return x
+		},
+		"impulse": func(n int) []float32 {
+			x := make([]float32, n)
+			x[n/3] = 5
+			return x
+		},
+		"zeros": func(n int) []float32 { return make([]float32, n) },
+	}
+	f := NewFFT()
+	for name, gen := range signals {
+		for _, n := range []int{2, 100, 4096, 5000, 1 << 14} {
+			x := gen(n)
+			for _, theta := range []float64{0, 0.15, 0.5, 0.85, 0.99, 1} {
+				var ref, fus Spectrum
+				if err := f.AnalyzeInto(&ref, x, theta); err != nil {
+					t.Fatalf("%s n=%d θ=%g: reference: %v", name, n, theta, err)
+				}
+				wantVals, wantMax := gatherReference(&ref)
+
+				nbins := ref.N/2 + 1
+				vals := make([]float32, 2*KeepCount(nbins, theta)+1)
+				nvals, gotMax, err := f.AnalyzePacked(&fus, vals, x, theta)
+				if err != nil {
+					t.Fatalf("%s n=%d θ=%g: fused: %v", name, n, theta, err)
+				}
+
+				if fus.L != ref.L || fus.N != ref.N || fus.Kept != ref.Kept {
+					t.Fatalf("%s n=%d θ=%g: header (%d,%d,%d) != (%d,%d,%d)",
+						name, n, theta, fus.L, fus.N, fus.Kept, ref.L, ref.N, ref.Kept)
+				}
+				for w := range ref.Mask {
+					if fus.Mask[w] != ref.Mask[w] {
+						t.Fatalf("%s n=%d θ=%g: mask word %d %#x != %#x",
+							name, n, theta, w, fus.Mask[w], ref.Mask[w])
+					}
+				}
+				for i := range ref.Bins {
+					if fus.Bins[i] != ref.Bins[i] {
+						t.Fatalf("%s n=%d θ=%g: bin %d %v != %v",
+							name, n, theta, i, fus.Bins[i], ref.Bins[i])
+					}
+				}
+				if nvals != len(wantVals) {
+					t.Fatalf("%s n=%d θ=%g: %d packed floats, want %d", name, n, theta, nvals, len(wantVals))
+				}
+				for i := 0; i < nvals; i++ {
+					if math.Float32bits(vals[i]) != math.Float32bits(wantVals[i]) {
+						t.Fatalf("%s n=%d θ=%g: val %d %g != %g", name, n, theta, i, vals[i], wantVals[i])
+					}
+				}
+				if gotMax != wantMax {
+					t.Fatalf("%s n=%d θ=%g: absMax %g != %g", name, n, theta, gotMax, wantMax)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzePackedBufferTooSmall checks the defensive buffer-length
+// error rather than a silent overrun.
+func TestAnalyzePackedBufferTooSmall(t *testing.T) {
+	f := NewFFT()
+	x := make([]float32, 100)
+	for i := range x {
+		x[i] = float32(i)
+	}
+	var spec Spectrum
+	if _, _, err := f.AnalyzePacked(&spec, make([]float32, 2), x, 0.5); err == nil {
+		t.Fatal("expected a buffer-too-small error")
+	}
+}

@@ -131,8 +131,14 @@ func KthLargestBucket(x []float64, k int) float64 {
 			// Degenerate range or small candidate set: finish exactly.
 			return kthLargestScratch(cur, remaining)
 		}
+		// One division per round instead of one per element: binning
+		// multiplies by the reciprocal. Any consistent partition is
+		// correct (the k-th element is found by exact scan of the final
+		// bucket), so the reciprocal's rounding is harmless as long as
+		// the histogram and the gather below share it.
+		invWidth := 1 / width
 		var hist [bucketCount]int64
-		histogram(&hist, cur, lo, width)
+		histogram(&hist, cur, lo, invWidth)
 		// Walk buckets from the top (largest values) down.
 		b := bucketCount - 1
 		for ; b >= 0; b-- {
@@ -150,8 +156,13 @@ func KthLargestBucket(x []float64, k int) float64 {
 		if b == bucketCount-1 {
 			bHi = hi
 		}
-		// Gather candidates in [bLo, bHi] (inclusive upper edge for the
-		// top bucket to catch the maximum).
+		// Gather the candidates of bucket b — with the same bucketOf the
+		// histogram used, so the gathered count always equals hist[b].
+		// Re-testing with range comparisons would disagree with bucketOf
+		// at bucket edges (the binning arithmetic rounds differently than
+		// the bLo/bHi comparisons), and with heavy ties sitting exactly
+		// on an edge the whole counted population could fall outside the
+		// range, leaving an empty candidate set while remaining > 0.
 		if spare == nil || cap(*spare) < len(cur) {
 			if spare != nil {
 				scratch.PutFloat64s(spare)
@@ -160,12 +171,12 @@ func KthLargestBucket(x []float64, k int) float64 {
 		}
 		gathered := (*spare)[:0]
 		for _, v := range cur {
-			if v >= bLo && (v < bHi || (b == bucketCount-1 && v <= bHi)) {
+			if bucketOf(v, lo, invWidth) == b {
 				gathered = append(gathered, v)
 			}
 		}
-		if len(gathered) == len(cur) {
-			// No progress (heavy ties); finish exactly.
+		if len(gathered) == len(cur) || len(gathered) == 0 {
+			// No progress (heavy ties) or a numerical edge; finish exactly.
 			return kthLargestScratch(cur, remaining)
 		}
 		*spare = gathered
@@ -175,14 +186,14 @@ func KthLargestBucket(x []float64, k int) float64 {
 	}
 }
 
-// histogram bins cur into bucketCount buckets of the given width starting
-// at lo, in parallel. Values above the last bucket edge (the maximum) are
-// clamped into the top bucket.
-func histogram(hist *[bucketCount]int64, cur []float64, lo, width float64) {
+// histogram bins cur into bucketCount buckets starting at lo with bucket
+// width 1/invWidth, in parallel. Values above the last bucket edge (the
+// maximum) are clamped into the top bucket.
+func histogram(hist *[bucketCount]int64, cur []float64, lo, invWidth float64) {
 	chunks, size := parallel.Plan(len(cur), 16384)
 	if chunks <= 1 {
 		for _, v := range cur {
-			hist[bucketOf(v, lo, width)]++
+			hist[bucketOf(v, lo, invWidth)]++
 		}
 		return
 	}
@@ -197,7 +208,7 @@ func histogram(hist *[bucketCount]int64, cur []float64, lo, width float64) {
 			h := partial[c*bucketCount : (c+1)*bucketCount]
 			ilo, ihi := parallel.ChunkBounds(c, size, len(cur))
 			for i := ilo; i < ihi; i++ {
-				h[bucketOf(cur[i], lo, width)]++
+				h[bucketOf(cur[i], lo, invWidth)]++
 			}
 		}
 	})
@@ -209,9 +220,9 @@ func histogram(hist *[bucketCount]int64, cur []float64, lo, width float64) {
 }
 
 // bucketOf maps v into [0, bucketCount) for a histogram starting at lo
-// with the given bucket width, clamping outliers into the end buckets.
-func bucketOf(v, lo, width float64) int {
-	b := int((v - lo) / width)
+// with bucket width 1/invWidth, clamping outliers into the end buckets.
+func bucketOf(v, lo, invWidth float64) int {
+	b := int((v - lo) * invWidth)
 	if b < 0 {
 		b = 0
 	}
