@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json benchdiff bench-baseline bench-gate experiments examples fmt check chaos guard fuzz trace-smoke
+.PHONY: all build vet test race bench bench-json benchdiff bench-baseline bench-gate experiments examples fmt check chaos guard fuzz trace-smoke serve-smoke
 
 all: build vet test
 
@@ -11,7 +11,7 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/ ./internal/telemetry/ ./internal/adapt/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/checkpoint/ ./internal/trace/
+	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/ ./internal/telemetry/ ./internal/adapt/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/checkpoint/ ./internal/trace/ ./internal/ps/ ./internal/serve/
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/comm/ ./internal/dist/ ./internal/ps/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/trace/
+	$(GO) test -race ./internal/comm/ ./internal/dist/ ./internal/ps/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/trace/ ./internal/serve/
 
 # Chaos gate: the failure-policy suite plus a short fault-injected
 # training run (5% drop, delays, one crash+rejoin) that must converge.
@@ -92,6 +92,28 @@ trace-smoke:
 		-trace-out trace-smoke.json
 	python3 -c "import json,sys; ev=json.load(open('trace-smoke.json')); ranks={e.get('tid') for e in ev if e.get('ph')=='X'}; assert ranks>={0,1,2,3}, ranks; print('trace-smoke: %d events, ranks %s' % (len(ev), sorted(ranks)))"
 
+# Service smoke: start `trainer -serve`, run two concurrent jobs with
+# different compressors over the HTTP API, require both to complete and
+# their metrics to stay distinguishable per job, then SIGTERM-drain.
+serve-smoke:
+	$(GO) build -o serve-smoke-bin ./cmd/trainer
+	./serve-smoke-bin -serve -metrics-addr 127.0.0.1:19099 -pool 4 -spool serve-smoke-spool & \
+	SRV=$$!; \
+	sleep 2; \
+	A=$$(curl -sf -X POST 127.0.0.1:19099/jobs -d '{"name":"fft","method":"fft","theta":0.85,"workers":2,"epochs":2,"samples":1024}' | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])') && \
+	B=$$(curl -sf -X POST 127.0.0.1:19099/jobs -d '{"name":"topk","method":"topk","theta":0.9,"workers":2,"epochs":2,"samples":1024}' | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])') && \
+	for i in $$(seq 1 60); do \
+		SA=$$(curl -sf 127.0.0.1:19099/jobs/$$A | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])'); \
+		SB=$$(curl -sf 127.0.0.1:19099/jobs/$$B | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])'); \
+		[ "$$SA" = completed ] && [ "$$SB" = completed ] && break; sleep 1; \
+	done && \
+	[ "$$SA" = completed ] && [ "$$SB" = completed ] && \
+	curl -sf 127.0.0.1:19099/jobs/metrics | grep -q "job=\"$$A\"" && \
+	curl -sf 127.0.0.1:19099/jobs/metrics | grep -q "job=\"$$B\"" && \
+	echo "serve-smoke: $$A and $$B completed with per-job metrics"; \
+	RC=$$?; kill -TERM $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; \
+	rm -rf serve-smoke-bin serve-smoke-spool; exit $$RC
+
 # Regenerate every paper figure/table and ablation.
 experiments:
 	$(GO) run ./cmd/fftpaper -exp all
@@ -104,6 +126,7 @@ examples:
 	$(GO) run ./examples/distributed
 	$(GO) run ./examples/tcpcluster
 	$(GO) run ./examples/faulttolerance
+	$(GO) run ./examples/jobservice
 
 fmt:
 	gofmt -w .

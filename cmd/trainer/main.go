@@ -15,8 +15,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"fftgrad/internal/adapt"
@@ -31,6 +33,7 @@ import (
 	"fftgrad/internal/netsim"
 	"fftgrad/internal/nn"
 	"fftgrad/internal/optim"
+	"fftgrad/internal/serve"
 	"fftgrad/internal/sparsify"
 	"fftgrad/internal/stats"
 	"fftgrad/internal/telemetry"
@@ -59,6 +62,12 @@ func main() {
 	adaptive := flag.Bool("adapt", false, "let the online perf-model controller bypass compression when it cannot win on the fabric")
 	adaptTheta := flag.Bool("adapt-theta", false, "with -adapt, also let the controller steer theta toward the beneficial ratio")
 
+	// Job-service mode (internal/serve).
+	serveMode := flag.Bool("serve", false, "run as a multi-tenant training job service instead of a one-shot run (HTTP job API on -metrics-addr, default :9090)")
+	poolSlots := flag.Int("pool", 8, "with -serve, worker slots in the shared scheduling pool")
+	queueMax := flag.Int("queue", 16, "with -serve, maximum queued jobs before submissions get 429")
+	spoolDir := flag.String("spool", "spool", "with -serve, directory for drain-time job checkpoints (\"\" disables spooling)")
+
 	// Failure-aware runtime (internal/cluster) + chaos injection.
 	faultAware := flag.Bool("fault-aware", false, "exchange through the failure-aware cluster runtime (heartbeats, retry, degradation, rejoin)")
 	heartbeat := flag.Duration("heartbeat", 2*time.Millisecond, "with -fault-aware, heartbeat period")
@@ -83,6 +92,15 @@ func main() {
 	guardDriftEvery := flag.Int("guard-drift-every", 50, "with -guard, iterations between cross-rank parameter fingerprint checks (0: off)")
 	guardRollbackAfter := flag.Int("guard-rollback-after", 6, "with -guard, consecutive anomalies before auto-rollback")
 	flag.Parse()
+
+	if *serveMode {
+		runServe(*metricsAddr, serve.Config{
+			WorkerSlots: *poolSlots,
+			MaxQueue:    *queueMax,
+			SpoolDir:    *spoolDir,
+		})
+		return
+	}
 
 	newCompressor, err := buildCompressor(*method, *theta)
 	if err != nil {
@@ -221,6 +239,24 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM halt cooperatively at the next iteration boundary:
+	// the run returns normally (Halted set), so the trace dump, metrics
+	// summary, and the deferred graceful mux shutdown all still happen —
+	// previously an interrupt killed the process and could lose the
+	// flight recorder's final dump. A second signal force-quits.
+	stopCh := make(chan struct{})
+	cfg.Stop = stopCh
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "signal: halting at the next iteration boundary (send again to force quit)")
+		close(stopCh)
+		<-sigCh
+		os.Exit(130)
+	}()
+
 	fmt.Printf("training %s with %s (θ=%.2f) on %d workers\n", *model, *method, *theta, *workers)
 	res, err := dist.Train(cfg)
 	if tracer != nil {
@@ -242,6 +278,9 @@ func main() {
 		os.Exit(1)
 	}
 
+	if res.Halted {
+		fmt.Printf("halted by signal after %d iterations\n", res.Iterations)
+	}
 	t := &stats.Table{Headers: []string{"epoch", "train loss", "test acc", "lr", "theta"}}
 	for _, ep := range res.Epochs {
 		t.AddRow(ep.Epoch, ep.TrainLoss, ep.TestAcc, ep.LR, ep.Theta)
@@ -301,6 +340,48 @@ func main() {
 		}
 		fmt.Print(tt.String())
 	}
+}
+
+// runServe runs the multi-tenant job service: the job API and the
+// process telemetry endpoints share one mux and one listener. SIGINT or
+// SIGTERM drains gracefully — admission closes, running jobs halt at an
+// iteration boundary, their checkpoints spool to -spool, and the HTTP
+// server shuts down once in-flight requests finish.
+func runServe(addr string, cfg serve.Config) {
+	if addr == "" {
+		addr = ":9090"
+	}
+	if cfg.SpoolDir != "" {
+		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	srv := serve.New(cfg)
+	mux := http.NewServeMux()
+	mux.Handle("/", telemetry.NewRegistry().Handler())
+	srv.Routes(mux)
+	bound, shutdown, err := telemetry.ServeHandler(addr, mux)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("job service: http://%s/jobs (%d worker slots, queue %d)\n", bound, cfg.WorkerSlots, cfg.MaxQueue)
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	<-sigCh
+	fmt.Println("draining: no new jobs; halting running jobs at their next iteration boundary")
+	go func() { // second signal skips the drain
+		<-sigCh
+		os.Exit(130)
+	}()
+	for _, d := range srv.Drain() {
+		if d.Spool != "" {
+			fmt.Printf("spooled %s -> %s (resume with {\"resume_from\": %q})\n", d.ID, d.Spool, d.Spool)
+		}
+	}
+	_ = shutdown()
 }
 
 // flightPath derives the flight-recorder dump path from the trace

@@ -124,6 +124,22 @@ func (r *Ring) Paths() ([]string, error) {
 	return paths, nil
 }
 
+// ReadFile loads one checkpoint file, verifying the FGCK envelope and
+// CRC — the counterpart of WriteFileAtomic, used by the job service to
+// restore a drained job from its spool file.
+func ReadFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return s, nil
+}
+
 // Latest loads the newest checkpoint that passes integrity checking,
 // walking backwards past corrupt or truncated files. It returns the
 // state, the path it came from, and an error only when no slot in the

@@ -63,6 +63,11 @@ var (
 	// ErrRejoinTimeout: the transport did not heal within RejoinWait.
 	// Terminal.
 	ErrRejoinTimeout = errors.New("cluster: rejoin timed out")
+	// ErrHalted: the run's Config.Halt fired while this rank was parked
+	// waiting to rejoin — the service is draining or the job was
+	// canceled, so the park is abandoned instead of waiting out
+	// RejoinWait. Terminal for the rank, expected for the run.
+	ErrHalted = errors.New("cluster: halted while awaiting rejoin")
 )
 
 // IsRecoverable reports whether the worker should attempt AwaitRejoin
@@ -190,6 +195,11 @@ type Config struct {
 	RejoinWait time.Duration
 	// Seed feeds the deterministic backoff jitter.
 	Seed int64
+	// Halt, when non-nil, is the run's cooperative-stop signal: a rank
+	// parked in AwaitRejoin abandons the park with ErrHalted the moment
+	// the channel closes, so canceling or draining a job never waits out
+	// RejoinWait on a crashed rank.
+	Halt <-chan struct{}
 	// Verify, when non-nil, is the wire integrity check (internal/guard's
 	// frame verifier) applied to every inbound data and sync payload
 	// before it is surfaced to the exchange. A failing payload is counted

@@ -704,6 +704,8 @@ func (m *Member) AwaitRejoin() (View, uint64, *checkpoint.State, error) {
 		select {
 		case <-m.closed:
 			return View{}, 0, nil, fmt.Errorf("cluster: rank %d: %w", m.rank, comm.ErrClosed)
+		case <-m.rt.cfg.Halt:
+			return View{}, 0, nil, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrHalted)
 		case <-time.After(time.Millisecond):
 		}
 	}

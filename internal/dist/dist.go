@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fftgrad/internal/adapt"
@@ -146,6 +147,29 @@ type Config struct {
 	// every worker before training starts (kill-and-resume).
 	Resume *checkpoint.State
 
+	// Stop, when non-nil, requests a cooperative halt once closed: the
+	// first rank to observe it proposes the next iteration boundary as
+	// the halt point, every rank stops there in agreement (see haltCheck
+	// for why the vote cannot deadlock the collectives), rank 0 captures
+	// a final checkpoint into Result.Final, and Train returns with
+	// Result.Halted set — not an error. This is how the job service
+	// cancels and drains running jobs.
+	Stop <-chan struct{}
+
+	// OnEpoch, when non-nil, is invoked on rank 0 at every epoch
+	// boundary with that epoch's statistics — the live progress stream
+	// of a service job. Runs on the worker goroutine; keep it fast.
+	OnEpoch func(EpochStats)
+
+	// CaptureFinal asks rank 0 to capture the end-of-run parameter and
+	// optimizer state into Result.Final even when the run completes
+	// normally (a halted run always captures one).
+	CaptureFinal bool
+
+	// haltAt is the agreed halt boundary (MaxUint64 = none); allocated
+	// in withDefaults when Stop is set, shared by every worker.
+	haltAt *atomic.Uint64
+
 	// Fault, when non-nil, routes the gradient exchange through the
 	// failure-aware cluster runtime (internal/cluster) instead of the
 	// barrier-based collectives: heartbeats, bounded retry, straggler
@@ -228,6 +252,13 @@ type Result struct {
 	// otherwise): corrupt frames rejected, values scrubbed, anomalies
 	// and the escalation actions taken, drift checks and forced re-syncs.
 	Guard *guard.Report
+	// Halted reports that Config.Stop ended the run early at an agreed
+	// iteration boundary.
+	Halted bool
+	// Final is rank-0's end-of-run checkpoint: always captured when the
+	// run halted, and on normal completion when Config.CaptureFinal or
+	// Config.Stop was set.
+	Final *checkpoint.State
 }
 
 // ModeledWallSeconds returns the end-to-end modeled wall time: measured
@@ -282,7 +313,57 @@ func (c *Config) withDefaults() Config {
 			cfg.Guard = nil
 		}
 	}
+	if cfg.Stop != nil {
+		cfg.haltAt = new(atomic.Uint64)
+		cfg.haltAt.Store(math.MaxUint64)
+	}
 	return cfg
+}
+
+// haltCheck runs at the top of every iteration and reports whether the
+// agreed halt boundary has been reached. The first rank to observe the
+// closed Stop channel at the top of iteration i proposes halting before
+// iteration i+1 (CAS-min, earliest proposal wins). This cannot deadlock
+// the collectives: when a rank is at the top of iteration i, no peer can
+// have passed its own top-of-loop check for iteration i+1 — exiting the
+// iteration-i exchange requires every rank (including this one) to have
+// entered it first — so by the time any rank loads haltAt for its
+// iteration-i+1 check, the barrier's happens-before edge has published
+// the proposal and all ranks stop at the same boundary. On the
+// fault-aware path a straggler can lag several iterations behind the
+// proposer; it stops as soon as its own check reaches the boundary, and
+// the degradation policies cover the rounds in between exactly as they
+// cover any other absentee.
+func (c *Config) haltCheck(iter int) bool {
+	if c.haltAt == nil {
+		return false
+	}
+	if uint64(iter) >= c.haltAt.Load() {
+		return true
+	}
+	select {
+	case <-c.Stop:
+		want := uint64(iter) + 1
+		for {
+			cur := c.haltAt.Load()
+			if cur <= want || c.haltAt.CompareAndSwap(cur, want) {
+				break
+			}
+		}
+		return uint64(iter) >= c.haltAt.Load()
+	default:
+	}
+	return false
+}
+
+// finalState captures rank-0's end-of-run checkpoint when the config
+// asked for one (explicitly, or implicitly by being stoppable).
+func (c *Config) finalState(res *Result, net *nn.Network, sgd *optim.SGD) {
+	if !c.CaptureFinal && c.Stop == nil {
+		return
+	}
+	done := int64(res.Iterations)
+	res.Final = checkpoint.Capture(net, sgd, done/int64(c.ItersPerEpoch), done-1)
 }
 
 // Train runs BSP data-parallel training and returns rank-0's statistics.
@@ -427,6 +508,10 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 	var liveRatio float64
 
 	for iter := 0; iter < totalIters; iter++ {
+		if cfg.haltCheck(iter) {
+			res.Halted = true
+			break
+		}
 		epoch := iter / cfg.ItersPerEpoch
 		sgd.LR = cfg.LR.LR(epoch)
 		tc.SetIter(uint64(iter))
@@ -739,6 +824,9 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 				stats.TestAcc = evaluate(net, cfg.Test, cfg.Batch)
 			}
 			res.Epochs = append(res.Epochs, stats)
+			if cfg.OnEpoch != nil {
+				cfg.OnEpoch(stats)
+			}
 			if cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil && (epoch+1)%cfg.CheckpointEvery == 0 {
 				cfg.OnCheckpoint(checkpoint.Capture(net, sgd, int64(epoch), int64(iter)))
 			}
@@ -748,6 +836,9 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 	if isRoot && res.Iterations > 0 {
 		res.AvgMsgBytes = totalMsgBytes / float64(res.Iterations)
 		res.CompressionRatio = float64(n*4) / res.AvgMsgBytes
+	}
+	if isRoot {
+		cfg.finalState(res, net, sgd)
 	}
 	return res, nil
 }

@@ -74,6 +74,11 @@ func trainFault(cfg Config) (*Result, error) {
 	}
 	p := cfg.Workers
 	clCfg := cfg.Fault.Cluster
+	if clCfg.Halt == nil {
+		// A canceled/drained job must not wait out RejoinWait on a rank
+		// parked in rejoin; the halt signal abandons the park.
+		clCfg.Halt = cfg.Stop
+	}
 	if v := (*guardState)(nil).verifier(cfg); v != nil {
 		// Guard framing on: the cluster receiver rejects corrupt frames
 		// before they can reach a decompressor; nack/resend repairs them.
@@ -159,7 +164,7 @@ func trainFault(cfg Config) (*Result, error) {
 		// but successful run — exactly what the policies exist for. Every
 		// other error class (quorum loss, fail-fast, stall, or losing the
 		// bookkeeping root) fails the run, typed.
-		if rank != 0 && (cluster.IsRecoverable(err) || errors.Is(err, cluster.ErrRejoinTimeout)) {
+		if rank != 0 && (cluster.IsRecoverable(err) || errors.Is(err, cluster.ErrRejoinTimeout) || errors.Is(err, cluster.ErrHalted)) {
 			report.LostWorkers++
 			continue
 		}
@@ -262,6 +267,10 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 	}
 
 	for iter < totalIters {
+		if cfg.haltCheck(iter) {
+			res.Halted = true
+			break
+		}
 		epoch := iter / cfg.ItersPerEpoch
 		sgd.LR = cfg.LR.LR(epoch)
 		tc.SetIter(uint64(iter))
@@ -513,6 +522,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 					stats.TestAcc = evaluate(net, cfg.Test, cfg.Batch)
 				}
 				res.Epochs = append(res.Epochs, stats)
+				if cfg.OnEpoch != nil {
+					cfg.OnEpoch(stats)
+				}
 				if cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil && (epoch+1)%cfg.CheckpointEvery == 0 {
 					cfg.OnCheckpoint(checkpoint.Capture(net, sgd, int64(epoch), int64(iter)))
 				}
@@ -531,6 +543,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 	if isRoot && res.Iterations > 0 {
 		res.AvgMsgBytes = totalMsgBytes / float64(res.Iterations)
 		res.CompressionRatio = float64(n*4) / res.AvgMsgBytes
+	}
+	if isRoot {
+		cfg.finalState(res, net, sgd)
 	}
 	return res, nil
 }

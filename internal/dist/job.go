@@ -1,0 +1,152 @@
+package dist
+
+// Job is the execution-backend abstraction of the training service
+// (internal/serve): one schedulable unit of training work that a
+// scheduler can run over a shared worker fleet, stream progress from,
+// halt cooperatively, and resume from a checkpoint. Two backends
+// implement it — the BSP-allreduce path in this package (Config.NewJob)
+// and the parameter-server path (internal/ps Config.NewJob) — so a job
+// submission chooses its parallelization scheme per job (the Fig. 1
+// choice of the paper) while sharing one control plane.
+
+import (
+	"fftgrad/internal/checkpoint"
+	"fftgrad/internal/guard"
+	"fftgrad/internal/telemetry"
+	"fftgrad/internal/trace"
+)
+
+// JobHarness is the per-job runtime wiring the scheduler hands a
+// backend: the cooperative-stop signal, the progress stream, and the
+// job-scoped observability sinks. Every field is optional; a zero
+// harness runs the job exactly like a direct Train call.
+type JobHarness struct {
+	// Stop requests a cooperative halt when closed: the backend finishes
+	// the iteration every worker can still reach, captures a final
+	// checkpoint, and returns with JobResult.Halted set — no error.
+	Stop <-chan struct{}
+	// OnEpoch receives each epoch's statistics as training crosses the
+	// boundary — the live progress stream behind the job API's event
+	// feed. Called from a worker goroutine; keep it fast or hand off.
+	OnEpoch func(EpochStats)
+	// Telemetry is the job-scoped metrics registry; each job gets its
+	// own so per-job throughput and guard/fault accounting stay
+	// isolated across tenants.
+	Telemetry *telemetry.Registry
+	// Tracer is the job-scoped timeline (one ring per worker track);
+	// Tracks() says how many tracks the backend records.
+	Tracer *trace.Tracer
+	// Flight dumps the job's trace ring on rollback/crash/panic.
+	Flight *trace.FlightRecorder
+	// Resume restores parameters and optimizer state before training
+	// starts — how a drained job continues after a service restart.
+	Resume *checkpoint.State
+	// CaptureFinal asks for a final checkpoint in JobResult.Final even
+	// when the job runs to completion (halted jobs always capture one).
+	CaptureFinal bool
+}
+
+// JobResult is the backend-independent outcome of a job run.
+type JobResult struct {
+	Epochs     []EpochStats
+	Iterations int
+	GradSize   int
+
+	AvgMsgBytes      float64
+	CompressionRatio float64
+
+	ComputeSeconds  float64
+	CompressSeconds float64
+	CommSeconds     float64
+
+	// Halted reports a cooperative stop (cancel or drain): the run ended
+	// early at an iteration boundary with Final capturing where.
+	Halted bool
+	// Final is the end-of-run checkpoint (always set when Halted; set on
+	// completion too when the harness asked for CaptureFinal).
+	Final *checkpoint.State
+
+	// Telemetry is the end-of-run snapshot of the harness registry.
+	Telemetry telemetry.Snapshot
+	// Fault carries the cluster-runtime accounting of a fault-aware BSP
+	// job (nil on PS and on barrier-path BSP).
+	Fault *FaultReport
+	// Guard carries the integrity-layer accounting when the job ran with
+	// a guard config (nil otherwise).
+	Guard *guard.Report
+}
+
+// Job is one schedulable training job bound to an execution backend.
+type Job interface {
+	// Backend names the execution engine: "bsp" or "ps".
+	Backend() string
+	// Workers is the worker-slot quota the job occupies while running.
+	Workers() int
+	// Tracks is how many timeline tracks the backend records (BSP: one
+	// per worker; PS: one per worker plus the server track) — what the
+	// scheduler sizes the job's Tracer with.
+	Tracks() int
+	// Run executes the job to completion or cooperative halt. A halt is
+	// not an error: it returns a JobResult with Halted set.
+	Run(h JobHarness) (*JobResult, error)
+}
+
+// NewJob binds c to the BSP-allreduce execution backend. The harness
+// fields overlay the config at Run: harness wiring wins where set, so a
+// scheduler can reuse one validated config under per-job observability.
+func (c Config) NewJob() Job { return bspJob{cfg: c} }
+
+type bspJob struct{ cfg Config }
+
+func (j bspJob) Backend() string { return "bsp" }
+
+func (j bspJob) Workers() int {
+	if j.cfg.Workers < 1 {
+		return 1
+	}
+	return j.cfg.Workers
+}
+
+func (j bspJob) Tracks() int { return j.Workers() }
+
+func (j bspJob) Run(h JobHarness) (*JobResult, error) {
+	cfg := j.cfg
+	if h.Stop != nil {
+		cfg.Stop = h.Stop
+	}
+	if h.OnEpoch != nil {
+		cfg.OnEpoch = h.OnEpoch
+	}
+	if h.Telemetry != nil {
+		cfg.Telemetry = h.Telemetry
+	}
+	if h.Tracer != nil {
+		cfg.Tracer = h.Tracer
+	}
+	if h.Flight != nil {
+		cfg.Flight = h.Flight
+	}
+	if h.Resume != nil {
+		cfg.Resume = h.Resume
+	}
+	cfg.CaptureFinal = cfg.CaptureFinal || h.CaptureFinal
+	res, err := Train(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{
+		Epochs:           res.Epochs,
+		Iterations:       res.Iterations,
+		GradSize:         res.GradSize,
+		AvgMsgBytes:      res.AvgMsgBytes,
+		CompressionRatio: res.CompressionRatio,
+		ComputeSeconds:   res.ComputeSeconds,
+		CompressSeconds:  res.CompressSeconds,
+		CommSeconds:      res.CommSeconds,
+		Halted:           res.Halted,
+		Final:            res.Final,
+		Telemetry:        res.Telemetry,
+		Fault:            res.Fault,
+		Guard:            res.Guard,
+	}, nil
+}

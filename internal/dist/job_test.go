@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"testing"
+
+	"fftgrad/internal/telemetry"
+	"fftgrad/internal/trace"
+)
+
+func TestBSPJobInterface(t *testing.T) {
+	cfg := blobCfg(31)
+	job := cfg.NewJob()
+	if job.Backend() != "bsp" {
+		t.Fatalf("Backend() = %q, want bsp", job.Backend())
+	}
+	if job.Workers() != 4 || job.Tracks() != 4 {
+		t.Fatalf("Workers/Tracks = %d/%d, want 4/4", job.Workers(), job.Tracks())
+	}
+
+	reg := telemetry.NewRegistry()
+	tr := trace.New(job.Tracks(), 1024)
+	var epochs []EpochStats
+	res, err := job.Run(JobHarness{
+		Telemetry: reg,
+		Tracer:    tr,
+		OnEpoch:   func(s EpochStats) { epochs = append(epochs, s) },
+	})
+	if err != nil {
+		t.Fatalf("job.Run: %v", err)
+	}
+	if len(epochs) != 3 || len(res.Epochs) != 3 {
+		t.Fatalf("epoch stream %d / result %d, want 3", len(epochs), len(res.Epochs))
+	}
+	if res.Epochs[len(res.Epochs)-1].TestAcc < 0.9 {
+		t.Fatalf("final accuracy %.3f < 0.9", res.Epochs[len(res.Epochs)-1].TestAcc)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("harness telemetry snapshot missing from result")
+	}
+	if len(tr.Events()) == 0 {
+		t.Fatal("harness tracer recorded no events")
+	}
+}
+
+func TestBSPHaltCapturesAndResumes(t *testing.T) {
+	stop := make(chan struct{})
+	cfg := blobCfg(32)
+	cfg.Epochs = 4
+	cfg.Stop = stop
+	cfg.OnEpoch = func(s EpochStats) {
+		if s.Epoch == 0 {
+			close(stop)
+		}
+	}
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatalf("halted Train: %v", err)
+	}
+	if !res.Halted {
+		t.Fatal("Halted = false after Stop closed")
+	}
+	if res.Final == nil {
+		t.Fatal("halted run captured no final checkpoint")
+	}
+	want := cfg.Epochs * (2048 / 4 / 16)
+	if res.Iterations >= want {
+		t.Fatalf("halted run did %d iterations, want < %d", res.Iterations, want)
+	}
+
+	rest := blobCfg(32)
+	rest.Epochs = 3
+	rest.Resume = res.Final
+	res2, err := Train(rest)
+	if err != nil {
+		t.Fatalf("resumed Train: %v", err)
+	}
+	if acc := res2.Epochs[len(res2.Epochs)-1].TestAcc; acc < 0.9 {
+		t.Fatalf("resumed accuracy %.3f < 0.9", acc)
+	}
+}
+
+func TestBSPCaptureFinalOnCompletion(t *testing.T) {
+	cfg := blobCfg(33)
+	cfg.CaptureFinal = true
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Fatal("unexpected halt")
+	}
+	if res.Final == nil {
+		t.Fatal("CaptureFinal run returned no final checkpoint")
+	}
+}

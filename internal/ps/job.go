@@ -1,0 +1,78 @@
+package ps
+
+import (
+	"fftgrad/internal/dist"
+)
+
+// NewJob binds c to the parameter-server execution backend, the second
+// implementation of the training service's dist.Job abstraction. Harness
+// wiring overlays the config at Run, so a scheduler reuses one validated
+// config under per-job observability — same contract as the BSP side.
+func (c Config) NewJob() dist.Job { return psJob{cfg: c} }
+
+type psJob struct{ cfg Config }
+
+func (j psJob) Backend() string { return "ps" }
+
+func (j psJob) Workers() int {
+	if j.cfg.Workers < 1 {
+		return 1
+	}
+	return j.cfg.Workers
+}
+
+// Tracks reserves one timeline track per worker plus one for the server,
+// whose decompress/update spans land on track Workers.
+func (j psJob) Tracks() int { return j.Workers() + 1 }
+
+func (j psJob) Run(h dist.JobHarness) (*dist.JobResult, error) {
+	cfg := j.cfg
+	if h.Stop != nil {
+		cfg.Stop = h.Stop
+	}
+	if h.OnEpoch != nil {
+		fn := h.OnEpoch
+		cfg.OnEpoch = func(s EpochStats) {
+			fn(dist.EpochStats{
+				Epoch:     s.Epoch,
+				TrainLoss: s.TrainLoss,
+				TestAcc:   s.TestAcc,
+				LR:        s.LR,
+			})
+		}
+	}
+	if h.Telemetry != nil {
+		cfg.Telemetry = h.Telemetry
+	}
+	if h.Tracer != nil {
+		cfg.Tracer = h.Tracer
+	}
+	if h.Resume != nil {
+		cfg.Resume = h.Resume
+	}
+	cfg.CaptureFinal = cfg.CaptureFinal || h.CaptureFinal
+	res, err := Train(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &dist.JobResult{
+		Iterations:       res.Iterations,
+		GradSize:         res.GradSize,
+		AvgMsgBytes:      res.AvgPushBytes,
+		CompressionRatio: res.CompressionRatio,
+		ComputeSeconds:   res.ComputeSeconds,
+		CommSeconds:      res.CommSeconds,
+		Halted:           res.Halted,
+		Final:            res.Final,
+		Telemetry:        res.Telemetry,
+	}
+	for _, e := range res.Epochs {
+		out.Epochs = append(out.Epochs, dist.EpochStats{
+			Epoch:     e.Epoch,
+			TrainLoss: e.TrainLoss,
+			TestAcc:   e.TestAcc,
+			LR:        e.LR,
+		})
+	}
+	return out, nil
+}

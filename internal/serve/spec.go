@@ -1,0 +1,249 @@
+// Package serve is the multi-tenant training job service: an HTTP/JSON
+// control plane over a scheduler that admits jobs against a shared
+// worker pool. Each submitted job is one dist.Job — the BSP-allreduce
+// backend or the parameter-server backend, chosen per submission — wired
+// with its own compression pipeline, integrity guard, chaos schedule,
+// telemetry registry and trace ring, so tenants share the fleet but not
+// their observability.
+//
+// The control plane mounts on the same mux as the trainer's telemetry
+// endpoints (see Server.Routes); the merged /metrics view relabels every
+// per-job registry with a job="<id>" pair so one Prometheus scrape
+// distinguishes tenants.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"fftgrad/internal/chaos"
+	"fftgrad/internal/cluster"
+	"fftgrad/internal/compress"
+	"fftgrad/internal/data"
+	"fftgrad/internal/dist"
+	"fftgrad/internal/guard"
+	"fftgrad/internal/models"
+	"fftgrad/internal/netsim"
+	"fftgrad/internal/nn"
+	"fftgrad/internal/optim"
+	"fftgrad/internal/ps"
+)
+
+// Spec is the JSON job submission. Every field is optional; zero values
+// take the defaults noted inline, so `{}` is a valid two-worker BSP job
+// with FFT compression.
+type Spec struct {
+	Name     string `json:"name,omitempty"`
+	Backend  string `json:"backend,omitempty"`  // "bsp" (default) or "ps"
+	Priority int    `json:"priority,omitempty"` // higher admits first
+
+	Workers int   `json:"workers,omitempty"` // default 2
+	Batch   int   `json:"batch,omitempty"`   // default 16
+	Epochs  int   `json:"epochs,omitempty"`  // default 2
+	Seed    int64 `json:"seed,omitempty"`
+
+	Model   string `json:"model,omitempty"`   // "mlp" (default) or "cnn"
+	Classes int    `json:"classes,omitempty"` // default 4
+	Samples int    `json:"samples,omitempty"` // default 2048 train samples
+
+	Method string  `json:"method,omitempty"` // compressor name; default "fft"
+	Theta  float64 `json:"theta,omitempty"`  // drop ratio; default 0.85
+
+	LR        float64 `json:"lr,omitempty"`         // default 0.05
+	Momentum  float64 `json:"momentum,omitempty"`   // default 0.9
+	SyncEvery int     `json:"sync_every,omitempty"` // BSP re-broadcast period
+
+	// Async selects asynchronous PS updates (ignored on BSP).
+	Async bool `json:"async,omitempty"`
+
+	// Guard enables the data-plane integrity layer (CRC framing, scrub,
+	// anomaly detector, drift checks). BSP only.
+	Guard bool `json:"guard,omitempty"`
+	// Fault routes the BSP exchange through the failure-aware cluster
+	// runtime; implied by Chaos.
+	Fault bool `json:"fault,omitempty"`
+	// Chaos injects a deterministic fault schedule (BSP fault path).
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
+
+	// ResumeFrom names a checkpoint file (e.g. a drain spool entry) to
+	// restore before training starts.
+	ResumeFrom string `json:"resume_from,omitempty"`
+}
+
+// ChaosSpec mirrors the chaos.Config knobs a submission may set.
+type ChaosSpec struct {
+	Seed      int64   `json:"seed,omitempty"`
+	Drop      float64 `json:"drop,omitempty"`
+	DelayProb float64 `json:"delay_prob,omitempty"`
+	DelayMS   int     `json:"delay_ms,omitempty"`
+
+	// CrashRank, when set, crashes that rank at CrashAtOp transport
+	// operations and recovers it RecoverAfterOps later — the
+	// kill-a-worker-mid-job scenario of the rejoin tests.
+	CrashRank       *int   `json:"crash_rank,omitempty"`
+	CrashAtOp       uint64 `json:"crash_at_op,omitempty"`
+	RecoverAfterOps uint64 `json:"recover_after_ops,omitempty"`
+}
+
+// normalize applies defaults in place and validates the result.
+func (s *Spec) normalize() error {
+	if s.Backend == "" {
+		s.Backend = "bsp"
+	}
+	if s.Backend != "bsp" && s.Backend != "ps" {
+		return fmt.Errorf("backend %q: want bsp or ps", s.Backend)
+	}
+	if s.Workers == 0 {
+		s.Workers = 2
+	}
+	if s.Workers < 1 || s.Workers > 64 {
+		return fmt.Errorf("workers %d out of range [1,64]", s.Workers)
+	}
+	if s.Batch == 0 {
+		s.Batch = 16
+	}
+	if s.Batch < 1 {
+		return fmt.Errorf("batch %d must be positive", s.Batch)
+	}
+	if s.Epochs == 0 {
+		s.Epochs = 2
+	}
+	if s.Epochs < 1 || s.Epochs > 100 {
+		return fmt.Errorf("epochs %d out of range [1,100]", s.Epochs)
+	}
+	if s.Model == "" {
+		s.Model = "mlp"
+	}
+	if s.Model != "mlp" && s.Model != "cnn" {
+		return fmt.Errorf("model %q: want mlp or cnn", s.Model)
+	}
+	if s.Classes == 0 {
+		s.Classes = 4
+	}
+	if s.Samples == 0 {
+		s.Samples = 2048
+	}
+	if s.Samples < s.Workers*s.Batch {
+		return fmt.Errorf("samples %d too few for %d workers x batch %d", s.Samples, s.Workers, s.Batch)
+	}
+	if s.Method == "" {
+		s.Method = "fft"
+	}
+	if s.Theta == 0 {
+		s.Theta = 0.85
+	}
+	if _, err := compress.New(s.Method, s.Theta); err != nil {
+		return err
+	}
+	if s.LR == 0 {
+		s.LR = 0.05
+	}
+	if s.Momentum == 0 {
+		s.Momentum = 0.9
+	}
+	if s.Backend == "ps" && (s.Guard || s.Fault || s.Chaos != nil) {
+		return fmt.Errorf("guard/fault/chaos require the bsp backend")
+	}
+	return nil
+}
+
+// buildJob compiles a normalized Spec into a runnable dist.Job with its
+// full per-job pipeline: dataset, model, compressor factory, and the
+// optional guard and fault/chaos layers.
+func (s *Spec) buildJob() (dist.Job, error) {
+	var (
+		train, test *data.Dataset
+		modelFn     func(int64) *nn.Network
+	)
+	classes := s.Classes
+	switch s.Model {
+	case "cnn":
+		train, test = data.SynthImages(s.Samples+512, classes, 16, 0.3, s.Seed).Split(s.Samples)
+		modelFn = func(seed int64) *nn.Network { return models.TinyCNN(classes, 16, seed) }
+	default:
+		train, test = data.GaussianBlobs(s.Samples+512, classes, 24, 0.8, s.Seed).Split(s.Samples)
+		modelFn = func(seed int64) *nn.Network { return models.MLP(24, 48, classes, seed) }
+	}
+	method, theta := s.Method, s.Theta
+	newComp := func() compress.Compressor {
+		c, err := compress.New(method, theta)
+		if err != nil {
+			panic(err) // validated in normalize
+		}
+		return c
+	}
+
+	if s.Backend == "ps" {
+		fabric := netsim.InfiniBandFDR
+		cfg := ps.Config{
+			Workers:       s.Workers,
+			Batch:         s.Batch,
+			Epochs:        s.Epochs,
+			Seed:          s.Seed,
+			Momentum:      s.Momentum,
+			LR:            optim.ConstLR(s.LR),
+			Model:         modelFn,
+			Train:         train,
+			Test:          test,
+			NewCompressor: newComp,
+			Async:         s.Async,
+			Fabric:        &fabric,
+		}
+		return cfg.NewJob(), nil
+	}
+
+	cfg := dist.Config{
+		Workers:       s.Workers,
+		Batch:         s.Batch,
+		Epochs:        s.Epochs,
+		Seed:          s.Seed,
+		Momentum:      s.Momentum,
+		LR:            optim.ConstLR(s.LR),
+		SyncEvery:     s.SyncEvery,
+		Model:         modelFn,
+		Train:         train,
+		Test:          test,
+		NewCompressor: newComp,
+		Fabric:        netsim.CometCluster(),
+	}
+	if s.Guard {
+		cfg.Guard = &guard.Config{CRC: true, Scrub: guard.ScrubClamp, Detect: true, DriftEvery: 50}
+	}
+	if s.Fault || s.Chaos != nil {
+		// Service-speed cluster tuning: tight heartbeats so failure
+		// detection and rejoin complete within a short job's lifetime.
+		cfg.Fault = &dist.FaultConfig{Cluster: cluster.Config{
+			Heartbeat:    2 * time.Millisecond,
+			SuspectAfter: 200 * time.Millisecond,
+			BackoffBase:  2 * time.Millisecond,
+			BackoffMax:   50 * time.Millisecond,
+			MaxRetries:   8,
+			MaxStall:     30 * time.Second,
+			RejoinWait:   30 * time.Second,
+			Policy:       cluster.StaleReuse,
+			OnStraggler:  cluster.StragglerWait,
+			Seed:         s.Seed,
+		}}
+		if c := s.Chaos; c != nil {
+			cc := &chaos.Config{
+				Seed:      c.Seed,
+				Drop:      c.Drop,
+				DelayProb: c.DelayProb,
+				Delay:     time.Duration(c.DelayMS) * time.Millisecond,
+			}
+			if c.CrashRank != nil {
+				at := c.CrashAtOp
+				if at == 0 {
+					at = 1200
+				}
+				rec := c.RecoverAfterOps
+				if rec == 0 {
+					rec = 1000
+				}
+				cc.Crashes = []chaos.CrashEvent{{Rank: *c.CrashRank, AtOp: at, RecoverAfterOps: rec}}
+			}
+			cfg.Fault.Chaos = cc
+		}
+	}
+	return cfg.NewJob(), nil
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -33,8 +34,22 @@ func labelJoin(labels, extra string) string {
 // format (version 0.0.4). Metrics sharing a base name (same metric,
 // different label sets) get one HELP/TYPE header.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.WritePrometheusLabeled(w, "")
+}
+
+// WritePrometheusLabeled is WritePrometheus with an extra label pair
+// (e.g. `job="j-42"`) merged into every sample's label set. The job
+// service uses it to expose many per-job registries on one /metrics
+// endpoint with tenant-distinguishable series.
+func (r *Registry) WritePrometheusLabeled(w io.Writer, extra string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	relabel := func(labels string) string {
+		if extra == "" {
+			return labels
+		}
+		return labelJoin(labels, extra)
+	}
 	seen := make(map[string]bool)
 	for _, name := range r.order {
 		base, labels := splitName(name)
@@ -61,6 +76,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				return err
 			}
 		}
+		labels = relabel(labels)
 		switch mm := m.(type) {
 		case *Counter:
 			if _, err := fmt.Fprintf(w, "%s%s %d\n", base, labels, mm.Total()); err != nil {
@@ -150,6 +166,12 @@ func Serve(addr string, r *Registry) (bound string, shutdown func() error, err e
 // ServeHandler is Serve with a caller-composed handler — the trainer
 // uses it to mount /trace and the optional pprof handlers on the same
 // mux as the registry endpoints.
+//
+// The returned shutdown drains gracefully: it stops accepting new
+// connections and gives in-flight requests (a scrape mid-render, a
+// flight-recorder dump download) up to two seconds to finish before
+// closing hard, so a trainer exiting on SIGTERM no longer truncates the
+// final response on the wire.
 func ServeHandler(addr string, h http.Handler) (bound string, shutdown func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -157,5 +179,13 @@ func ServeHandler(addr string, h http.Handler) (bound string, shutdown func() er
 	}
 	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	shutdown = func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return srv.Close()
+		}
+		return nil
+	}
+	return ln.Addr().String(), shutdown, nil
 }

@@ -17,7 +17,11 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	events := t.Events()
 	bw := &errWriter{w: w}
 	bw.str("[\n")
-	bw.str(`{"ph":"M","pid":1,"name":"process_name","args":{"name":"fftgrad trainer"}}`)
+	pname := t.Name()
+	if pname == "" {
+		pname = "fftgrad trainer"
+	}
+	fmt.Fprintf(bw, `{"ph":"M","pid":1,"name":"process_name","args":{"name":%q}}`, pname)
 	for rank := 0; rank < t.Ranks(); rank++ {
 		bw.str(",\n")
 		fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":"rank %d"}}`, rank, rank)

@@ -235,6 +235,25 @@ type Tracer struct {
 	rings    []ring
 	perRank  int
 	nowNanos func() int64 // ns since epoch; swapped out by tests
+	name     string       // Perfetto process_name; "" = default
+}
+
+// SetName overrides the process name the Chrome-trace export emits,
+// so a job service exporting one timeline per job gets per-job process
+// rows ("job j-42 (bsp)") instead of every job claiming "fftgrad
+// trainer". Call before recording; it is not synchronized with WriteJSON.
+func (t *Tracer) SetName(name string) {
+	if t != nil {
+		t.name = name
+	}
+}
+
+// Name returns the export process name ("" when defaulted).
+func (t *Tracer) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
 }
 
 // New creates a tracer for ranks tracks retaining the last perRank
