@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json benchdiff bench-baseline bench-gate experiments examples fmt check chaos guard fuzz trace-smoke serve-smoke
+.PHONY: all build vet test race bench bench-json benchdiff bench-baseline bench-gate experiments examples fmt check chaos guard fuzz trace-smoke serve-smoke collective-smoke
 
 all: build vet test
 
@@ -11,7 +11,7 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/ ./internal/telemetry/ ./internal/adapt/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/checkpoint/ ./internal/trace/ ./internal/ps/ ./internal/serve/
+	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/ ./internal/collective/ ./internal/telemetry/ ./internal/adapt/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/checkpoint/ ./internal/trace/ ./internal/ps/ ./internal/serve/
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/comm/ ./internal/dist/ ./internal/ps/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/trace/ ./internal/serve/
+	$(GO) test -race ./internal/comm/ ./internal/collective/ ./internal/dist/ ./internal/ps/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/trace/ ./internal/serve/
 
 # Chaos gate: the failure-policy suite plus a short fault-injected
 # training run (5% drop, delays, one crash+rejoin) that must converge.
@@ -113,6 +113,21 @@ serve-smoke:
 	echo "serve-smoke: $$A and $$B completed with per-job metrics"; \
 	RC=$$?; kill -TERM $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; \
 	rm -rf serve-smoke-bin serve-smoke-spool; exit $$RC
+
+# Collective gate: the Sec. 3.3 crossover-shift check (hier must lower
+# k_min vs the flat ring at scale), the exact zero-alloc gates on the
+# strategy schedules and traced collectives, then two chaos runs of the
+# 2-group hierarchical bucketed pipeline with one rank crashing
+# mid-iteration — between bucket rounds: the in-process gate that also
+# enforces the 2-point accuracy envelope vs the fault-free flat-ring
+# baseline, and a trainer run exercising the CLI flags end to end.
+collective-smoke:
+	$(GO) test -run 'TestCrossoverShift' -v ./internal/collective/
+	$(GO) test -run 'ZeroAlloc' -v ./internal/collective/ ./internal/comm/
+	$(GO) test -run 'TestHierBucketedChaosGate' -v ./internal/dist/
+	$(GO) run ./cmd/trainer -model mlp -epochs 2 -workers 4 -fault-aware \
+		-collective hier -group-size 2 -bucket-bytes 1024 \
+		-chaos-drop 0.05 -chaos-delay 10ms -chaos-crash 2 -chaos-crash-at 1200 -chaos-crash-for 1000
 
 # Regenerate every paper figure/table and ablation.
 experiments:

@@ -14,7 +14,9 @@ import (
 	"strings"
 	"time"
 
+	"fftgrad/internal/collective"
 	"fftgrad/internal/compress"
+	"fftgrad/internal/netsim"
 	"fftgrad/internal/stats"
 )
 
@@ -23,6 +25,8 @@ func main() {
 	thetaList := flag.String("thetas", "0.5,0.7,0.85,0.95,0.99", "comma-separated drop ratios")
 	bitsList := flag.String("bits", "6,8,10,12", "comma-separated quantizer widths")
 	seed := flag.Int64("seed", 1, "random seed")
+	rankList := flag.String("ranks", "16,64,256,1024", "comma-separated rank counts for the strategy table")
+	groupSize := flag.Int("group-size", 8, "hierarchical group size for the strategy table")
 	flag.Parse()
 
 	thetas, err := parseFloats(*thetaList)
@@ -78,6 +82,37 @@ func main() {
 		t2.AddRow(theta, compress.Ratio(*n, msg), stats.RelL2(grad, rec))
 	}
 	fmt.Print(t2.String())
+
+	// Exchange-strategy comparison on the paper's FDR-IB profile: predicted
+	// time for one exchange of the full (uncompressed) gradient under each
+	// schedule, the pure TreeReduce lower bound, and the Sec. 3.3 minimal
+	// ratio k_min each strategy needs to beat the FP32 ring allreduce.
+	ranks, err := parseInts(*rankList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -ranks:", err)
+		os.Exit(2)
+	}
+	pr := netsim.InfiniBandFDR
+	mBytes := *n * 4
+	fmt.Printf("\nexchange strategies on %s, %.1f MB gradient (hier group size %d):\n\n",
+		pr.Name, float64(mBytes)/(1<<20), *groupSize)
+	t3 := &stats.Table{Headers: []string{"ranks", "ring ms", "hier ms", "tree ms", "treereduce ms",
+		"k_min ring", "k_min hier", "k_min tree"}}
+	ring := collective.Config{Strategy: collective.Ring}
+	hier := collective.Config{Strategy: collective.Hier, GroupSize: *groupSize}
+	tree := collective.Config{Strategy: collective.Tree}
+	for _, p := range ranks {
+		t3.AddRow(p,
+			ring.ModelAllgather(pr, p, mBytes)*1e3,
+			hier.ModelAllgather(pr, p, mBytes)*1e3,
+			tree.ModelAllgather(pr, p, mBytes)*1e3,
+			pr.TreeReduce(p, mBytes)*1e3,
+			ring.KMin(pr, p, mBytes),
+			hier.KMin(pr, p, mBytes),
+			tree.KMin(pr, p, mBytes))
+	}
+	fmt.Print(t3.String())
+
 	fmt.Println("\npick the smallest error whose ratio clears your network's minimal k" +
 		" (see cmd/compressbench / examples/perfguide)")
 }

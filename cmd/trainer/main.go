@@ -25,6 +25,7 @@ import (
 	"fftgrad/internal/chaos"
 	"fftgrad/internal/checkpoint"
 	"fftgrad/internal/cluster"
+	"fftgrad/internal/collective"
 	"fftgrad/internal/compress"
 	"fftgrad/internal/data"
 	"fftgrad/internal/dist"
@@ -55,6 +56,10 @@ func main() {
 	alpha := flag.Bool("alpha", false, "measure Assumption 3.2 alpha each iteration")
 	trace := flag.Bool("trace", false, "print a per-iteration timing breakdown")
 	sparseAR := flag.Bool("sparse-allreduce", false, "exchange via the sparse ring allreduce instead of allgather (uses -theta, ignores -method)")
+	collectiveStrategy := flag.String("collective", "ring", "exchange strategy: ring | hier | tree")
+	groupSize := flag.Int("group-size", 4, "with -collective hier, ranks per group (leader fan-in)")
+	bucketBytes := flag.Int("bucket-bytes", 0, "split the gradient into fixed-byte buckets exchanged in flight while later buckets compress (0: monolithic)")
+	partitioned := flag.Bool("partitioned", false, "with -sparse-allreduce, MiCRO-style disjoint rotating index partitions per rank")
 	metricsAddr := flag.String("metrics-addr", "", "serve live Prometheus/JSON metrics on this address (e.g. :9090)")
 	traceOut := flag.String("trace-out", "", "record a per-iteration distributed timeline and write it here as Chrome trace_event JSON (open in ui.perfetto.dev)")
 	traceIters := flag.Int("trace-iters", 256, "with -trace-out, iterations of history the per-rank trace ring retains")
@@ -139,6 +144,18 @@ func main() {
 	if *sparseAR {
 		cfg.UseSparseAllreduce = true
 		cfg.SparseTheta = *theta
+	}
+	if *collectiveStrategy != "ring" || *bucketBytes > 0 || *partitioned {
+		cfg.Collective = &collective.Config{
+			Strategy:    collective.Strategy(*collectiveStrategy),
+			GroupSize:   *groupSize,
+			BucketBytes: *bucketBytes,
+			Partitioned: *partitioned,
+		}
+		if err := cfg.Collective.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 	if *dropEpoch >= 0 {
 		cfg.ThetaSchedule = sparsify.StepDrop{Initial: *theta, Final: 0, DropEpoch: *dropEpoch}

@@ -186,6 +186,14 @@ type Config struct {
 	// MaxStall is the hard wall-clock bound on one exchange — the
 	// deadlock guard (default 10s).
 	MaxStall time.Duration
+	// SendDepth is how many recent exchange payloads each member keeps
+	// for nack repair (default 4). It must cover the maximum sequence
+	// drift between live ranks: one iteration at the default seq-per-
+	// iteration, but a bucketed exchange burns `buckets` seqs per
+	// iteration, so its caller raises the depth to 2×buckets+2 — a fast
+	// rank parked at the iteration-end sync must still be able to serve
+	// a resend of its oldest bucket of the previous iteration.
+	SendDepth int
 	// MaxRejoins bounds how many times one rank may re-enter the view
 	// (default 3); afterwards eviction is permanent, which makes
 	// partition flip-flop livelocks terminate in bounded time.
@@ -234,6 +242,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStall <= 0 {
 		c.MaxStall = 10 * time.Second
+	}
+	if c.SendDepth <= 0 {
+		c.SendDepth = 4
 	}
 	if c.MaxRejoins <= 0 {
 		c.MaxRejoins = 3

@@ -25,10 +25,18 @@ const (
 	kindSyncNack = 6 // "resend the sync for Seq"
 )
 
-// sentRing is how many recent exchange payloads each member keeps for
-// nack repair. A rejoiner enters at the frontier, so it never needs a
-// payload older than the deepest in-flight exchange; 4 is generous.
-const sentRing = 4
+// The per-member resend cache depth is Config.SendDepth: enough recent
+// exchange payloads for nack repair across the maximum seq drift between
+// live ranks. A rejoiner enters at the frontier, so it never needs a
+// payload older than the deepest in-flight exchange; the default 4 is
+// generous at one seq per iteration, and the bucketed exchange (many
+// seqs per iteration) raises it.
+
+// sentSlot is one resend-cache entry (see Config.SendDepth).
+type sentSlot struct {
+	seq     uint64
+	payload []byte
+}
 
 // ExchangeResult is one completed failure-aware allgather.
 type ExchangeResult struct {
@@ -76,10 +84,7 @@ type Member struct {
 	lag []*telemetry.EWMA
 
 	sentMu sync.Mutex
-	sent   [sentRing]struct {
-		seq     uint64
-		payload []byte
-	}
+	sent   []sentSlot
 
 	syncMu  sync.Mutex
 	syncSeq uint64
@@ -113,6 +118,7 @@ func (rt *Runtime) Join(tr comm.Transport) *Member {
 		p:        rt.p,
 		dataCh:   make(chan comm.Message, 64*rt.p),
 		pending:  make(map[uint64][][]byte),
+		sent:     make([]sentSlot, rt.cfg.SendDepth),
 		lastGood: make([][]byte, rt.p),
 		lag:      make([]*telemetry.EWMA, rt.p),
 		lastSeen: make([]atomic.Int64, rt.p),
@@ -268,7 +274,7 @@ func (m *Member) heartbeater() {
 // the caller may reuse its buffer the moment Exchange returns.
 func (m *Member) storeSent(seq uint64, payload []byte) {
 	m.sentMu.Lock()
-	slot := &m.sent[seq%sentRing]
+	slot := &m.sent[seq%uint64(len(m.sent))]
 	slot.seq = seq
 	slot.payload = append(slot.payload[:0], payload...)
 	m.sentMu.Unlock()
@@ -277,7 +283,7 @@ func (m *Member) storeSent(seq uint64, payload []byte) {
 func (m *Member) lookupSent(seq uint64) ([]byte, bool) {
 	m.sentMu.Lock()
 	defer m.sentMu.Unlock()
-	slot := &m.sent[seq%sentRing]
+	slot := &m.sent[seq%uint64(len(m.sent))]
 	if slot.seq != seq || slot.payload == nil {
 		return nil, false
 	}

@@ -1,0 +1,77 @@
+package collective
+
+import (
+	"sync"
+	"testing"
+
+	"fftgrad/internal/comm"
+	"fftgrad/internal/trace"
+)
+
+// TestStrategiesZeroAllocSteadyState extends the repo's allocs-exact
+// discipline to the strategy layer: once the frame buffers and result
+// slices have grown to steady state, a full hier or tree allgather +
+// broadcast round allocates nothing on any rank, tracer attached. Ranks
+// are persistent goroutines stepped over channels so launches don't
+// pollute the measurement.
+func TestStrategiesZeroAllocSteadyState(t *testing.T) {
+	const p = 16
+	for _, cfg := range []Config{
+		{Strategy: Ring},
+		{Strategy: Hier, GroupSize: 4},
+		{Strategy: Tree},
+	} {
+		cfg := cfg
+		t.Run(string(cfg.Strategy), func(t *testing.T) {
+			cl := comm.NewCluster(p)
+			tr := trace.New(p, 1<<14)
+			msgs := make([][]byte, p)
+			for r := range msgs {
+				msgs[r] = make([]byte, 256+16*r)
+			}
+			start := make(chan struct{})
+			done := make(chan struct{})
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for r := 0; r < p; r++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					cm := cl.Rank(rank)
+					cm.AttachTrace(tr.Rank(rank))
+					ex := New(&cfg, cm)
+					for {
+						select {
+						case <-stop:
+							return
+						case <-start:
+						}
+						out := ex.Allgather(msgs[rank])
+						if len(out) != p {
+							panic("bad allgather result")
+						}
+						ex.Broadcast(msgs[rank], 5)
+						done <- struct{}{}
+					}
+				}(r)
+			}
+			step := func() {
+				for i := 0; i < p; i++ {
+					start <- struct{}{}
+				}
+				for i := 0; i < p; i++ {
+					<-done
+				}
+			}
+			// Warm both parity buffers and the trace ring.
+			step()
+			step()
+			allocs := testing.AllocsPerRun(10, step)
+			close(stop)
+			wg.Wait()
+			if allocs != 0 {
+				t.Fatalf("%s steady-state round allocated %.1f times, want 0", cfg.Strategy, allocs)
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package collective
+
+// Buckets partitions an n-element float32 gradient into fixed-byte
+// buckets (of raw FP32 payload). dist compresses and exchanges bucket b
+// while bucket b+1 is still being sparsified on the persistent parallel
+// pool — the compute/communication overlap that hides codec time behind
+// the fabric. Each bucket keeps its own compressor instance, so CRC
+// framing and error-feedback residuals are accounted per bucket and the
+// concatenation of the per-bucket residuals is exactly the flat
+// residual partitioned.
+type Buckets struct {
+	bounds []int
+}
+
+// MakeBuckets splits n float32 elements into ⌈4n/bucketBytes⌉ buckets.
+// bucketBytes ≤ 0 (or ≥ the whole payload) yields a single bucket.
+func MakeBuckets(n, bucketBytes int) Buckets {
+	per := bucketBytes / 4
+	if per <= 0 || per >= n {
+		per = n
+	}
+	if per < 1 {
+		per = 1
+	}
+	count := (n + per - 1) / per
+	if count < 1 {
+		count = 1
+	}
+	b := Buckets{bounds: make([]int, count+1)}
+	for i := 0; i <= count; i++ {
+		// Balanced split: every bucket within one element of the others,
+		// so the pipeline's per-bucket codec cost is uniform.
+		b.bounds[i] = i * n / count
+	}
+	return b
+}
+
+// Count returns the number of buckets.
+func (b Buckets) Count() int { return len(b.bounds) - 1 }
+
+// Range returns bucket i's element range [lo, hi).
+func (b Buckets) Range(i int) (lo, hi int) { return b.bounds[i], b.bounds[i+1] }

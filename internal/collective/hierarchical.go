@@ -1,0 +1,151 @@
+package collective
+
+import (
+	"time"
+
+	"fftgrad/internal/trace"
+)
+
+// group returns this rank's leader and the group's [lo, hi) rank range.
+func (e *Exchanger) group() (leader, lo, hi int) {
+	g := e.cfg.GroupSize
+	p := e.cm.P()
+	rank := e.cm.RankID()
+	leader = rank - rank%g
+	hi = leader + g
+	if hi > p {
+		hi = p
+	}
+	return leader, leader, hi
+}
+
+// hierAllgather runs the three-phase hierarchical schedule:
+//
+//	intra gather:   every rank's frame is collected by its group leader,
+//	inter exchange: leaders allgather the group blocks among themselves,
+//	intra bcast:    every rank parses its leader's assembled full set.
+//
+// With group size g and G = ⌈p/g⌉ groups, a member link carries m up and
+// G·g·m down, and a leader link carries (G−1) group blocks — the two
+// stages netsim.Hierarchical prices. The message content is identical to
+// the flat allgather; only the schedule differs.
+func (e *Exchanger) hierAllgather(data []byte) [][]byte {
+	cm := e.cm
+	p := cm.P()
+	g := e.cfg.GroupSize
+	rank := cm.RankID()
+	leader, lo, hi := e.group()
+	isLeader := rank == leader
+	tc := cm.Trace()
+
+	cm.Post(data)
+	cm.Barrier() // all contributions staged
+
+	// Intra-group gather: leaders frame their members' contributions.
+	if isLeader {
+		var tb time.Time
+		if tc != nil {
+			tb = time.Now()
+		}
+		buf := e.groupBuf[:0]
+		for r := lo; r < hi; r++ {
+			m := cm.Peek(r)
+			buf = appendFrame(buf, m)
+			if r != rank {
+				cm.AccountWire(0, len(m))
+			}
+		}
+		e.groupBuf = buf
+		tc.SpanSince(trace.OpGroupGather, int64(len(buf)), tb)
+	} else {
+		cm.AccountWire(len(data), 0) // member → leader
+	}
+	cm.Barrier() // leaders done reading member slots
+	if isLeader {
+		cm.Post(e.groupBuf)
+	}
+	cm.Barrier() // group blocks staged
+
+	// Inter-group exchange: leaders assemble every group's block (a ring
+	// allgather among the G leaders: each forwards its own block G−1
+	// times and receives every other block once).
+	if isLeader {
+		var tb time.Time
+		if tc != nil {
+			tb = time.Now()
+		}
+		full := e.fullBuf[:0]
+		for gl := 0; gl < p; gl += g {
+			gb := cm.Peek(gl)
+			full = append(full, gb...)
+			if gl != rank {
+				cm.AccountWire(len(e.groupBuf), len(gb))
+			}
+		}
+		e.fullBuf = full
+		tc.SpanSince(trace.OpGroupExchange, int64(len(full)), tb)
+	}
+	cm.Barrier() // leaders done reading each other's blocks
+	if isLeader {
+		cm.Post(e.fullBuf)
+	}
+	cm.Barrier() // full sets staged
+
+	// Intra-group broadcast: everyone parses its leader's full set.
+	var tb time.Time
+	if tc != nil {
+		tb = time.Now()
+	}
+	src := cm.Peek(leader)
+	e.out = parseFrames(e.out[:0], src, p)
+	if isLeader {
+		cm.AccountWire((hi-lo-1)*len(src), 0)
+	} else {
+		cm.AccountWire(0, len(src))
+	}
+	tc.SpanSince(trace.OpGroupBcast, int64(len(src)), tb)
+	cm.Barrier() // all reads done before slots are reused
+	return e.out
+}
+
+// hierBroadcast moves root's buffer first to the group leaders, then
+// from each leader to its members — the inter-then-intra shape of
+// netsim.Hierarchical.Broadcast.
+func (e *Exchanger) hierBroadcast(data []byte, root int) []byte {
+	cm := e.cm
+	rank := cm.RankID()
+	leader, lo, hi := e.group()
+	isLeader := rank == leader
+	m := len(data)
+
+	if rank == root {
+		cm.Post(data)
+	}
+	cm.Barrier()
+	// Leaders pick the payload up from root and stage it for their group.
+	var hold []byte
+	if isLeader {
+		hold = cm.Peek(root)
+		if rank != root {
+			cm.AccountWire(0, m)
+		}
+	}
+	if rank == root {
+		// Inter stage: root feeds every other leader.
+		nLeaders := (cm.P() + e.cfg.GroupSize - 1) / e.cfg.GroupSize
+		cm.AccountWire((nLeaders-1)*m, 0)
+	}
+	cm.Barrier()
+	if isLeader {
+		cm.Post(hold)
+	}
+	cm.Barrier()
+	out := cm.Peek(leader)
+	if isLeader {
+		cm.AccountWire((hi-lo-1)*m, 0)
+	} else if rank != root {
+		cm.AccountWire(0, m)
+	}
+	cm.Barrier() // all reads done before slots are reused
+	return out
+}

@@ -1,0 +1,90 @@
+package collective
+
+import (
+	"fftgrad/internal/pack"
+	"fftgrad/internal/sparsify"
+)
+
+// Partitioner implements MiCRO-style disjoint-partition sparsification:
+// the index space is split into p word-aligned partitions and each rank
+// selects its top-(1−θ) only inside the partition it currently owns.
+// Selections are disjoint by construction, so the sparse exchange sums
+// non-overlapping contributions — no duplicate indices ever cross the
+// wire, selection cost per rank drops by p, and index traffic stays flat
+// as p grows (each position is shipped by exactly one rank).
+//
+// Ownership rotates by one partition per iteration so the local residual
+// of every unowned region drains within p iterations: gradient values a
+// rank could not ship (outside its window, or below its threshold)
+// accumulate in res and are re-added the next time they are considered —
+// the usual error-feedback invariant, kept entirely local.
+type Partitioner struct {
+	p, rank int
+	bounds  []int
+	res     []float32
+	work    []float32
+	mask    []uint64
+}
+
+// NewPartitioner creates the per-rank state for an n-element gradient
+// across p ranks.
+func NewPartitioner(p, rank, n int) *Partitioner {
+	words := pack.BitmapWords(n)
+	pt := &Partitioner{
+		p:      p,
+		rank:   rank,
+		bounds: make([]int, p+1),
+		res:    make([]float32, n),
+		work:   make([]float32, n),
+		mask:   make([]uint64, words),
+	}
+	// Word-aligned partition boundaries (same scheme as the sparse ring),
+	// so a window's bitmap is a word-range of the full mask.
+	for i := 0; i <= p; i++ {
+		pt.bounds[i] = (i * words / p) * 64
+	}
+	pt.bounds[p] = n
+	return pt
+}
+
+// Window returns the [lo, hi) index range this rank owns at iter.
+func (pt *Partitioner) Window(iter int) (lo, hi int) {
+	own := (pt.rank + iter) % pt.p
+	return pt.bounds[own], pt.bounds[own+1]
+}
+
+// Select folds the residual into grad, picks the top-(1−θ) magnitudes
+// inside this rank's window for iter, updates the residual, and returns
+// the packed disjoint contribution. Because contributions are disjoint,
+// the exchanged sum needs no 1/p averaging — each position's value comes
+// from exactly one rank.
+func (pt *Partitioner) Select(grad []float32, theta float64, iter int) *pack.Sparse {
+	lo, hi := pt.Window(iter)
+	// Positions outside the window are not shipped this iteration: bank
+	// the full signal in the residual. Inside the window the residual is
+	// folded into the working copy before selection.
+	for i := 0; i < lo; i++ {
+		pt.res[i] += grad[i]
+	}
+	for i := hi; i < len(grad); i++ {
+		pt.res[i] += grad[i]
+	}
+	for i := range pt.mask {
+		pt.mask[i] = 0
+	}
+	if lo < hi {
+		for i := lo; i < hi; i++ {
+			pt.work[i] = grad[i] + pt.res[i]
+		}
+		sparsify.TopKSpatialMask(pt.mask[lo>>6:(hi+63)>>6], pt.work[lo:hi], theta)
+		for i := lo; i < hi; i++ {
+			if pt.mask[i>>6]&(1<<(uint(i)&63)) != 0 {
+				pt.res[i] = 0
+			} else {
+				pt.res[i] = pt.work[i]
+				pt.work[i] = 0
+			}
+		}
+	}
+	return pack.PackMask(pt.work, pt.mask)
+}

@@ -1,0 +1,144 @@
+package collective
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"fftgrad/internal/pack"
+)
+
+// SparseAllreduce sums packed sparse vectors across all ranks and
+// returns the identical packed result on every rank plus the bytes this
+// rank moved. The ring and tree strategies delegate to comm's ring
+// schedule (the tree gains nothing on a sum that every rank needs).
+//
+// The hierarchical strategy is where index deduplication pays: each
+// group leader ORs its members' bitmaps and sums their values *before*
+// anything crosses the inter-group fabric, so duplicate indices chosen
+// by several ranks in one group cross the slow link once, as one
+// aggregated sparse block per group, instead of once per rank. The
+// result is numerically identical to the ring schedule (floating-point
+// sums are reassociated; with disjoint Partitioner contributions even
+// bit-identical, since each position has exactly one contributor).
+func (e *Exchanger) SparseAllreduce(s *pack.Sparse) (*pack.Sparse, int) {
+	if e.cfg.Strategy != Hier {
+		return e.cm.SparseAllreduce(s)
+	}
+	return e.hierSparseAllreduce(s)
+}
+
+// appendSparse serializes [u32 words | bitmap | u32 nvals | values].
+func appendSparse(dst []byte, bitmap []uint64, values []float32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(bitmap)))
+	for _, w := range bitmap {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(values)))
+	for _, v := range values {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+// mergeSparse deserializes src, ORing the bitmap into mask and adding
+// the values into acc at the masked positions — the dedup/sum step.
+func mergeSparse(acc []float32, mask []uint64, src []byte) {
+	words := int(binary.LittleEndian.Uint32(src))
+	off := 4
+	base := 0
+	vi := off + 8*words + 4
+	for w := 0; w < words; w++ {
+		word := binary.LittleEndian.Uint64(src[off+8*w:])
+		mask[w] |= word
+		for word != 0 {
+			i := base + bits.TrailingZeros64(word)
+			acc[i] += math.Float32frombits(binary.LittleEndian.Uint32(src[vi:]))
+			vi += 4
+			word &= word - 1
+		}
+		base += 64
+	}
+}
+
+func (e *Exchanger) hierSparseAllreduce(s *pack.Sparse) (*pack.Sparse, int) {
+	cm := e.cm
+	p := cm.P()
+	g := e.cfg.GroupSize
+	rank := cm.RankID()
+	leader, lo, hi := e.group()
+	isLeader := rank == leader
+	n := s.N
+	moved := 0
+
+	wire := appendSparse(e.groupBuf[:0], s.Bitmap, s.Values)
+	e.groupBuf = wire
+	cm.Post(wire)
+	cm.Barrier() // all contributions staged
+
+	// Group leaders dedup: one bitmap-OR + value-sum per group, before
+	// the inter-group exchange.
+	var acc []float32
+	var mask []uint64
+	if isLeader {
+		acc = make([]float32, n)
+		mask = make([]uint64, pack.BitmapWords(n))
+		for r := lo; r < hi; r++ {
+			m := cm.Peek(r)
+			mergeSparse(acc, mask, m)
+			if r != rank {
+				cm.AccountWire(0, len(m))
+				moved += len(m)
+			}
+		}
+	} else {
+		cm.AccountWire(len(wire), 0)
+		moved += len(wire)
+	}
+	cm.Barrier() // leaders done reading member slots
+	var groupAgg []byte
+	if isLeader {
+		gs := pack.PackMask(acc, mask)
+		groupAgg = appendSparse(e.fullBuf[:0], gs.Bitmap, gs.Values)
+		e.fullBuf = groupAgg
+		cm.Post(groupAgg)
+	}
+	cm.Barrier() // group aggregates staged
+
+	// Leaders exchange aggregates (ring among leaders) and reduce.
+	if isLeader {
+		for gl := 0; gl < p; gl += g {
+			if gl == rank {
+				continue
+			}
+			m := cm.Peek(gl)
+			mergeSparse(acc, mask, m)
+			cm.AccountWire(len(groupAgg), len(m))
+			moved += len(groupAgg) + len(m)
+		}
+	}
+	cm.Barrier() // leaders done reading each other's aggregates
+	var finalWire []byte
+	if isLeader {
+		fs := pack.PackMask(acc, mask)
+		finalWire = appendSparse(nil, fs.Bitmap, fs.Values)
+		cm.Post(finalWire)
+	}
+	cm.Barrier() // final sums staged
+
+	// Everyone decodes its leader's final sum — identical bytes within a
+	// group, identical values everywhere.
+	src := cm.Peek(leader)
+	outAcc := make([]float32, n)
+	outMask := make([]uint64, pack.BitmapWords(n))
+	mergeSparse(outAcc, outMask, src)
+	if isLeader {
+		cm.AccountWire((hi-lo-1)*len(src), 0)
+		moved += (hi - lo - 1) * len(src)
+	} else {
+		cm.AccountWire(0, len(src))
+		moved += len(src)
+	}
+	cm.Barrier() // all reads done before slots are reused
+	return pack.PackMask(outAcc, outMask), moved
+}

@@ -1,0 +1,129 @@
+package comm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fftgrad/internal/trace"
+)
+
+// TestAllreduceRaggedChunks exercises the pad-once buffer rotation in the
+// ring allreduce at non-power-of-two P with chunk sizes that do not
+// divide evenly: every in-flight buffer must carry maxChunk capacity so
+// adopting a neighbor's buffer for a larger outgoing chunk never
+// reallocates or truncates.
+func TestAllreduceRaggedChunks(t *testing.T) {
+	for _, p := range []int{6, 12} {
+		// n % p != 0 in every case, so chunks are ragged and rotate
+		// through different sizes at every ring step.
+		for _, n := range []int{997, 1000, 6*64 + 1, p + 1} {
+			c := NewCluster(p)
+			bufs := make([][]float32, p)
+			want := make([]float64, n)
+			r := rand.New(rand.NewSource(int64(p*100000 + n)))
+			for rank := 0; rank < p; rank++ {
+				bufs[rank] = make([]float32, n)
+				for i := range bufs[rank] {
+					bufs[rank][i] = float32(r.Intn(100)) // integers: exact sums
+					want[i] += float64(bufs[rank][i])
+				}
+			}
+			runRanks(c, func(cm *Comm) {
+				// Repeat so adopted buffers from round k feed round k+1.
+				// After round 0 every rank holds the sum, so round r
+				// multiplies by p again: expected = want · p^(rounds−1).
+				for round := 0; round < 3; round++ {
+					cm.Allreduce(bufs[cm.RankID()])
+				}
+			})
+			for i := range want {
+				w := want[i]
+				for round := 1; round < 3; round++ {
+					w *= float64(p)
+				}
+				if float64(bufs[0][i]) != w {
+					t.Fatalf("p=%d n=%d idx %d: %g want %g", p, n, i, bufs[0][i], w)
+				}
+			}
+		}
+	}
+}
+
+// TestTracedCollectivesZeroAllocP16 pins the zero-allocation guarantee
+// for Broadcast and AllgatherInto on the steady-state path at P=16 with
+// a tracer attached — the configuration dist runs in production. Ranks
+// are persistent goroutines stepped over channels so goroutine launches
+// do not pollute the measurement.
+func TestTracedCollectivesZeroAllocP16(t *testing.T) {
+	const p = 16
+	c := NewCluster(p)
+	tr := trace.New(p, 4096)
+
+	msgs := make([][]byte, p)
+	dsts := make([][][]byte, p)
+	for r := range msgs {
+		msgs[r] = make([]byte, 128+r)
+		dsts[r] = make([][]byte, 0, p)
+	}
+
+	start := make(chan struct{})
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cm := c.Rank(rank)
+			cm.AttachTrace(tr.Rank(rank))
+			for {
+				select {
+				case <-stop:
+					return
+				case <-start:
+				}
+				dsts[rank] = cm.AllgatherInto(dsts[rank], msgs[rank])
+				cm.Broadcast(msgs[rank], 3)
+				done <- struct{}{}
+			}
+		}(r)
+	}
+	step := func() {
+		for i := 0; i < p; i++ {
+			start <- struct{}{}
+		}
+		for i := 0; i < p; i++ {
+			<-done
+		}
+	}
+	step() // warm-up: first AllgatherInto may grow dst, pools fill
+
+	allocs := testing.AllocsPerRun(20, step)
+	close(stop)
+	wg.Wait()
+
+	if allocs != 0 {
+		t.Fatalf("traced P=%d collective round allocated %.1f times, want 0", p, allocs)
+	}
+	for rank := 0; rank < p; rank++ {
+		if len(dsts[rank]) != p {
+			t.Fatalf("rank %d allgather result has %d entries, want %d", rank, len(dsts[rank]), p)
+		}
+		for j := range dsts[rank] {
+			if len(dsts[rank][j]) != 128+j {
+				t.Fatalf("rank %d entry %d has %d bytes, want %d", rank, j, len(dsts[rank][j]), 128+j)
+			}
+		}
+	}
+	// The tracer must actually have recorded barrier arrival spans.
+	barriers := 0
+	for _, e := range tr.Events() {
+		if e.Op == trace.OpBarrier {
+			barriers++
+		}
+	}
+	if barriers == 0 {
+		t.Fatal("no OpBarrier spans recorded despite attached tracer")
+	}
+}

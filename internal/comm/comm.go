@@ -101,6 +101,14 @@ func (c *Comm) Barrier() { c.cluster.barrier.await() }
 // rank order. The returned slices alias the senders' buffers; treat them
 // as read-only.
 func (c *Comm) Allgather(data []byte) [][]byte {
+	return c.AllgatherInto(make([][]byte, 0, c.cluster.p), data)
+}
+
+// AllgatherInto is Allgather reusing a caller-provided result slice: dst
+// is truncated and appended to, so a slice retained across iterations
+// makes the steady-state path allocation-free. The returned slices alias
+// the senders' buffers; treat them as read-only.
+func (c *Comm) AllgatherInto(dst [][]byte, data []byte) [][]byte {
 	cl := c.cluster
 	cl.slots[c.rank] = data
 	var tb time.Time
@@ -112,8 +120,7 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 		// The arrival wait: how long this rank idled for the slowest peer.
 		c.tc.SpanSince(trace.OpBarrier, int64(len(data)), tb)
 	}
-	out := make([][]byte, cl.p)
-	copy(out, cl.slots)
+	out := append(dst[:0], cl.slots...)
 	if cl.tx != nil {
 		// Ring allgather volume: each rank forwards its m bytes p−1 times
 		// and receives every peer's contribution once.
@@ -127,6 +134,32 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 	cl.barrier.await() // all reads done before slots are reused
 	return out
 }
+
+// Post stages data in this rank's slot without synchronizing. Composite
+// schedules (internal/collective's hierarchical and tree strategies)
+// pair Post/Peek with explicit Barriers to build multi-phase collectives
+// on the same staging substrate the built-in collectives use. The staged
+// slice may be read by peers until the next Post on this rank, so it
+// must stay stable across the schedule's barriers.
+func (c *Comm) Post(data []byte) { c.cluster.slots[c.rank] = data }
+
+// Peek returns the slice rank r last staged (via Post or a collective).
+// Only meaningful between the barrier that ordered the staging and the
+// barrier that releases the slot; treat as read-only.
+func (c *Comm) Peek(r int) []byte { return c.cluster.slots[r] }
+
+// AccountWire adds logical bytes-on-wire to this rank's instrumented
+// counters (a no-op when the cluster is not instrumented). Composite
+// collectives report the volumes their equivalent wire schedule would
+// move, keeping in-process accounting comparable with netsim pricing.
+func (c *Comm) AccountWire(tx, rx int) {
+	c.cluster.tx.Add(c.rank, tx)
+	c.cluster.rx.Add(c.rank, rx)
+}
+
+// Trace returns the context attached with AttachTrace (nil when tracing
+// is off), so composite collectives can record per-phase spans.
+func (c *Comm) Trace() *trace.Ctx { return c.tc }
 
 // Broadcast returns root's buffer on every rank (the root passes its data;
 // other ranks' data arguments are ignored). The returned slice aliases the
@@ -177,18 +210,28 @@ func (c *Comm) Allreduce(x []float32) {
 	next := cl.ring[(c.rank+1)%p]
 	prev := cl.ring[c.rank]
 
-	// Each step's message buffer is borrowed from the scratch pool by the
-	// sender and returned by the receiver once accumulated — ownership
-	// transfers through the channel, so no rank ever reuses a buffer its
-	// neighbor might still be reading, and the steady state allocates
-	// nothing.
+	// Every rank borrows ONE buffer sized for the largest chunk and the
+	// ring rotates ownership: each step reslices the owned buffer to the
+	// outgoing chunk, sends it, and adopts the buffer received from the
+	// previous rank as next step's send buffer. When n is not a multiple
+	// of p the chunks are ragged, but because every in-flight buffer was
+	// born with maxChunk capacity the reslice always fits — the padding
+	// happens once per call, not per step, and the steady state allocates
+	// nothing regardless of whether p is a power of two.
+	maxChunk := 0
+	for i := 0; i < p; i++ {
+		if w := bounds[i+1] - bounds[i]; w > maxChunk {
+			maxChunk = w
+		}
+	}
+	bufb := scratch.Float32s(maxChunk)
 
 	// Phase 1: reduce-scatter. After step s, rank r has accumulated the
 	// chunk (r - s + p) % p from s+1 ranks.
 	for s := 0; s < p-1; s++ {
 		sendIdx := (c.rank - s + p) % p
 		chunk := x[bounds[sendIdx]:bounds[sendIdx+1]]
-		bufb := scratch.Float32s(len(chunk))
+		*bufb = (*bufb)[:len(chunk)]
 		copy(*bufb, chunk)
 		cl.tx.Add(c.rank, 4*len(chunk))
 		next <- bufb
@@ -199,14 +242,14 @@ func (c *Comm) Allreduce(x []float32) {
 		for i, v := range *recvb {
 			dst[i] += v
 		}
-		scratch.PutFloat32s(recvb)
+		bufb = recvb // adopt: same maxChunk capacity class on every rank
 	}
 	// Phase 2: allgather of the fully-reduced chunks. Rank r owns chunk
 	// (r+1) % p after phase 1.
 	for s := 0; s < p-1; s++ {
 		sendIdx := (c.rank + 1 - s + p) % p
 		chunk := x[bounds[sendIdx]:bounds[sendIdx+1]]
-		bufb := scratch.Float32s(len(chunk))
+		*bufb = (*bufb)[:len(chunk)]
 		copy(*bufb, chunk)
 		cl.tx.Add(c.rank, 4*len(chunk))
 		next <- bufb
@@ -214,8 +257,9 @@ func (c *Comm) Allreduce(x []float32) {
 		cl.rx.Add(c.rank, 4*len(*recvb))
 		recvIdx := (c.rank - s + p) % p
 		copy(x[bounds[recvIdx]:bounds[recvIdx+1]], *recvb)
-		scratch.PutFloat32s(recvb)
+		bufb = recvb
 	}
+	scratch.PutFloat32s(bufb)
 }
 
 // barrier is a reusable counting barrier.

@@ -1,0 +1,263 @@
+package dist
+
+// Gradient bucketing for the BSP exchange (collective.Config.BucketBytes).
+//
+// The flat gradient is split into fixed-byte buckets (collective.Buckets);
+// each bucket has its own compressor instance, so each bucket keeps its
+// own CRC frame and its own error-feedback residual slice — the flat
+// residual partitioned, with identical accounting. Per iteration the
+// buckets run as a two-stage pipeline: while bucket b's compressed
+// message is in flight (exchange + decompress + accumulate), bucket b+1
+// is still being compressed — compute/communication overlap inside the
+// exchange phase. The two stages touch disjoint state (bucket b's
+// message/recon/avg slices vs bucket b+1's grad slice and codec), so the
+// only synchronization needed is the parallel.Run join between pipeline
+// steps; the compressors' own kernels keep using the persistent worker
+// pool underneath.
+//
+// Numerics are unchanged: every rank still averages the same p
+// reconstructions of the same gradient slices in the same order, so a
+// bucketed run with B buckets is bit-compatible with what a flat run
+// over per-bucket codecs would produce, traced or untraced.
+
+import (
+	"fmt"
+	"time"
+
+	"fftgrad/internal/collective"
+	"fftgrad/internal/compress"
+	"fftgrad/internal/nn"
+	"fftgrad/internal/parallel"
+	"fftgrad/internal/telemetry"
+	"fftgrad/internal/trace"
+)
+
+// bucketState is one worker's bucketed-exchange pipeline. Nil (no
+// bucketing) when the run is monolithic; every method is called only on
+// a non-nil receiver from the worker loop.
+type bucketState struct {
+	col    collective.Config
+	fabric Fabric
+	ex     *collective.Exchanger
+	gs     *guardState
+	tc     *trace.Ctx
+	st     *telemetry.StageTimer
+	isRoot bool
+	p      int
+
+	bk    collective.Buckets
+	comps []compress.Compressor // configured codec, one per bucket (guard-framed)
+	wire  []compress.Compressor // FP32 bypass codec, one per bucket (guard-framed)
+
+	// Per-bucket compressed messages, double-buffered by iteration parity
+	// with exactly the aliasing discipline of runWorker's msgBufs.
+	msgs [2][][]byte
+
+	// Per-iteration outputs, read by the worker loop after exchange().
+	compressT, decompressT time.Duration
+	exchangeS              float64
+	msgBytes, maxBytes     int
+	driftHit               bool
+
+	// Per-bucket scratch, written only by the bucket's own closure.
+	cmpD, exD, decD []time.Duration
+	sizes, maxs     []int
+}
+
+// newBucketState builds the pipeline when the config asks for bucketing
+// on the barrier path; nil otherwise.
+func newBucketState(cfg Config, gs *guardState, wst *telemetry.StageTimer, tc *trace.Ctx, ex *collective.Exchanger, n, p, rank int) *bucketState {
+	if cfg.Collective == nil || cfg.Collective.BucketBytes <= 0 || cfg.UseSparseAllreduce {
+		return nil
+	}
+	bs := &bucketState{
+		col:    *cfg.Collective,
+		fabric: cfg.Fabric,
+		ex:     ex,
+		gs:     gs,
+		tc:     tc,
+		st:     cfg.stageTimer,
+		isRoot: rank == 0,
+		p:      p,
+		bk:     collective.MakeBuckets(n, cfg.Collective.BucketBytes),
+	}
+	nb := bs.bk.Count()
+	bs.comps = make([]compress.Compressor, nb)
+	bs.wire = make([]compress.Compressor, nb)
+	for b := 0; b < nb; b++ {
+		bs.comps[b] = gs.wrap(cfg.NewCompressor())
+		compress.Instrument(bs.comps[b], wst)
+		bs.wire[b] = gs.wrap(compress.FP32{})
+	}
+	bs.msgs[0] = make([][]byte, nb)
+	bs.msgs[1] = make([][]byte, nb)
+	bs.cmpD = make([]time.Duration, nb)
+	bs.exD = make([]time.Duration, nb)
+	bs.decD = make([]time.Duration, nb)
+	bs.sizes = make([]int, nb)
+	bs.maxs = make([]int, nb)
+	return bs
+}
+
+// pick returns bucket b's wire codec for this iteration: the configured
+// compressor, or the FP32 bypass when the adapt controller said so.
+func (bs *bucketState) pick(b int, compressed bool) compress.Compressor {
+	if compressed {
+		return bs.comps[b]
+	}
+	return bs.wire[b]
+}
+
+// setTheta drives every bucket codec implementing compress.ThetaSetter.
+func (bs *bucketState) setTheta(theta float64) {
+	for _, c := range bs.comps {
+		if ts, ok := c.(compress.ThetaSetter); ok {
+			ts.SetTheta(theta)
+		}
+	}
+}
+
+// attachFingerprint rides the parameter fingerprint on bucket 0's frame;
+// drift is checked on bucket 0's message set — one fingerprint per
+// iteration per rank, exactly as in the monolithic exchange.
+func (bs *bucketState) attachFingerprint(net *nn.Network, compressed bool) {
+	bs.gs.attachFingerprint(net, bs.pick(0, compressed))
+}
+
+// exchange runs the full bucketed pipeline for one iteration:
+//
+//	compress(0); for b: { exchange+decompress(b) ∥ compress(b+1) }
+//
+// grad is read per bucket slice, avg[lo:hi] is zeroed, accumulated and
+// scaled in the bucket's own closure, recon[lo:hi] is the bucket's
+// decode scratch — all slices disjoint between concurrent closures.
+func (bs *bucketState) exchange(iter int, grad, avg, recon []float32, compressed bool) error {
+	nb := bs.bk.Count()
+	parity := iter & 1
+	inv := 1 / float32(bs.p)
+	drift := bs.gs.driftDue(iter)
+	bs.driftHit = false
+
+	compressBucket := func(b int) error {
+		lo, hi := bs.bk.Range(b)
+		t0 := time.Now()
+		msg, err := compress.AppendCompress(bs.pick(b, compressed), bs.msgs[parity][b][:0], grad[lo:hi])
+		if err != nil {
+			return fmt.Errorf("bucket %d compress: %w", b, err)
+		}
+		bs.msgs[parity][b] = msg
+		bs.cmpD[b] = time.Since(t0)
+		bs.sizes[b] = len(msg)
+		bs.tc.SpanTimed(trace.OpCompress, int64(len(msg)), t0, bs.cmpD[b])
+		return nil
+	}
+
+	exchangeBucket := func(b int) error {
+		lo, hi := bs.bk.Range(b)
+		comp := bs.pick(b, compressed)
+		var tB time.Time
+		if bs.tc != nil {
+			tB = time.Now()
+		}
+		tEx := time.Now()
+		msgs := bs.ex.Allgather(bs.msgs[parity][b])
+		bs.exD[b] = time.Since(tEx)
+		bs.tc.SpanTimed(trace.OpExchange, int64(bs.sizes[b]), tEx, bs.exD[b])
+		max := 0
+		for _, m := range msgs {
+			if len(m) > max {
+				max = len(m)
+			}
+		}
+		bs.maxs[b] = max
+
+		t0 := time.Now()
+		for i := lo; i < hi; i++ {
+			avg[i] = 0
+		}
+		for _, m := range msgs {
+			if err := compress.DecompressInto(comp, recon[lo:hi], m); err != nil {
+				return fmt.Errorf("bucket %d decompress: %w", b, err)
+			}
+			for i, v := range recon[lo:hi] {
+				avg[lo+i] += v
+			}
+		}
+		for i := lo; i < hi; i++ {
+			avg[i] *= inv
+		}
+		bs.decD[b] = time.Since(t0)
+		bs.tc.SpanTimed(trace.OpDecompress, int64(bs.p), t0, bs.decD[b])
+		if b == 0 && drift && bs.gs.checkDrift(msgs, nil) {
+			bs.driftHit = true
+		}
+
+		// Exchange-rate observation per bucket: modeled when a fabric
+		// prices the run, measured otherwise (same rule as monolithic).
+		if bs.st != nil && bs.sizes[b] > 0 {
+			if bs.fabric != nil {
+				if bs.isRoot {
+					bs.st.ObserveStage(telemetry.StageComm, max, bs.col.ModelAllgather(bs.fabric, bs.p, max))
+				}
+			} else {
+				bs.st.ObserveStage(telemetry.StageComm, bs.sizes[b], bs.exD[b].Seconds())
+			}
+		}
+		bs.tc.SpanSince(trace.OpBucket, int64(b), tB)
+		return nil
+	}
+
+	if err := compressBucket(0); err != nil {
+		return err
+	}
+	for b := 0; b < nb; b++ {
+		var exErr, cmpErr error
+		if b+1 < nb {
+			bb := b
+			parallel.Run(
+				func() { exErr = exchangeBucket(bb) },
+				func() { cmpErr = compressBucket(bb + 1) },
+			)
+		} else {
+			exErr = exchangeBucket(b)
+		}
+		if exErr != nil {
+			return exErr
+		}
+		if cmpErr != nil {
+			return cmpErr
+		}
+	}
+
+	bs.compressT, bs.decompressT, bs.exchangeS = 0, 0, 0
+	bs.msgBytes, bs.maxBytes = 0, 0
+	for b := 0; b < nb; b++ {
+		bs.compressT += bs.cmpD[b]
+		bs.decompressT += bs.decD[b]
+		bs.exchangeS += bs.exD[b].Seconds()
+		bs.msgBytes += bs.sizes[b]
+		if bs.maxs[b] > bs.maxBytes {
+			bs.maxBytes = bs.maxs[b]
+		}
+	}
+	return nil
+}
+
+// modelComm prices the iteration's bucketed exchange on the fabric: the
+// sum of per-bucket collectives at the observed max message sizes. The
+// overlap benefit (codec time hidden behind flight) is a wall-time
+// effect, not a communication-volume effect, so the comm price stays the
+// honest sum; collective.ModelBucketedExchange exposes the overlapped
+// wall model for offline analysis.
+func (bs *bucketState) modelComm() float64 {
+	if bs.fabric == nil {
+		return 0
+	}
+	s := 0.0
+	for _, m := range bs.maxs {
+		if m > 0 {
+			s += bs.col.ModelAllgather(bs.fabric, bs.p, m)
+		}
+	}
+	return s
+}

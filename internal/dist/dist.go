@@ -25,6 +25,7 @@ import (
 
 	"fftgrad/internal/adapt"
 	"fftgrad/internal/checkpoint"
+	"fftgrad/internal/collective"
 	"fftgrad/internal/comm"
 	"fftgrad/internal/compress"
 	"fftgrad/internal/data"
@@ -86,6 +87,16 @@ type Config struct {
 
 	// Fabric prices communication. Nil disables the timing model.
 	Fabric Fabric
+
+	// Collective selects the exchange strategy (ring, hierarchical or
+	// binomial tree), gradient bucketing with compute/comm overlap, and
+	// MiCRO-style partitioned selection on the sparse path. Nil keeps the
+	// flat ring exchange. On the barrier path the strategy reschedules the
+	// real collectives; on the Fault path the point-to-point mesh keeps
+	// per-peer delivery and the strategy prices the modeled collectives
+	// only, while bucketing still splits the exchange into per-bucket
+	// rounds (see DESIGN.md Sec. 12).
+	Collective *collective.Config
 
 	// Telemetry, when non-nil, receives live metrics for the run:
 	// bytes-on-wire counters on the in-process transport, per-stage
@@ -304,6 +315,10 @@ func (c *Config) withDefaults() Config {
 			cfg.ItersPerEpoch = 1
 		}
 	}
+	if cfg.Collective != nil {
+		cc := cfg.Collective.WithDefaults()
+		cfg.Collective = &cc
+	}
 	if cfg.Guard != nil {
 		if cfg.Guard.Enabled() {
 			g := cfg.Guard.WithDefaults()
@@ -374,6 +389,14 @@ func Train(c Config) (*Result, error) {
 	cfg := c.withDefaults()
 	if cfg.Guard != nil && cfg.UseSparseAllreduce {
 		return nil, fmt.Errorf("dist: Guard requires the compressed-message exchange; disable UseSparseAllreduce")
+	}
+	if cfg.Collective != nil {
+		if err := cfg.Collective.Validate(); err != nil {
+			return nil, fmt.Errorf("dist: %w", err)
+		}
+		if cfg.Collective.BucketBytes > 0 && cfg.UseSparseAllreduce {
+			return nil, fmt.Errorf("dist: BucketBytes applies to the compressed-message exchange; disable UseSparseAllreduce")
+		}
 	}
 	if cfg.Fault != nil {
 		return trainFault(cfg)
@@ -459,8 +482,28 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 		}
 	}
 	gs := newGuardState(cfg, rank, n, tc)
-	comp := gs.wrap(cfg.NewCompressor())
-	compress.Instrument(comp, wst)
+
+	// colCfg is the (defaulted) exchange strategy; ex reschedules the
+	// collectives accordingly (a nil Config is the flat ring, so every
+	// pre-existing path is untouched byte for byte).
+	colCfg := collective.Config{}.WithDefaults()
+	if cfg.Collective != nil {
+		colCfg = *cfg.Collective
+	}
+	ex := collective.New(cfg.Collective, cm)
+	bs := newBucketState(cfg, gs, wst, tc, ex, n, p, rank)
+
+	// The monolithic compressor; with bucketing each bucket owns its own
+	// instance instead (per-bucket CRC frames and residual slices).
+	var comp compress.Compressor
+	if bs == nil {
+		comp = gs.wrap(cfg.NewCompressor())
+		compress.Instrument(comp, wst)
+	}
+	var pt *collective.Partitioner
+	if cfg.UseSparseAllreduce && colCfg.Partitioned {
+		pt = collective.NewPartitioner(p, rank, n)
+	}
 
 	grad := make([]float32, n)
 	avg := make([]float32, n)
@@ -522,7 +565,9 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 		theta := math.NaN()
 		if cfg.ThetaSchedule != nil {
 			theta = cfg.ThetaSchedule.Theta(epoch)
-			if ts, ok := comp.(compress.ThetaSetter); ok {
+			if bs != nil {
+				bs.setTheta(theta)
+			} else if ts, ok := comp.(compress.ThetaSetter); ok {
 				ts.SetTheta(theta)
 			}
 		}
@@ -569,14 +614,21 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 				compressed = false
 				tc.Instant(trace.OpBypass, 0)
 			} else if d.ThetaAdjusted {
-				if ts, ok := comp.(compress.ThetaSetter); ok {
+				if bs != nil {
+					bs.setTheta(d.Theta)
+					theta = d.Theta
+				} else if ts, ok := comp.(compress.ThetaSetter); ok {
 					ts.SetTheta(d.Theta)
 					theta = d.Theta
 				}
 			}
 		}
 		if gs.driftDue(iter) {
-			gs.attachFingerprint(net, iterComp)
+			if bs != nil {
+				bs.attachFingerprint(net, compressed)
+			} else {
+				gs.attachFingerprint(net, iterComp)
+			}
 		}
 
 		// --- compress + exchange + average ---------------------------------
@@ -590,14 +642,22 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 				sparseTheta = theta
 			}
 			t0 = time.Now()
-			work := append(grad[:0:0], grad...)
-			mask := sparsify.TopKSpatial(work, sparseTheta)
-			sp := pack.PackMask(work, mask)
+			var sp *pack.Sparse
+			if pt != nil {
+				// MiCRO-style: select only inside this rank's rotating
+				// disjoint partition; everything outside banks in the
+				// partitioner's residual until ownership rotates around.
+				sp = pt.Select(grad, sparseTheta, iter)
+			} else {
+				work := append(grad[:0:0], grad...)
+				mask := sparsify.TopKSpatial(work, sparseTheta)
+				sp = pack.PackMask(work, mask)
+			}
 			compressT = time.Since(t0)
 			tc.SpanTimed(trace.OpCompress, int64(n), t0, compressT)
 
 			tEx := time.Now()
-			reduced, moved := cm.SparseAllreduce(sp)
+			reduced, moved := ex.SparseAllreduce(sp)
 			exchangeD := time.Since(tEx)
 			exchangeS = exchangeD.Seconds()
 			tc.SpanTimed(trace.OpExchange, int64(moved), tEx, exchangeD)
@@ -613,6 +673,19 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			// message so ratios stay comparable across exchange modes.
 			msgBytes = moved / (p - 1 + boolToInt(p == 1))
 			maxBytes = msgBytes
+		} else if bs != nil {
+			if err := bs.exchange(iter, grad, avg, recon, compressed); err != nil {
+				return nil, fmt.Errorf("dist: rank %d: %w", rank, err)
+			}
+			compressT, decompressT = bs.compressT, bs.decompressT
+			exchangeS = bs.exchangeS
+			msgBytes, maxBytes = bs.msgBytes, bs.maxBytes
+			if compressed && msgBytes > 0 {
+				liveRatio = float64(4*n) / float64(msgBytes)
+			}
+			if bs.driftHit {
+				forceSync = true
+			}
 		} else {
 			t0 = time.Now()
 			msg, err := compress.AppendCompress(iterComp, msgBufs[iter&1][:0], grad)
@@ -628,7 +701,7 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			}
 
 			tEx := time.Now()
-			msgs := cm.Allgather(msg)
+			msgs := ex.Allgather(msg)
 			exchangeD := time.Since(tEx)
 			exchangeS = exchangeD.Seconds()
 			tc.SpanTimed(trace.OpExchange, int64(msgBytes), tEx, exchangeD)
@@ -664,10 +737,11 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 		// With a Fabric, the modeled collective time prices the exchange (the
 		// in-process barrier wall time is not a fabric); without one, the
 		// measured wall time is the real thing (TCP or actual deployment).
-		if st := cfg.stageTimer; st != nil && msgBytes > 0 {
+		// The bucketed pipeline observed per bucket already.
+		if st := cfg.stageTimer; st != nil && msgBytes > 0 && bs == nil {
 			if cfg.Fabric != nil {
 				if isRoot {
-					st.ObserveStage(telemetry.StageComm, maxBytes, cfg.Fabric.Allgather(p, maxBytes))
+					st.ObserveStage(telemetry.StageComm, maxBytes, colCfg.ModelAllgather(cfg.Fabric, p, maxBytes))
 				}
 			} else {
 				st.ObserveStage(telemetry.StageComm, msgBytes, exchangeS)
@@ -765,7 +839,7 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 				}
 				syncPayload = payload
 			}
-			got := cm.Broadcast(payload, 0)
+			got := ex.Broadcast(payload, 0)
 			if !isRoot {
 				if err := compress.DecompressInto(wireFP32, syncFlat, got); err != nil {
 					return nil, err
@@ -791,9 +865,13 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			}
 			var commS float64
 			if cfg.Fabric != nil {
-				commS = cfg.Fabric.Allgather(p, maxBytes)
+				if bs != nil {
+					commS = bs.modelComm()
+				} else {
+					commS = colCfg.ModelAllgather(cfg.Fabric, p, maxBytes)
+				}
 				if syncBytes > 0 {
-					commS += cfg.Fabric.Broadcast(p, syncBytes)
+					commS += colCfg.ModelBroadcast(cfg.Fabric, p, syncBytes)
 				}
 				res.CommSeconds += commS
 			}

@@ -28,6 +28,7 @@ import (
 	"fftgrad/internal/chaos"
 	"fftgrad/internal/checkpoint"
 	"fftgrad/internal/cluster"
+	"fftgrad/internal/collective"
 	"fftgrad/internal/comm"
 	"fftgrad/internal/compress"
 	"fftgrad/internal/data"
@@ -83,6 +84,14 @@ func trainFault(cfg Config) (*Result, error) {
 		// Guard framing on: the cluster receiver rejects corrupt frames
 		// before they can reach a decompressor; nack/resend repairs them.
 		clCfg.Verify = v
+	}
+	if cfg.Collective != nil && cfg.Collective.BucketBytes > 0 && clCfg.SendDepth <= 0 {
+		// Bucketed exchanges burn Count() seqs per iteration, so the seq
+		// drift between a rank parked at the iteration-end sync and a
+		// lagging peer spans whole iterations of seqs; size the resend
+		// cache to cover it or nack repair of old buckets silently fails.
+		nb := collective.MakeBuckets(cfg.Model(cfg.Seed).NumParams(), cfg.Collective.BucketBytes).Count()
+		clCfg.SendDepth = 2*nb + 2
 	}
 	rt := cluster.New(p, clCfg)
 	rt.AttachTracer(cfg.Tracer)
@@ -214,8 +223,41 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 		}
 	}
 	gs := newGuardState(cfg, rank, n, tc)
-	comp := gs.wrap(cfg.NewCompressor())
-	compress.Instrument(comp, wst)
+
+	// Exchange strategy: on the fault path the point-to-point mesh keeps
+	// per-peer delivery (nack/resend repairs individual links), so the
+	// hier/tree schedules inform the *modeled* collective price only.
+	// Bucketing, however, is real: the iteration's exchange runs as
+	// Count() member rounds under sequence numbers iter·B+b, each bucket
+	// with its own codec instance (own CRC frames, own residual slice),
+	// so a chaos crash mid-iteration lands between buckets and the
+	// unshipped tail folds into the per-bucket residuals.
+	colCfg := collective.Config{}.WithDefaults()
+	if cfg.Collective != nil {
+		colCfg = *cfg.Collective
+	}
+	bk := collective.MakeBuckets(n, colCfg.BucketBytes)
+	nb := bk.Count()
+	var bcomps, bwire []compress.Compressor
+	var comp compress.Compressor
+	if nb > 1 {
+		bcomps = make([]compress.Compressor, nb)
+		bwire = make([]compress.Compressor, nb)
+		for b := 0; b < nb; b++ {
+			bcomps[b] = gs.wrap(cfg.NewCompressor())
+			compress.Instrument(bcomps[b], wst)
+			bwire[b] = gs.wrap(compress.FP32{})
+		}
+	} else {
+		comp = gs.wrap(cfg.NewCompressor())
+		compress.Instrument(comp, wst)
+	}
+	pickBucket := func(b int, compressed bool) compress.Compressor {
+		if compressed {
+			return bcomps[b]
+		}
+		return bwire[b]
+	}
 
 	grad := make([]float32, n)
 	avg := make([]float32, n)
@@ -233,6 +275,10 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 	totalIters := cfg.Epochs * cfg.ItersPerEpoch
 
 	var msgBuf []byte // mesh sends copy, so one buffer suffices
+	var bmaxs []int   // per-bucket max message size (pricing)
+	if nb > 1 {
+		bmaxs = make([]int, nb)
+	}
 	var syncFlat []float32
 	var syncPayload []byte
 	var liveRatio float64
@@ -258,7 +304,14 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 				return fmt.Errorf("dist: rank %d restoring checkpoint on rejoin: %w", rank, aerr)
 			}
 		}
-		if f := int(frontier); f > iter {
+		// The frontier is in exchange-sequence units (iter·nb+b when
+		// bucketed). Resume at the iteration *containing* it — never past
+		// it: survivors parked mid-iteration are waiting on this rank's
+		// remaining bucket rounds, so skipping to the next boundary would
+		// deadlock both sides. Replaying the iteration's earlier bucket
+		// seqs is safe: peers discard late data for completed rounds and
+		// serve (or degrade) the replayed exchanges from their send cache.
+		if f := int(frontier) / nb; f > iter {
 			iter = f
 		}
 		forceSync = true
@@ -281,7 +334,13 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 		theta := math.NaN()
 		if cfg.ThetaSchedule != nil {
 			theta = cfg.ThetaSchedule.Theta(epoch)
-			if ts, ok := comp.(compress.ThetaSetter); ok {
+			if nb > 1 {
+				for _, c := range bcomps {
+					if ts, ok := c.(compress.ThetaSetter); ok {
+						ts.SetTheta(theta)
+					}
+				}
+			} else if ts, ok := comp.(compress.ThetaSetter); ok {
 				ts.SetTheta(theta)
 			}
 		}
@@ -325,88 +384,207 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 				compressed = false
 				tc.Instant(trace.OpBypass, 0)
 			} else if d.ThetaAdjusted {
-				if ts, ok := comp.(compress.ThetaSetter); ok {
+				if nb > 1 {
+					for _, c := range bcomps {
+						if ts, ok := c.(compress.ThetaSetter); ok {
+							ts.SetTheta(d.Theta)
+							theta = d.Theta
+						}
+					}
+				} else if ts, ok := comp.(compress.ThetaSetter); ok {
 					ts.SetTheta(d.Theta)
 					theta = d.Theta
 				}
 			}
 		}
 		if gs.driftDue(iter) {
-			gs.attachFingerprint(net, iterComp)
+			if nb > 1 {
+				gs.attachFingerprint(net, pickBucket(0, compressed))
+			} else {
+				gs.attachFingerprint(net, iterComp)
+			}
 		}
 
 		// --- compress + failure-aware exchange ----------------------------
-		t0 = time.Now()
-		msg, err := compress.AppendCompress(iterComp, msgBuf[:0], grad)
-		if err != nil {
-			return nil, fmt.Errorf("dist: rank %d compress: %w", rank, err)
-		}
-		msgBuf = msg
-		compressT := time.Since(t0)
-		msgBytes := len(msg)
-		tc.SpanTimed(trace.OpCompress, int64(msgBytes), t0, compressT)
-		if compressed && msgBytes > 0 {
-			liveRatio = float64(4*n) / float64(msgBytes)
-		}
-
-		tEx := time.Now()
-		ex, err := m.Exchange(uint64(iter), msg)
-		exchangeD := time.Since(tEx)
-		exchangeS := exchangeD.Seconds()
-		tc.SpanTimed(trace.OpExchange, int64(msgBytes), tEx, exchangeD)
-		if err != nil {
-			if cluster.IsRecoverable(err) {
-				// The local transport is inside a chaos crash window (or this
-				// rank was evicted): dump the timeline while the pre-crash
-				// events are still in the ring, then park in rejoin.
-				cfg.Flight.Trigger(rank, trace.ReasonCrash)
-				// This gradient was computed but never averaged anywhere:
-				// keep it in the stream via the error-feedback residual.
-				if sink, ok := comp.(residualSink); ok {
-					sink.AddToResidual(grad)
+		var compressT, decompressT time.Duration
+		var exchangeS float64
+		var msgBytes, maxBytes int
+		var ex *cluster.ExchangeResult
+		epochChanged := false
+		crashed := false
+		if nb > 1 {
+			// Bucketed: Count() member rounds under seq iter·nb+b. The
+			// mesh copies sends, so one staging buffer serves every bucket.
+			for i := range avg {
+				avg[i] = 0
+			}
+			for b := range bmaxs {
+				bmaxs[b] = 0
+			}
+			for b := 0; b < nb; b++ {
+				lo, hi := bk.Range(b)
+				bcomp := pickBucket(b, compressed)
+				t0 = time.Now()
+				msg, err := compress.AppendCompress(bcomp, msgBuf[:0], grad[lo:hi])
+				if err != nil {
+					return nil, fmt.Errorf("dist: rank %d bucket %d compress: %w", rank, b, err)
 				}
+				msgBuf = msg
+				cmpD := time.Since(t0)
+				compressT += cmpD
+				msgBytes += len(msg)
+				tc.SpanTimed(trace.OpCompress, int64(len(msg)), t0, cmpD)
+
+				var tB time.Time
+				if tc != nil {
+					tB = time.Now()
+				}
+				tEx := time.Now()
+				exb, err := m.Exchange(uint64(iter*nb+b), msg)
+				exD := time.Since(tEx)
+				exchangeS += exD.Seconds()
+				tc.SpanTimed(trace.OpExchange, int64(len(msg)), tEx, exD)
+				if err != nil {
+					if cluster.IsRecoverable(err) {
+						// Crash mid-iteration, between bucket rounds: dump
+						// the timeline, then fold every unshipped bucket
+						// slice into its own error-feedback residual before
+						// parking in rejoin — buckets below b were already
+						// averaged by the survivors.
+						cfg.Flight.Trigger(rank, trace.ReasonCrash)
+						for bb := b; bb < nb; bb++ {
+							l2, h2 := bk.Range(bb)
+							if sink, ok := bcomps[bb].(residualSink); ok {
+								sink.AddToResidual(grad[l2:h2])
+							}
+						}
+						crashed = true
+						break
+					}
+					return nil, fmt.Errorf("dist: rank %d exchange %d.%d: %w", rank, iter, b, err)
+				}
+				t0 = time.Now()
+				// A stale cache entry was served from the previous *round* —
+				// under bucketed sequencing that is the previous bucket, a
+				// different slice shape — so stale contributions are dropped
+				// and the average rescales over the fresh ones (this rank's
+				// own message is always fresh, so fresh ≥ 1).
+				fresh := 0
+				for j, mm := range exb.Msgs {
+					if mm == nil || (exb.Stale != nil && exb.Stale[j]) {
+						continue
+					}
+					if len(mm) > bmaxs[b] {
+						bmaxs[b] = len(mm)
+					}
+					if derr := compress.DecompressInto(bcomp, recon[lo:hi], mm); derr != nil {
+						return nil, fmt.Errorf("dist: rank %d bucket %d decompress: %w", rank, b, derr)
+					}
+					for i, v := range recon[lo:hi] {
+						avg[lo+i] += v
+					}
+					fresh++
+				}
+				invB := 1 / float32(fresh)
+				for i := lo; i < hi; i++ {
+					avg[i] *= invB
+				}
+				decD := time.Since(t0)
+				decompressT += decD
+				tc.SpanTimed(trace.OpDecompress, int64(exb.Contributors), t0, decD)
+				if bmaxs[b] > maxBytes {
+					maxBytes = bmaxs[b]
+				}
+				// One fingerprint per iteration, riding bucket 0's frames.
+				if b == 0 && gs.driftDue(iter) && gs.checkDrift(exb.Msgs, exb.Stale) {
+					forceSync = true
+				}
+				epochChanged = epochChanged || exb.EpochChanged
+				ex = exb
+				tc.SpanSince(trace.OpBucket, int64(b), tB)
+			}
+			if crashed {
 				if rerr := rejoin(); rerr != nil {
 					return res, rerr
 				}
 				continue
 			}
-			return nil, fmt.Errorf("dist: rank %d exchange %d: %w", rank, iter, err)
-		}
+			if compressed && msgBytes > 0 {
+				liveRatio = float64(4*n) / float64(msgBytes)
+			}
+		} else {
+			t0 = time.Now()
+			msg, err := compress.AppendCompress(iterComp, msgBuf[:0], grad)
+			if err != nil {
+				return nil, fmt.Errorf("dist: rank %d compress: %w", rank, err)
+			}
+			msgBuf = msg
+			compressT = time.Since(t0)
+			msgBytes = len(msg)
+			tc.SpanTimed(trace.OpCompress, int64(msgBytes), t0, compressT)
+			if compressed && msgBytes > 0 {
+				liveRatio = float64(4*n) / float64(msgBytes)
+			}
 
-		// --- average over actual contributors -----------------------------
-		t0 = time.Now()
-		inv := 1 / float32(ex.Contributors)
-		for i := range avg {
-			avg[i] = 0
-		}
-		maxBytes := 0
-		for _, mm := range ex.Msgs {
-			if mm == nil {
-				continue
+			tEx := time.Now()
+			ex, err = m.Exchange(uint64(iter), msg)
+			exchangeD := time.Since(tEx)
+			exchangeS = exchangeD.Seconds()
+			tc.SpanTimed(trace.OpExchange, int64(msgBytes), tEx, exchangeD)
+			if err != nil {
+				if cluster.IsRecoverable(err) {
+					// The local transport is inside a chaos crash window (or this
+					// rank was evicted): dump the timeline while the pre-crash
+					// events are still in the ring, then park in rejoin.
+					cfg.Flight.Trigger(rank, trace.ReasonCrash)
+					// This gradient was computed but never averaged anywhere:
+					// keep it in the stream via the error-feedback residual.
+					if sink, ok := comp.(residualSink); ok {
+						sink.AddToResidual(grad)
+					}
+					if rerr := rejoin(); rerr != nil {
+						return res, rerr
+					}
+					continue
+				}
+				return nil, fmt.Errorf("dist: rank %d exchange %d: %w", rank, iter, err)
 			}
-			if len(mm) > maxBytes {
-				maxBytes = len(mm)
+
+			// --- average over actual contributors -------------------------
+			t0 = time.Now()
+			inv := 1 / float32(ex.Contributors)
+			for i := range avg {
+				avg[i] = 0
 			}
-			if err := compress.DecompressInto(iterComp, recon, mm); err != nil {
-				return nil, fmt.Errorf("dist: rank %d decompress: %w", rank, err)
+			for _, mm := range ex.Msgs {
+				if mm == nil {
+					continue
+				}
+				if len(mm) > maxBytes {
+					maxBytes = len(mm)
+				}
+				if err := compress.DecompressInto(iterComp, recon, mm); err != nil {
+					return nil, fmt.Errorf("dist: rank %d decompress: %w", rank, err)
+				}
+				for i, v := range recon {
+					avg[i] += v
+				}
 			}
-			for i, v := range recon {
-				avg[i] += v
+			for i := range avg {
+				avg[i] *= inv
 			}
-		}
-		for i := range avg {
-			avg[i] *= inv
-		}
-		decompressT := time.Since(t0)
-		tc.SpanTimed(trace.OpDecompress, int64(ex.Contributors), t0, decompressT)
-		if gs.driftDue(iter) && gs.checkDrift(ex.Msgs, ex.Stale) {
-			forceSync = true
+			decompressT = time.Since(t0)
+			tc.SpanTimed(trace.OpDecompress, int64(ex.Contributors), t0, decompressT)
+			if gs.driftDue(iter) && gs.checkDrift(ex.Msgs, ex.Stale) {
+				forceSync = true
+			}
+			epochChanged = ex.EpochChanged
 		}
 
 		if st := cfg.stageTimer; st != nil && msgBytes > 0 {
 			if cfg.Fabric != nil {
 				if isRoot {
-					st.ObserveStage(telemetry.StageComm, maxBytes, cfg.Fabric.Allgather(p, maxBytes))
+					st.ObserveStage(telemetry.StageComm, maxBytes, colCfg.ModelAllgather(cfg.Fabric, p, maxBytes))
 				}
 			} else {
 				st.ObserveStage(telemetry.StageComm, msgBytes, exchangeS)
@@ -436,7 +614,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 		// rounds and rejoins both leave replicas slightly apart, and the
 		// re-broadcast is what bounds that drift window.
 		var syncBytes int
-		if (iter+1)%cfg.SyncEvery == 0 || forceSync || ex.EpochChanged {
+		if (iter+1)%cfg.SyncEvery == 0 || forceSync || epochChanged {
 			var tSync time.Time
 			if tc != nil {
 				tSync = time.Now()
@@ -452,7 +630,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 					payload, _ = compress.AppendCompress(wireFP32, syncPayload[:0], flat)
 					syncPayload = payload
 				}
-				got, ok, serr := m.SyncBroadcast(uint64(iter+1), payload, root)
+				got, ok, serr := m.SyncBroadcast(uint64((iter+1)*nb), payload, root)
 				if serr != nil {
 					if cluster.IsRecoverable(serr) {
 						if rerr := rejoin(); rerr != nil {
@@ -488,9 +666,17 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 			}
 			var commS float64
 			if cfg.Fabric != nil {
-				commS = cfg.Fabric.Allgather(p, maxBytes)
+				if nb > 1 {
+					for _, mb := range bmaxs {
+						if mb > 0 {
+							commS += colCfg.ModelAllgather(cfg.Fabric, p, mb)
+						}
+					}
+				} else {
+					commS = colCfg.ModelAllgather(cfg.Fabric, p, maxBytes)
+				}
 				if syncBytes > 0 {
-					commS += cfg.Fabric.Broadcast(p, syncBytes)
+					commS += colCfg.ModelBroadcast(cfg.Fabric, p, syncBytes)
 				}
 				res.CommSeconds += commS
 			}
@@ -532,7 +718,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 			// The current sync root (not necessarily rank 0 — it may be
 			// dead) publishes the rejoin checkpoint.
 			if rank == ex.View.LowestAlive() {
-				rt.PublishCheckpoint(checkpoint.Capture(net, sgd, int64(epoch), int64(iter)), uint64(iter+1))
+				rt.PublishCheckpoint(checkpoint.Capture(net, sgd, int64(epoch), int64(iter)), uint64((iter+1)*nb))
 			}
 		}
 		gs.maybeRetain(iter, epoch, net, sgd)

@@ -76,11 +76,28 @@ func (p Profile) Broadcast(n, m int) float64 {
 	if n <= 1 {
 		return 0
 	}
+	return float64(log2ceil(n)) * (p.Latency + float64(m)/p.Bandwidth)
+}
+
+// TreeReduce returns the time for a binomial-tree reduction of an m-byte
+// buffer to a root across n nodes: ⌈log2 n⌉ rounds, each moving the full
+// m bytes over the busiest link. Latency-bound for small m (log n hops
+// instead of the ring's 2(n−1)), bandwidth-bound for large m (the root's
+// links carry m per round, with no ring-style m/n pipelining).
+func (p Profile) TreeReduce(n, m int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(log2ceil(n)) * (p.Latency + float64(m)/p.Bandwidth)
+}
+
+// log2ceil returns ⌈log2 n⌉ for n ≥ 1.
+func log2ceil(n int) int {
 	rounds := 0
 	for v := 1; v < n; v <<= 1 {
 		rounds++
 	}
-	return float64(rounds) * (p.Latency + float64(m)/p.Bandwidth)
+	return rounds
 }
 
 // Hierarchical models the paper's cluster shape: nodesPerHost ranks talk

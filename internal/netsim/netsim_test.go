@@ -113,3 +113,25 @@ func TestFasterFabricCheaper(t *testing.T) {
 		}
 	}
 }
+
+// TestTreeReduceRegimes: the tree is latency-bound (log n rounds) for
+// small messages and pays full-m per round for large ones — so it beats
+// the ring on small buffers and loses on big ones.
+func TestTreeReduce(t *testing.T) {
+	if got := InfiniBandFDR.TreeReduce(1, 1<<20); got != 0 {
+		t.Fatalf("single node tree reduce = %v, want 0", got)
+	}
+	t2 := InfiniBandFDR.TreeReduce(2, 1<<20)
+	t8 := InfiniBandFDR.TreeReduce(8, 1<<20)
+	if r := t8 / t2; math.Abs(r-3) > 0.01 {
+		t.Fatalf("log2 rounds: t8/t2 = %g want 3", r)
+	}
+	// Small message, many ranks: log n latency terms beat 2(n-1).
+	if tree, ring := InfiniBandFDR.TreeReduce(64, 256), InfiniBandFDR.RingAllreduce(64, 256); tree >= ring {
+		t.Fatalf("small-message tree (%g) should beat ring (%g)", tree, ring)
+	}
+	// Huge message: the ring pipelines m/n per step and wins.
+	if tree, ring := InfiniBandFDR.TreeReduce(64, 250<<20), InfiniBandFDR.RingAllreduce(64, 250<<20); tree <= ring {
+		t.Fatalf("large-message tree (%g) should lose to ring (%g)", tree, ring)
+	}
+}

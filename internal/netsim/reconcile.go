@@ -105,3 +105,49 @@ func FitAllgather(obs []AllgatherObs) (Profile, error) {
 	}
 	return Profile{Name: "fitted", Bandwidth: 1 / invB, Latency: lat}, nil
 }
+
+// TreeReduceObs is one measured binomial-tree reduction: n ranks reducing
+// an m-byte buffer to a root took Seconds of wall time.
+type TreeReduceObs struct {
+	N       int
+	M       int
+	Seconds float64
+}
+
+// FitTreeReduce least-squares fits a Profile to measured tree-reduce
+// times using t = r·L + r·m/B with r = ⌈log2 n⌉, linear in L and 1/B
+// like FitAllgather. With both fits in hand, cmd/sweep can plot ring vs.
+// tree vs. hierarchical predictions from the same measured fabric.
+func FitTreeReduce(obs []TreeReduceObs) (Profile, error) {
+	var a11, a12, a22, b1, b2 float64
+	used := 0
+	for _, o := range obs {
+		if o.N <= 1 || o.M <= 0 || o.Seconds <= 0 {
+			continue
+		}
+		r := float64(log2ceil(o.N))
+		rm := r * float64(o.M)
+		a11 += r * r
+		a12 += r * rm
+		a22 += rm * rm
+		b1 += r * o.Seconds
+		b2 += rm * o.Seconds
+		used++
+	}
+	if used < 2 {
+		return Profile{}, fmt.Errorf("netsim: need at least 2 usable observations, have %d", used)
+	}
+	det := a11*a22 - a12*a12
+	if det <= 0 || det < 1e-12*a11*a22 {
+		return Profile{}, fmt.Errorf("netsim: observations are degenerate (all the same shape?)")
+	}
+	lat := (a22*b1 - a12*b2) / det
+	invB := (a11*b2 - a12*b1) / det
+	if invB <= 0 {
+		return Profile{}, fmt.Errorf("netsim: fitted bandwidth is non-positive")
+	}
+	if lat < 0 {
+		lat = 0
+	}
+	return Profile{Name: "fitted-tree", Bandwidth: 1 / invB, Latency: lat}, nil
+}

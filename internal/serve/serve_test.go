@@ -309,3 +309,41 @@ func TestPSJobOverHTTP(t *testing.T) {
 		t.Fatalf("ps accuracy %.3f", final.TestAcc)
 	}
 }
+
+// TestCollectiveJobOverHTTP submits a bucketed hierarchical-exchange job
+// and pins the validation path: strategy typos and collective options on
+// the PS backend are 400s, a valid spec runs to completion.
+func TestCollectiveJobOverHTTP(t *testing.T) {
+	srv := New(Config{WorkerSlots: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	bad := fastSpec(13)
+	bad.Collective = "mesh"
+	if _, resp := postJob(t, ts.URL, bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown strategy status %d, want 400", resp.StatusCode)
+	}
+	badPS := fastSpec(13)
+	badPS.Backend = "ps"
+	badPS.BucketBytes = 1024
+	if _, resp := postJob(t, ts.URL, badPS); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ps bucketing status %d, want 400", resp.StatusCode)
+	}
+
+	spec := fastSpec(14)
+	spec.Workers = 4
+	spec.Collective = "hier"
+	spec.GroupSize = 2
+	spec.BucketBytes = 1024
+	info, resp := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("collective submit status %d", resp.StatusCode)
+	}
+	final := waitTerminal(t, ts.URL, info.ID)
+	if final.State != StateCompleted {
+		t.Fatalf("collective job %+v", final)
+	}
+	if final.TestAcc <= 0.5 {
+		t.Fatalf("collective accuracy %.3f", final.TestAcc)
+	}
+}

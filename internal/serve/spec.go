@@ -18,6 +18,7 @@ import (
 
 	"fftgrad/internal/chaos"
 	"fftgrad/internal/cluster"
+	"fftgrad/internal/collective"
 	"fftgrad/internal/compress"
 	"fftgrad/internal/data"
 	"fftgrad/internal/dist"
@@ -55,6 +56,14 @@ type Spec struct {
 
 	// Async selects asynchronous PS updates (ignored on BSP).
 	Async bool `json:"async,omitempty"`
+
+	// Collective selects the BSP exchange strategy: "ring" (default),
+	// "hier" or "tree". GroupSize sets the hierarchical group width
+	// (default 4); BucketBytes > 0 splits the gradient into fixed-byte
+	// buckets compressed and exchanged as an overlapped pipeline.
+	Collective  string `json:"collective,omitempty"`
+	GroupSize   int    `json:"group_size,omitempty"`
+	BucketBytes int    `json:"bucket_bytes,omitempty"`
 
 	// Guard enables the data-plane integrity layer (CRC framing, scrub,
 	// anomaly detector, drift checks). BSP only.
@@ -144,7 +153,34 @@ func (s *Spec) normalize() error {
 	if s.Backend == "ps" && (s.Guard || s.Fault || s.Chaos != nil) {
 		return fmt.Errorf("guard/fault/chaos require the bsp backend")
 	}
+	if s.Collective != "" || s.BucketBytes != 0 || s.GroupSize != 0 {
+		if s.Backend == "ps" {
+			return fmt.Errorf("collective/bucketing options require the bsp backend")
+		}
+		if c := s.collectiveConfig(); c != nil {
+			if err := c.Validate(); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// collectiveConfig compiles the exchange-strategy fields into a
+// collective.Config, or nil when the submission keeps the flat default.
+func (s *Spec) collectiveConfig() *collective.Config {
+	if (s.Collective == "" || s.Collective == "ring") && s.BucketBytes == 0 {
+		return nil
+	}
+	c := &collective.Config{
+		Strategy:    collective.Strategy(s.Collective),
+		GroupSize:   s.GroupSize,
+		BucketBytes: s.BucketBytes,
+	}
+	if c.Strategy == "" {
+		c.Strategy = collective.Ring
+	}
+	return c
 }
 
 // buildJob compiles a normalized Spec into a runnable dist.Job with its
@@ -205,6 +241,7 @@ func (s *Spec) buildJob() (dist.Job, error) {
 		Test:          test,
 		NewCompressor: newComp,
 		Fabric:        netsim.CometCluster(),
+		Collective:    s.collectiveConfig(),
 	}
 	if s.Guard {
 		cfg.Guard = &guard.Config{CRC: true, Scrub: guard.ScrubClamp, Detect: true, DriftEvery: 50}

@@ -85,6 +85,14 @@ const (
 	OpChaosCorrupt  // chaos flipped a payload bit (arg = destination)
 	OpFlightTrigger // flight-recorder dump fired (arg = Reason)
 
+	// Collective strategy spans (internal/collective).
+	OpBucket        // one gradient bucket's compress→exchange→decompress (arg = bucket)
+	OpGroupGather   // hierarchical: leader assembles its group's frames (arg = bytes)
+	OpGroupExchange // hierarchical: inter-group leader exchange (arg = bytes)
+	OpGroupBcast    // hierarchical: leader's full set read by its group (arg = bytes)
+	OpTreeGather    // tree: binomial gather toward the root (arg = bytes)
+	OpTreeBcast     // tree: binomial broadcast from the root (arg = bytes)
+
 	numOps
 )
 
@@ -123,6 +131,12 @@ var opNames = [numOps]string{
 	OpBypass:        "bypass",
 	OpChaosCorrupt:  "chaos_corrupt",
 	OpFlightTrigger: "flight_trigger",
+	OpBucket:        "bucket",
+	OpGroupGather:   "group_gather",
+	OpGroupExchange: "group_exchange",
+	OpGroupBcast:    "group_bcast",
+	OpTreeGather:    "tree_gather",
+	OpTreeBcast:     "tree_bcast",
 }
 
 // opCats are the trace_event "cat" strings, indexed by Op.
@@ -160,6 +174,12 @@ var opCats = [numOps]string{
 	OpBypass:        "adapt",
 	OpChaosCorrupt:  "chaos",
 	OpFlightTrigger: "flight",
+	OpBucket:        "exchange",
+	OpGroupGather:   "exchange",
+	OpGroupExchange: "exchange",
+	OpGroupBcast:    "exchange",
+	OpTreeGather:    "exchange",
+	OpTreeBcast:     "exchange",
 }
 
 // String returns the trace_event name of the op.
