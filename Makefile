@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json benchdiff bench-baseline bench-gate experiments examples fmt check chaos guard fuzz trace-smoke serve-smoke collective-smoke
+.PHONY: all build vet test race bench bench-json benchdiff bench-baseline bench-gate experiments examples fmt check chaos guard fuzz trace-smoke serve-smoke collective-smoke elastic-smoke
 
 all: build vet test
 
@@ -128,6 +128,37 @@ collective-smoke:
 	$(GO) run ./cmd/trainer -model mlp -epochs 2 -workers 4 -fault-aware \
 		-collective hier -group-size 2 -bucket-bytes 1024 \
 		-chaos-drop 0.05 -chaos-delay 10ms -chaos-crash 2 -chaos-crash-at 1200 -chaos-crash-for 1000
+
+# Elasticity gate: the bounded-staleness / gossip / elastic-join suites
+# (these enforce the 2-point convergence envelope against the fault-free
+# baseline in-process), then two seeded CLI runs under -staleness 4: a
+# straggler-free one to time, and one adding a mid-run elastic join plus
+# a *permanent* straggler (20ms per send — far above the per-round grace,
+# well below the suspicion deadline, and never recovering). The straggled
+# run must converge, must dump the timeline on the quorum-grow join, and
+# must finish within 1.5x of the straggler-free run (+1s fixed slack for
+# the extra rank's startup): bounded staleness folds the straggler's
+# cached gradients instead of waiting, so a permanently slow rank no
+# longer sets the fleet's pace.
+elastic-smoke:
+	$(GO) test -run 'TestBoundedStalenessGate|TestGossipGate|TestElasticJoinGate|TestAsyncConfigRejections|TestElasticJoinWorkerAccounting' -v ./internal/dist/
+	$(GO) test -run 'TestBackoffJitterDeterministic|TestAwaitRejoinHaltPromptly|TestWaitWithinWindowThrottle|TestExchangeBoundedFoldsStaleCache|TestGossipExchangeMixesNeighbors|TestAdmitJoinGrowsView' -v ./internal/cluster/
+	$(GO) build -o elastic-smoke-bin ./cmd/trainer
+	T0=$$(date +%s%N); \
+	./elastic-smoke-bin -model mlp -epochs 2 -workers 4 -seed 7 -staleness 4 \
+		-chaos-drop 0.03 -chaos-delay 5ms >/dev/null || { rm -f elastic-smoke-bin; exit 1; }; \
+	T1=$$(date +%s%N); \
+	./elastic-smoke-bin -model mlp -epochs 2 -workers 4 -seed 7 -staleness 4 \
+		-elastic-join 20 -chaos-drop 0.03 -chaos-delay 5ms \
+		-chaos-straggle 3 -chaos-straggle-at 300 -chaos-straggle-by 20ms \
+		-trace-out elastic-smoke.json | tee elastic-smoke.log || { rm -f elastic-smoke-bin elastic-smoke.log; exit 1; }; \
+	T2=$$(date +%s%N); \
+	grep -q "reason view_grow" elastic-smoke.log && \
+	python3 -c "import json; ev=json.load(open('elastic-smoke.flight.json')); assert ev, 'empty flight dump'" && \
+	python3 -c "base=($$T1-$$T0)/1e9; strag=($$T2-$$T1)/1e9; \
+		print('elastic-smoke: straggler-free %.2fs, straggled+join %.2fs' % (base, strag)); \
+		assert strag <= 1.5*base + 1.0, 'permanent straggler set the pace: %.2fs vs %.2fs' % (strag, base)"; \
+	RC=$$?; rm -f elastic-smoke-bin elastic-smoke.log elastic-smoke.json elastic-smoke.flight.json; exit $$RC
 
 # Regenerate every paper figure/table and ablation.
 experiments:

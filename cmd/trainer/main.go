@@ -56,7 +56,7 @@ func main() {
 	alpha := flag.Bool("alpha", false, "measure Assumption 3.2 alpha each iteration")
 	trace := flag.Bool("trace", false, "print a per-iteration timing breakdown")
 	sparseAR := flag.Bool("sparse-allreduce", false, "exchange via the sparse ring allreduce instead of allgather (uses -theta, ignores -method)")
-	collectiveStrategy := flag.String("collective", "ring", "exchange strategy: ring | hier | tree")
+	collectiveStrategy := flag.String("collective", "ring", "exchange strategy: ring | hier | tree | gossip (gossip implies -fault-aware)")
 	groupSize := flag.Int("group-size", 4, "with -collective hier, ranks per group (leader fan-in)")
 	bucketBytes := flag.Int("bucket-bytes", 0, "split the gradient into fixed-byte buckets exchanged in flight while later buckets compress (0: monolithic)")
 	partitioned := flag.Bool("partitioned", false, "with -sparse-allreduce, MiCRO-style disjoint rotating index partitions per rank")
@@ -80,6 +80,9 @@ func main() {
 	maxRetries := flag.Int("max-retries", 5, "with -fault-aware, nack/resend rounds per exchange before classifying the absentee")
 	onFailure := flag.String("on-failure", "rescale", "with -fault-aware, dead-rank policy: failfast | rescale | stale")
 	onStraggler := flag.String("on-straggler", "wait", "with -fault-aware, straggler policy: wait | drop | stale")
+	staleness := flag.Int("staleness", 0, "with -fault-aware, bounded-staleness window K in iterations: ranks run up to K ahead, late gradients fold in damped (0: strict BSP)")
+	stalenessDiscount := flag.Float64("staleness-discount", 0.9, "with -staleness, per-iteration damping factor applied to stale gradients")
+	elasticJoin := flag.String("elastic-join", "", "comma-separated iterations at which brand-new ranks join mid-run (implies -fault-aware; e.g. 10,20)")
 	chaosDrop := flag.Float64("chaos-drop", 0, "chaos: per-message drop probability (enables fault injection)")
 	chaosDelay := flag.Duration("chaos-delay", 0, "chaos: max injected message delay")
 	chaosDelayProb := flag.Float64("chaos-delay-prob", 0.1, "chaos: probability a message is delayed (with -chaos-delay)")
@@ -88,6 +91,10 @@ func main() {
 	chaosCrashAt := flag.Uint64("chaos-crash-at", 1000, "chaos: crash at this transport-op index")
 	chaosCrashFor := flag.Uint64("chaos-crash-for", 1000, "chaos: recover after this many ops (0: never)")
 	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "chaos: per-message single-bit-flip probability")
+	chaosStraggle := flag.Int("chaos-straggle", -1, "chaos: rank made persistently slow, never dead (-1: none)")
+	chaosStraggleBy := flag.Duration("chaos-straggle-by", 20*time.Millisecond, "chaos: per-send delivery delay of the straggling rank")
+	chaosStraggleAt := flag.Uint64("chaos-straggle-at", 0, "chaos: transport-op index at which the straggle window opens")
+	chaosStraggleFor := flag.Uint64("chaos-straggle-for", 0, "chaos: ops until the straggler recovers (0: never)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault-schedule seed")
 
 	// Gradient integrity guard (internal/guard).
@@ -180,8 +187,19 @@ func main() {
 			RollbackAfter: *guardRollbackAfter,
 		}
 	}
-	chaosWanted := *chaosDrop > 0 || *chaosDelay > 0 || *chaosDup > 0 || *chaosCrash >= 0 || *chaosCorrupt > 0
-	if *faultAware || chaosWanted {
+	var joinIters []int
+	if *elasticJoin != "" {
+		for _, tok := range strings.Split(*elasticJoin, ",") {
+			var at int
+			if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &at); err != nil || at < 0 {
+				fmt.Fprintf(os.Stderr, "bad -elastic-join entry %q\n", tok)
+				os.Exit(2)
+			}
+			joinIters = append(joinIters, at)
+		}
+	}
+	chaosWanted := *chaosDrop > 0 || *chaosDelay > 0 || *chaosDup > 0 || *chaosCrash >= 0 || *chaosCorrupt > 0 || *chaosStraggle >= 0
+	if *faultAware || chaosWanted || *staleness > 0 || len(joinIters) > 0 || *collectiveStrategy == "gossip" {
 		policy, err := cluster.ParsePolicy(*onFailure)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -192,14 +210,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		cfg.Fault = &dist.FaultConfig{Cluster: cluster.Config{
-			Heartbeat:    *heartbeat,
-			SuspectAfter: *suspectAfter,
-			MaxRetries:   *maxRetries,
-			Policy:       policy,
-			OnStraggler:  stragglerPolicy,
-			Seed:         *seed,
-		}}
+		cfg.Fault = &dist.FaultConfig{
+			Cluster: cluster.Config{
+				Heartbeat:    *heartbeat,
+				SuspectAfter: *suspectAfter,
+				MaxRetries:   *maxRetries,
+				Policy:       policy,
+				OnStraggler:  stragglerPolicy,
+				Seed:         *seed,
+			},
+			Staleness:         *staleness,
+			StalenessDiscount: *stalenessDiscount,
+			ElasticJoins:      joinIters,
+		}
 		if chaosWanted {
 			cc := &chaos.Config{
 				Seed:      *chaosSeed,
@@ -212,13 +235,16 @@ func main() {
 			if *chaosCrash >= 0 {
 				cc.Crashes = []chaos.CrashEvent{{Rank: *chaosCrash, AtOp: *chaosCrashAt, RecoverAfterOps: *chaosCrashFor}}
 			}
+			if *chaosStraggle >= 0 {
+				cc.Stragglers = []chaos.StragglerEvent{{Rank: *chaosStraggle, FromOp: *chaosStraggleAt, Ops: *chaosStraggleFor, SlowBy: *chaosStraggleBy}}
+			}
 			cfg.Fault.Chaos = cc
 			fmt.Printf("chaos schedule: %s\n", cc)
 		}
 	}
 	var tracer *itrace.Tracer
 	if *traceOut != "" {
-		tracer = itrace.New(*workers, *traceIters*itrace.DefaultEventsPerIteration)
+		tracer = itrace.New(*workers+len(joinIters), *traceIters*itrace.DefaultEventsPerIteration)
 		cfg.Tracer = tracer
 		cfg.Flight = itrace.NewFlightRecorder(tracer, flightPath(*traceOut))
 		defer func() {
@@ -328,13 +354,17 @@ func main() {
 	if res.Fault != nil {
 		s := res.Fault.Cluster
 		fmt.Printf("fault runtime: %d retries, %d suspicions, %d degraded iters, %d stale reuses, %d rejoins, %d skipped syncs, %d/%d ranks alive at end\n",
-			s.Retries, s.Suspicions, s.DegradedIterations, s.StaleReuses, s.Rejoins, s.SkippedSyncs, s.FinalAlive, *workers)
+			s.Retries, s.Suspicions, s.DegradedIterations, s.StaleReuses, s.Rejoins, s.SkippedSyncs, s.FinalAlive, *workers+len(joinIters))
+		if s.ElasticJoins > 0 || s.GossipRounds > 0 || s.StalenessMax > 0 {
+			fmt.Printf("elasticity: %d elastic joins, %d gossip rounds, max folded staleness %d seqs\n",
+				s.ElasticJoins, s.GossipRounds, s.StalenessMax)
+		}
 		if res.Fault.LostWorkers > 0 {
 			fmt.Printf("fault runtime: %d worker(s) permanently lost; run completed degraded\n", res.Fault.LostWorkers)
 		}
 		if c := res.Fault.Chaos; c != nil {
-			fmt.Printf("chaos injected: %d drops, %d delays, %d dups, %d corruptions, %d crashed ops, %d partitioned\n",
-				c.Drops, c.Delays, c.Dups, c.Corruptions, c.CrashedOps, c.Partitioned)
+			fmt.Printf("chaos injected: %d drops, %d delays, %d dups, %d corruptions, %d crashed ops, %d partitioned, %d straggled ops\n",
+				c.Drops, c.Delays, c.Dups, c.Corruptions, c.CrashedOps, c.Partitioned, c.StraggledOps)
 		}
 	}
 	if g := res.Guard; g != nil {

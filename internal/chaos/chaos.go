@@ -41,6 +41,21 @@ type CrashEvent struct {
 	RecoverAfterOps uint64
 }
 
+// StragglerEvent makes one rank persistently slow (not dead): every
+// send it performs from its FromOp-th transport operation onward is
+// delivered only after SlowBy — the permanent-straggler model that
+// distinguishes the bounded-staleness mode (the fleet keeps its
+// iteration rate) from strict BSP (every round waits out SlowBy). Ops
+// bounds the window; 0 means the rank never speeds up again. Heartbeats
+// are delayed too, but as long as SlowBy stays below the suspicion
+// deadline the rank is classified straggler, never dead.
+type StragglerEvent struct {
+	Rank   int
+	FromOp uint64
+	Ops    uint64 // 0 = permanent
+	SlowBy time.Duration
+}
+
 // Partition isolates Ranks from everyone else between global operation
 // FromOp and FromOp+Ops (Ops == 0 means forever). Messages crossing the
 // boundary are silently dropped in both directions.
@@ -68,8 +83,9 @@ type Config struct {
 	// must surface as a rejected frame, never as a garbage gradient.
 	Corrupt float64
 
-	Crashes   []CrashEvent
-	Partition *Partition
+	Crashes    []CrashEvent
+	Stragglers []StragglerEvent
+	Partition  *Partition
 }
 
 // Stats counts injected faults across all endpoints of one Harness.
@@ -77,9 +93,10 @@ type Stats struct {
 	Drops       uint64
 	Delays      uint64
 	Dups        uint64
-	Corruptions uint64
-	CrashedOps  uint64
-	Partitioned uint64
+	Corruptions  uint64
+	CrashedOps   uint64
+	Partitioned  uint64
+	StraggledOps uint64
 }
 
 // Harness owns the shared schedule state for one cluster's worth of
@@ -90,7 +107,7 @@ type Harness struct {
 	inPart   []bool // rank -> member of the partitioned side
 	tracer   *trace.Tracer
 
-	drops, delays, dups, corruptions, crashedOps, partitioned atomic.Uint64
+	drops, delays, dups, corruptions, crashedOps, partitioned, straggledOps atomic.Uint64
 }
 
 // AttachTracer marks injected incidents — crash-window entry/exit and
@@ -119,8 +136,9 @@ func (h *Harness) Stats() Stats {
 		Delays:      h.delays.Load(),
 		Dups:        h.dups.Load(),
 		Corruptions: h.corruptions.Load(),
-		CrashedOps:  h.crashedOps.Load(),
-		Partitioned: h.partitioned.Load(),
+		CrashedOps:   h.crashedOps.Load(),
+		Partitioned:  h.partitioned.Load(),
+		StraggledOps: h.straggledOps.Load(),
 	}
 }
 
@@ -138,6 +156,8 @@ func (h *Harness) Instrument(reg *telemetry.Registry) {
 		func() float64 { return float64(h.crashedOps.Load()) })
 	reg.GaugeFunc("fftgrad_chaos_partitioned_total", "messages dropped at a partition boundary",
 		func() float64 { return float64(h.partitioned.Load()) })
+	reg.GaugeFunc("fftgrad_chaos_straggled_ops_total", "sends slowed by a straggler window",
+		func() float64 { return float64(h.straggledOps.Load()) })
 }
 
 // Wrap returns tr with this harness's fault schedule applied.
@@ -193,6 +213,20 @@ func (t *Transport) crashedAt(op uint64) bool {
 		}
 	}
 	return false
+}
+
+// stragglingBy returns how much rank's op-th send is slowed by an
+// active straggler window (0 when the rank is at full speed).
+func (t *Transport) stragglingBy(op uint64) time.Duration {
+	for _, s := range t.h.cfg.Stragglers {
+		if s.Rank != t.rank {
+			continue
+		}
+		if op >= s.FromOp && (s.Ops == 0 || op < s.FromOp+s.Ops) {
+			return s.SlowBy
+		}
+	}
+	return 0
 }
 
 // partitioned reports whether src->dst crosses an active partition
@@ -253,14 +287,26 @@ func (t *Transport) Send(to int, m comm.Message) error {
 		t.tc.Instant(trace.OpChaosCorrupt, int64(to))
 	}
 	dup := t.h.cfg.Dup > 0 && t.roll(op, 0x02) < t.h.cfg.Dup
-	if t.h.cfg.DelayProb > 0 && t.h.cfg.Delay > 0 && t.roll(op, 0x03) < t.h.cfg.DelayProb {
-		t.h.delays.Add(1)
+	// A straggler window adds a fixed per-send delay on top of any
+	// randomly scheduled one — the rank is slow, not lossy.
+	slow := t.stragglingBy(op)
+	if slow > 0 {
+		t.h.straggledOps.Add(1)
+	}
+	delayed := t.h.cfg.DelayProb > 0 && t.h.cfg.Delay > 0 && t.roll(op, 0x03) < t.h.cfg.DelayProb
+	if delayed || slow > 0 {
+		if delayed {
+			t.h.delays.Add(1)
+		}
 		// Deterministic per-message delay magnitude; delivery happens off
 		// the sender's goroutine so a slow link never stalls the sender.
 		// The payload is copied NOW: once Send returns, the sender may
 		// reuse its buffer, and a late delivery must carry the bytes as
 		// they were at send time, not whatever the buffer holds later.
-		d := time.Duration(t.roll(op, 0x04) * float64(t.h.cfg.Delay))
+		d := slow
+		if delayed {
+			d += time.Duration(t.roll(op, 0x04) * float64(t.h.cfg.Delay))
+		}
 		inner, msg := t.inner, m
 		msg.Payload = append([]byte(nil), m.Payload...)
 		go func() {
@@ -310,6 +356,9 @@ func (c Config) String() string {
 	s := fmt.Sprintf("chaos{seed=%d drop=%.2g delay=%.2g@%s dup=%.2g corrupt=%.2g", c.Seed, c.Drop, c.DelayProb, c.Delay, c.Dup, c.Corrupt)
 	for _, cr := range c.Crashes {
 		s += fmt.Sprintf(" crash[r%d@%d+%d]", cr.Rank, cr.AtOp, cr.RecoverAfterOps)
+	}
+	for _, st := range c.Stragglers {
+		s += fmt.Sprintf(" straggle[r%d@%d+%d by %s]", st.Rank, st.FromOp, st.Ops, st.SlowBy)
 	}
 	if c.Partition != nil {
 		s += fmt.Sprintf(" part[%v@%d+%d]", c.Partition.Ranks, c.Partition.FromOp, c.Partition.Ops)

@@ -290,8 +290,11 @@ type Stats struct {
 	StaleReuses        uint64 // rounds served from a cached peer gradient
 	Rejoins            uint64 // ranks re-admitted to the view
 	SkippedSyncs       uint64 // parameter re-broadcasts abandoned
-	ViewChanges        uint64 // epoch bumps (suspicions + rejoins)
+	ViewChanges        uint64 // epoch bumps (suspicions + rejoins + joins)
 	CorruptFrames      uint64 // inbound payloads rejected by Verify
+	ElasticJoins       uint64 // brand-new ranks admitted mid-run
+	GossipRounds       uint64 // completed gossip exchanges
+	StalenessMax       uint64 // largest staleness (seqs) folded into a round
 	FinalAlive         int    // live ranks at snapshot time
 }
 
@@ -305,10 +308,15 @@ type Runtime struct {
 	mu          sync.Mutex
 	epoch       uint64
 	alive       []bool
+	joined      []bool // ever admitted; elastic slots start false
 	rejoinCount []int
-	frontier    uint64 // highest exchange seq any member has started
+	frontier    uint64   // highest exchange seq any member has started
+	perRank     []uint64 // per-rank exchange frontier (staleness tracking)
 	ckpt        *checkpoint.State
 	ckptSeq     uint64
+
+	// joinedBits mirrors joined for lock-free reads on the heartbeat path.
+	joinedBits []atomic.Bool
 
 	retries       atomic.Uint64
 	suspicions    atomic.Uint64
@@ -318,6 +326,10 @@ type Runtime struct {
 	skippedSyncs  atomic.Uint64
 	viewChanges   atomic.Uint64
 	corruptFrames atomic.Uint64
+	elasticJoins  atomic.Uint64
+	gossipRounds  atomic.Uint64
+	staleCur      atomic.Uint64
+	staleMax      atomic.Uint64
 
 	// Optional telemetry mirrors (nil-safe when uninstrumented).
 	cRetries    *telemetry.Counter
@@ -330,18 +342,35 @@ type Runtime struct {
 
 // New creates a runtime for p ranks, all initially alive.
 func New(p int, cfg Config) *Runtime {
+	return NewElastic(p, p, cfg)
+}
+
+// NewElastic creates a runtime sized for pmax ranks of which only the
+// first p are initially admitted; ranks p..pmax-1 are elastic slots that
+// may enter mid-run via AdmitJoin. A never-admitted slot is neither alive
+// nor joined: it is invisible to views, quorum math, and the staleness
+// frontier until its join handshake completes.
+func NewElastic(p, pmax int, cfg Config) *Runtime {
 	if p < 1 {
 		panic("cluster: need at least one rank")
 	}
-	rt := &Runtime{
-		p:           p,
-		cfg:         cfg.withDefaults(),
-		alive:       make([]bool, p),
-		rejoinCount: make([]int, p),
-		rtt:         make([]*telemetry.Gauge, p),
+	if pmax < p {
+		panic("cluster: pmax below initial rank count")
 	}
-	for i := range rt.alive {
+	rt := &Runtime{
+		p:           pmax,
+		cfg:         cfg.withDefaults(),
+		alive:       make([]bool, pmax),
+		joined:      make([]bool, pmax),
+		joinedBits:  make([]atomic.Bool, pmax),
+		rejoinCount: make([]int, pmax),
+		perRank:     make([]uint64, pmax),
+		rtt:         make([]*telemetry.Gauge, pmax),
+	}
+	for i := 0; i < p; i++ {
 		rt.alive[i] = true
+		rt.joined[i] = true
+		rt.joinedBits[i].Store(true)
 	}
 	return rt
 }
@@ -377,6 +406,14 @@ func (rt *Runtime) Instrument(reg *telemetry.Registry) {
 		func() float64 { return float64(rt.rejoins.Load()) })
 	reg.GaugeFunc("fftgrad_cluster_skipped_syncs_total", "parameter re-broadcasts abandoned",
 		func() float64 { return float64(rt.skippedSyncs.Load()) })
+	reg.GaugeFunc("fftgrad_staleness_current", "staleness (exchange seqs) of the most recent damped stale fold",
+		func() float64 { return float64(rt.staleCur.Load()) })
+	reg.GaugeFunc("fftgrad_staleness_max", "largest staleness (exchange seqs) folded into any round",
+		func() float64 { return float64(rt.staleMax.Load()) })
+	reg.GaugeFunc("fftgrad_elastic_joins_total", "brand-new ranks admitted to the view mid-run",
+		func() float64 { return float64(rt.elasticJoins.Load()) })
+	reg.GaugeFunc("fftgrad_gossip_rounds_total", "completed ring-neighbor gossip exchanges",
+		func() float64 { return float64(rt.gossipRounds.Load()) })
 	if rt.cfg.Verify != nil {
 		reg.GaugeFunc("fftgrad_guard_corrupt_frames", "inbound frames rejected by the integrity check before decompression",
 			func() float64 { return float64(rt.corruptFrames.Load()) })
@@ -411,6 +448,9 @@ func (rt *Runtime) Stats() Stats {
 		SkippedSyncs:       rt.skippedSyncs.Load(),
 		ViewChanges:        rt.viewChanges.Load(),
 		CorruptFrames:      rt.corruptFrames.Load(),
+		ElasticJoins:       rt.elasticJoins.Load(),
+		GossipRounds:       rt.gossipRounds.Load(),
+		StalenessMax:       rt.staleMax.Load(),
 		FinalAlive:         rt.View().AliveCount(),
 	}
 }
@@ -434,13 +474,96 @@ func (rt *Runtime) LatestCheckpoint() (*checkpoint.State, uint64) {
 	return rt.ckpt, rt.ckptSeq
 }
 
-// noteExchangeStart advances the frontier — the seq a rejoiner enters at.
-func (rt *Runtime) noteExchangeStart(seq uint64) {
+// noteExchangeStart advances rank's exchange frontier and the global one
+// (the seq a rejoiner or elastic joiner enters at).
+func (rt *Runtime) noteExchangeStart(rank int, seq uint64) {
 	rt.mu.Lock()
+	if seq > rt.perRank[rank] {
+		rt.perRank[rank] = seq
+	}
 	if seq > rt.frontier {
 		rt.frontier = seq
 	}
 	rt.mu.Unlock()
+}
+
+// Frontier returns the highest exchange seq any member has started.
+func (rt *Runtime) Frontier() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.frontier
+}
+
+// MinLiveFrontier returns the lowest exchange frontier across admitted,
+// live ranks — the progress of the slowest rank the bounded-staleness
+// throttle must respect. Evicted and never-joined ranks are excluded, so
+// a dead rank stops gating progress the moment suspicion completes.
+func (rt *Runtime) MinLiveFrontier() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	min, any := uint64(0), false
+	for r := 0; r < rt.p; r++ {
+		if !rt.joined[r] || !rt.alive[r] {
+			continue
+		}
+		if !any || rt.perRank[r] < min {
+			min, any = rt.perRank[r], true
+		}
+	}
+	return min
+}
+
+// WaitWithinWindow blocks rank before it starts exchange seq until the
+// slowest live rank is within `window` seqs behind — the bounded-
+// staleness throttle. It returns waited=true when it actually blocked.
+//
+// The wait is bounded by SuspectAfter: if the frontier is pinned by a
+// rank that has died but not yet been suspected, every other rank is
+// parked here and no exchange is running to perform the suspicion — so
+// after the liveness deadline the caller proceeds anyway and lets its
+// exchange classify the absentee, after which the dead rank leaves the
+// frontier minimum. The staleness bound is therefore soft for at most
+// one suspicion interval around a crash.
+func (rt *Runtime) WaitWithinWindow(rank int, seq, window uint64) (bool, error) {
+	if window == 0 || seq <= rt.MinLiveFrontier()+window {
+		return false, nil
+	}
+	limit := time.Now().Add(rt.cfg.SuspectAfter)
+	for {
+		if seq <= rt.MinLiveFrontier()+window || time.Now().After(limit) {
+			return true, nil
+		}
+		select {
+		case <-rt.cfg.Halt:
+			return true, fmt.Errorf("cluster: rank %d: %w", rank, ErrHalted)
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// AdmitJoin is the elastic scale-up handshake: it admits a brand-new
+// rank into the view (growing it), bumps the epoch so survivors force a
+// parameter re-sync, seeds the rank's staleness frontier at the global
+// one, and hands back the newest published checkpoint to restore plus
+// the frontier seq to resume at. The caller then attaches a transport
+// via Join and runs the normal worker loop from that frontier.
+func (rt *Runtime) AdmitJoin(rank int) (View, uint64, *checkpoint.State, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rank < 0 || rank >= rt.p {
+		return View{}, 0, nil, fmt.Errorf("cluster: join rank %d out of range [0,%d)", rank, rt.p)
+	}
+	if rt.joined[rank] {
+		return View{}, 0, nil, fmt.Errorf("cluster: rank %d already admitted", rank)
+	}
+	rt.joined[rank] = true
+	rt.joinedBits[rank].Store(true)
+	rt.alive[rank] = true
+	rt.perRank[rank] = rt.frontier
+	rt.epoch++
+	rt.elasticJoins.Add(1)
+	rt.viewChanges.Add(1)
+	return View{Epoch: rt.epoch, Alive: append([]bool(nil), rt.alive...)}, rt.frontier, rt.ckpt, nil
 }
 
 // suspect declares rank dead on behalf of `by`. It refuses when `by` is
@@ -455,15 +578,21 @@ func (rt *Runtime) suspect(rank, by int) (View, error) {
 	if !rt.alive[rank] { // already dead: no-op
 		return View{Epoch: rt.epoch, Alive: append([]bool(nil), rt.alive...)}, nil
 	}
-	n := 0
-	for _, a := range rt.alive {
+	n, adm := 0, 0
+	for r, a := range rt.alive {
 		if a {
 			n++
 		}
+		if rt.joined[r] {
+			adm++
+		}
 	}
-	if n-1 <= rt.p/2 {
+	// Quorum is measured against the admitted membership, not the array
+	// capacity: elastic slots that never joined are not voters, and each
+	// AdmitJoin grows the electorate.
+	if n-1 <= adm/2 {
 		return View{}, fmt.Errorf("cluster: rank %d suspecting %d would leave %d/%d alive: %w",
-			by, rank, n-1, rt.p, ErrNoQuorum)
+			by, rank, n-1, adm, ErrNoQuorum)
 	}
 	rt.alive[rank] = false
 	rt.epoch++
@@ -492,6 +621,10 @@ func (rt *Runtime) rejoin(rank int) (View, uint64, *checkpoint.State, error) {
 		st = nil
 	}
 	rt.alive[rank] = true
+	// The rejoiner resumes at the frontier; seeding its per-rank frontier
+	// there keeps a bounded-staleness fleet from throttling on the stale
+	// pre-crash value until its first exchange lands.
+	rt.perRank[rank] = rt.frontier
 	rt.epoch++
 	rt.rejoins.Add(1)
 	rt.viewChanges.Add(1)
@@ -516,6 +649,20 @@ func (rt *Runtime) noteDegraded(rank int) {
 }
 
 func (rt *Runtime) noteStaleReuse() { rt.staleReuses.Add(1) }
+
+// noteStaleness records the staleness (in seqs) of one damped fold: the
+// current gauge tracks the latest fold, the max gauge the worst ever.
+func (rt *Runtime) noteStaleness(d uint64) {
+	rt.staleCur.Store(d)
+	for {
+		cur := rt.staleMax.Load()
+		if d <= cur || rt.staleMax.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+func (rt *Runtime) noteGossipRound() { rt.gossipRounds.Add(1) }
 
 func (rt *Runtime) noteCorrupt() { rt.corruptFrames.Add(1) }
 

@@ -485,6 +485,8 @@ func TestClusterMetricsZeroAlloc(t *testing.T) {
 		rt.noteRetry(1, 2)
 		rt.noteDegraded(1)
 		rt.noteStaleReuse()
+		rt.noteStaleness(3)
+		rt.noteGossipRound()
 		rt.observeRTT(2, 0.001)
 		e.Update(0.5)
 		_ = e.Value()

@@ -1,0 +1,403 @@
+package cluster
+
+// The asynchrony layer: bounded-staleness and gossip exchange variants
+// on the same member machinery (receiver, heartbeats, nack repair,
+// resend cache) as the strict BSP Exchange.
+//
+//   - ExchangeBounded trades waiting for measured staleness: a peer that
+//     misses the grace budget contributes its freshest cached payload,
+//     tagged with how many seqs old it is, and the caller damps it by a
+//     staleness discount before folding it into the average. Combined
+//     with Runtime.WaitWithinWindow — which keeps any rank from running
+//     more than K seqs ahead of the slowest live one — this is SSP-style
+//     bounded staleness: a permanent straggler costs one grace budget
+//     per iteration instead of stalling the fleet.
+//
+//   - GossipExchange is decentralized (D-PSGD-style) averaging with the
+//     two nearest live ring neighbors under Metropolis mixing weights
+//     1/(deg+1). There is no root and no view mutation: a partitioned or
+//     crashed neighbor's weight is absorbed into self, each side of a
+//     partition keeps making (slower) progress, and healed links resume
+//     mixing automatically. The realized mixing matrix row always sums
+//     to one, and because absences are symmetric in expectation the
+//     matrix stays doubly stochastic — the condition for D-PSGD's
+//     average-consensus convergence.
+
+import (
+	"fmt"
+	"time"
+
+	"fftgrad/internal/comm"
+	"fftgrad/internal/trace"
+)
+
+// ExchangeBounded is the bounded-staleness allgather: it waits only one
+// short grace budget for live peers, then serves any still-missing peer
+// from that peer's freshest cached payload when the cache is at most
+// `window` seqs old (reported per-rank in ExchangeResult.StaleBy so the
+// caller can damp it). A peer lagging beyond the window is excluded from
+// the round outright — never waited on — and a heartbeat-silent peer
+// still goes through regular suspicion, so liveness classification is
+// identical to Exchange; only the waiting policy differs. The nack retry
+// ladder is reserved for peers with no cache at all (warm-up).
+func (m *Member) ExchangeBounded(seq uint64, payload []byte, window uint64) (*ExchangeResult, error) {
+	if m.selfDown.Load() {
+		return nil, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrSelfDown)
+	}
+	view := m.rt.View()
+	if !view.Alive[m.rank] {
+		return nil, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrEvicted)
+	}
+	startEpoch := m.viewEpoch
+	m.viewEpoch = view.Epoch
+	m.rt.noteExchangeStart(m.rank, seq)
+	m.tc.SetIter(seq)
+	m.storeSent(seq, payload)
+
+	msgs := make([][]byte, m.p)
+	stale := make([]bool, m.p)
+	staleBy := make([]uint64, m.p)
+	msgs[m.rank] = payload
+	m.adoptPending(seq, msgs)
+	if err := m.fanOut(seq, payload, view); err != nil {
+		return nil, err
+	}
+
+	deadline := time.Now().Add(m.rt.cfg.MaxStall)
+	retries := 0
+	degraded := false
+
+	for attempt := 0; ; attempt++ {
+		// The grace budget: one BackoffBase on the first pass (normal
+		// in-process skew), the regular ladder for cache-less warm-up
+		// retries afterwards.
+		budget := m.rt.cfg.BackoffBase
+		if attempt > 0 {
+			budget = m.attemptTimeout(seq, attempt, len(payload))
+		}
+		if remain := time.Until(deadline); budget > remain {
+			budget = remain
+		}
+		m.collect(seq, msgs, budget, view)
+
+		missing := missingRanks(msgs, view)
+		if len(missing) == 0 {
+			break
+		}
+		if m.selfDown.Load() {
+			if retries > 0 {
+				m.rt.noteRetry(m.rank, retries)
+			}
+			return nil, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrSelfDown)
+		}
+		if time.Now().After(deadline) {
+			if retries > 0 {
+				m.rt.noteRetry(m.rank, retries)
+			}
+			return nil, fmt.Errorf("cluster: rank %d bounded exchange %d missing %v after %s: %w",
+				m.rank, seq, missing, m.rt.cfg.MaxStall, ErrStalled)
+		}
+
+		// Resolve each absentee without further waiting where possible.
+		var rest []int
+		for _, j := range missing {
+			if !m.seenWithin(j, m.rt.cfg.SuspectAfter) {
+				// Heartbeat-silent: dead, not slow. Suspicion must run so
+				// the view — and with it the staleness frontier minimum —
+				// stops including the corpse.
+				if err := m.suspectDead(seq, j, msgs, stale, &view, &degraded); err != nil {
+					if retries > 0 {
+						m.rt.noteRetry(m.rank, retries)
+					}
+					return nil, err
+				}
+				continue
+			}
+			if m.lastGood[j] == nil {
+				rest = append(rest, j) // no cache yet: warm-up, worth a nack
+				continue
+			}
+			var d uint64
+			if seq > m.lastGoodSeq[j] {
+				d = seq - m.lastGoodSeq[j]
+			}
+			if d <= window {
+				msgs[j] = m.lastGood[j]
+				stale[j] = true
+				staleBy[j] = d
+				m.rt.noteStaleReuse()
+				m.rt.noteStaleness(d)
+				m.tc.Instant(trace.OpStaleFold, int64(j))
+			}
+			// Beyond the window: the peer is alive but lagging more than
+			// the discount can justify — excluded from this round (its own
+			// training continues; periodic syncs keep it anchored). Either
+			// way this round is degraded and we do not wait.
+			degraded = true
+		}
+		if len(rest) == 0 {
+			break
+		}
+		if attempt < m.rt.cfg.MaxRetries {
+			for _, j := range rest {
+				m.tc.Instant(trace.OpNack, int64(j))
+				_ = m.tr.Send(j, comm.Message{Seq: seq, Kind: kindNack})
+			}
+			retries++
+			continue
+		}
+		// Ladder exhausted with neither data nor cache: drop this round.
+		degraded = true
+		break
+	}
+
+	if retries > 0 {
+		m.rt.noteRetry(m.rank, retries)
+	}
+	for j := 0; j < m.p; j++ {
+		if j != m.rank && msgs[j] != nil && !stale[j] && seq >= m.lastGoodSeq[j] {
+			m.lastGood[j] = msgs[j]
+			m.lastGoodSeq[j] = seq
+		}
+	}
+	res := &ExchangeResult{Msgs: msgs, Stale: stale, StaleBy: staleBy, View: view}
+	for _, b := range msgs {
+		if b != nil {
+			res.Contributors++
+		}
+	}
+	res.Degraded = degraded || res.Contributors < view.AliveCount()
+	if res.Degraded {
+		m.rt.noteDegraded(m.rank)
+	}
+	latest := m.rt.View()
+	res.EpochChanged = latest.Epoch != startEpoch
+	res.View = latest
+	return res, nil
+}
+
+// GossipResult is one completed ring-neighbor gossip round.
+type GossipResult struct {
+	// Peers lists the neighbor ranks that contributed, parallel to Msgs.
+	Peers []int
+	Msgs  [][]byte
+	// Stale[i] marks Msgs[i] as served from the neighbor's cached payload;
+	// StaleBy[i] says how many seqs old that cache was (0 when fresh).
+	Stale   []bool
+	StaleBy []uint64
+	// SelfWeight and PeerWeight are the realized Metropolis mixing
+	// weights: mixed = SelfWeight·own + PeerWeight·Σ Msgs. An absent
+	// neighbor's weight is absorbed into SelfWeight, so the row always
+	// sums to one.
+	SelfWeight float64
+	PeerWeight float64
+	View       View
+}
+
+// gossipRetries caps the nack ladder per gossip round. Gossip self-heals
+// by absorbing an absent neighbor's weight into self, so burning the full
+// retry budget on a partitioned link would only slow every round down;
+// two repair attempts recover ordinary chaos drops.
+const gossipRetries = 2
+
+// GossipExchange is one decentralized averaging round with the nearest
+// live ring neighbors. No rank is special, and the membership view is
+// never mutated: an unreachable neighbor (partition, crash window,
+// straggler) is served from its recent cache when at most `window` seqs
+// old, and simply carries no weight otherwise. The call cannot return
+// ErrStalled — a partitioned fleet keeps making progress on both sides.
+func (m *Member) GossipExchange(seq uint64, payload []byte, window uint64) (*GossipResult, error) {
+	if m.selfDown.Load() {
+		return nil, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrSelfDown)
+	}
+	view := m.rt.View()
+	if !view.Alive[m.rank] {
+		return nil, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrEvicted)
+	}
+	m.viewEpoch = view.Epoch
+	m.rt.noteExchangeStart(m.rank, seq)
+	m.tc.SetIter(seq)
+	m.storeSent(seq, payload)
+
+	nbrs := RingNeighbors(m.rank, view.Alive)
+	msgs := make([][]byte, m.p)
+	stale := make([]bool, m.p)
+	staleBy := make([]uint64, m.p)
+	msgs[m.rank] = payload
+	m.adoptPending(seq, msgs)
+	for _, j := range nbrs {
+		var ts time.Time
+		if m.tc != nil {
+			ts = time.Now()
+		}
+		err := m.tr.Send(j, comm.Message{Seq: seq, Kind: kindData, Payload: payload})
+		if m.tc != nil {
+			m.tc.SpanSince(trace.OpSendPeer, int64(j), ts)
+		}
+		if err != nil && !comm.IsRetryable(err) {
+			m.selfDown.Store(true)
+			return nil, fmt.Errorf("cluster: rank %d send: %w (%v)", m.rank, ErrSelfDown, err)
+		}
+	}
+
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		m.collectFrom(seq, msgs, nbrs, m.attemptTimeout(seq, attempt, len(payload)))
+		var missing []int
+		for _, j := range nbrs {
+			if msgs[j] == nil {
+				missing = append(missing, j)
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		if m.selfDown.Load() {
+			if retries > 0 {
+				m.rt.noteRetry(m.rank, retries)
+			}
+			return nil, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrSelfDown)
+		}
+		if attempt < gossipRetries {
+			for _, j := range missing {
+				m.tc.Instant(trace.OpNack, int64(j))
+				_ = m.tr.Send(j, comm.Message{Seq: seq, Kind: kindNack})
+			}
+			retries++
+			continue
+		}
+		// Repair budget spent: fold a recent cache or let self-weight
+		// absorb the absentee.
+		for _, j := range missing {
+			if m.lastGood[j] != nil && seq >= m.lastGoodSeq[j] && seq-m.lastGoodSeq[j] <= window {
+				msgs[j] = m.lastGood[j]
+				stale[j] = true
+				staleBy[j] = seq - m.lastGoodSeq[j]
+				m.rt.noteStaleReuse()
+				m.rt.noteStaleness(seq - m.lastGoodSeq[j])
+				m.tc.Instant(trace.OpStaleFold, int64(j))
+			}
+		}
+		break
+	}
+
+	if retries > 0 {
+		m.rt.noteRetry(m.rank, retries)
+	}
+	for _, j := range nbrs {
+		if msgs[j] != nil && !stale[j] && seq >= m.lastGoodSeq[j] {
+			m.lastGood[j] = msgs[j]
+			m.lastGoodSeq[j] = seq
+		}
+	}
+
+	res := &GossipResult{View: view}
+	for _, j := range nbrs {
+		if msgs[j] != nil {
+			res.Peers = append(res.Peers, j)
+			res.Msgs = append(res.Msgs, msgs[j])
+			res.Stale = append(res.Stale, stale[j])
+			res.StaleBy = append(res.StaleBy, staleBy[j])
+		}
+	}
+	// Metropolis weights for a ring: every edge carries 1/(deg+1); the
+	// self loop keeps the remainder, including any absentee's share.
+	res.PeerWeight = 1.0 / float64(len(nbrs)+1)
+	res.SelfWeight = 1.0 - float64(len(res.Peers))*res.PeerWeight
+	if len(res.Peers) < len(nbrs) {
+		m.rt.noteDegraded(m.rank)
+	}
+	m.rt.noteGossipRound()
+	m.tc.Instant(trace.OpGossip, int64(len(res.Peers)))
+	return res, nil
+}
+
+// RingNeighbors returns rank's nearest live neighbor in each ring
+// direction (deduplicated — at p=2 both directions reach the same peer).
+func RingNeighbors(rank int, alive []bool) []int {
+	p := len(alive)
+	var out []int
+	for s := 1; s < p; s++ {
+		if j := (rank + s) % p; alive[j] {
+			out = append(out, j)
+			break
+		}
+	}
+	for s := 1; s < p; s++ {
+		j := ((rank-s)%p + p) % p
+		if alive[j] {
+			if len(out) == 0 || out[0] != j {
+				out = append(out, j)
+			}
+			break
+		}
+	}
+	return out
+}
+
+// adoptPending moves anything a fast peer already sent for seq into msgs.
+func (m *Member) adoptPending(seq uint64, msgs [][]byte) {
+	if got := m.pending[seq]; got != nil {
+		for j, b := range got {
+			if b != nil && msgs[j] == nil {
+				msgs[j] = b
+			}
+		}
+		delete(m.pending, seq)
+	}
+}
+
+// fanOut sends payload to every live peer in view.
+func (m *Member) fanOut(seq uint64, payload []byte, view View) error {
+	for j := 0; j < m.p; j++ {
+		if j == m.rank || !view.Alive[j] {
+			continue
+		}
+		var ts time.Time
+		if m.tc != nil {
+			ts = time.Now()
+		}
+		err := m.tr.Send(j, comm.Message{Seq: seq, Kind: kindData, Payload: payload})
+		if m.tc != nil {
+			m.tc.SpanSince(trace.OpSendPeer, int64(j), ts)
+		}
+		if err != nil && !comm.IsRetryable(err) {
+			m.selfDown.Store(true)
+			return fmt.Errorf("cluster: rank %d send: %w (%v)", m.rank, ErrSelfDown, err)
+		}
+	}
+	return nil
+}
+
+// collectFrom drains dataCh into msgs until every rank in `ranks` has
+// contributed or the budget expires.
+func (m *Member) collectFrom(seq uint64, msgs [][]byte, ranks []int, budget time.Duration) {
+	deadline := time.Now().Add(budget)
+	for {
+		done := true
+		for _, j := range ranks {
+			if msgs[j] == nil {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case msg := <-m.dataCh:
+			timer.Stop()
+			m.absorb(seq, msgs, msg)
+		case <-m.closed:
+			timer.Stop()
+			return
+		case <-timer.C:
+			return
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +44,10 @@ type ExchangeResult struct {
 	Msgs [][]byte
 	// Stale[j] marks contributions served from the previous round's cache.
 	Stale []bool
+	// StaleBy[j] is how many seqs behind the exchange a stale contribution
+	// was (0 for fresh entries). Only the bounded-staleness path fills it;
+	// the strict path leaves it nil.
+	StaleBy []uint64
 	// View is the membership view the exchange completed under.
 	View View
 	// Contributors counts non-nil entries of Msgs.
@@ -77,8 +80,11 @@ type Member struct {
 	pending map[uint64][][]byte
 
 	// lastGood[j] is the most recent payload received from rank j, for
-	// StaleReuse / StragglerStale.
-	lastGood [][]byte
+	// StaleReuse / StragglerStale and the bounded-staleness stale folds;
+	// lastGoodSeq[j] is the exchange seq it was sent under, which is what
+	// turns a cached payload into a measurable staleness.
+	lastGood    [][]byte
+	lastGoodSeq []uint64
 
 	// lag[j] tracks rank j's heartbeat RTT EWMA (seconds).
 	lag []*telemetry.EWMA
@@ -100,8 +106,6 @@ type Member struct {
 	// lock-free append makes that safe.
 	tc *trace.Ctx
 
-	rng *rand.Rand // backoff jitter; only touched by the exchange goroutine
-
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -116,15 +120,15 @@ func (rt *Runtime) Join(tr comm.Transport) *Member {
 		tr:       tr,
 		rank:     rank,
 		p:        rt.p,
-		dataCh:   make(chan comm.Message, 64*rt.p),
-		pending:  make(map[uint64][][]byte),
-		sent:     make([]sentSlot, rt.cfg.SendDepth),
-		lastGood: make([][]byte, rt.p),
-		lag:      make([]*telemetry.EWMA, rt.p),
-		lastSeen: make([]atomic.Int64, rt.p),
-		rng:      rand.New(rand.NewSource(rt.cfg.Seed ^ int64(rank)*0x9E3779B9)),
-		tc:       rt.tracer.Rank(rank),
-		closed:   make(chan struct{}),
+		dataCh:      make(chan comm.Message, 64*rt.p),
+		pending:     make(map[uint64][][]byte),
+		sent:        make([]sentSlot, rt.cfg.SendDepth),
+		lastGood:    make([][]byte, rt.p),
+		lastGoodSeq: make([]uint64, rt.p),
+		lag:         make([]*telemetry.EWMA, rt.p),
+		lastSeen:    make([]atomic.Int64, rt.p),
+		tc:          rt.tracer.Rank(rank),
+		closed:      make(chan struct{}),
 	}
 	for j := range m.lag {
 		m.lag[j] = telemetry.NewEWMA()
@@ -262,7 +266,10 @@ func (m *Member) heartbeater() {
 		}
 		binary.LittleEndian.PutUint64(buf[:], uint64(time.Now().UnixNano()))
 		for j := 0; j < m.p; j++ {
-			if j == m.rank {
+			// Skip self and elastic slots that have not joined yet — an
+			// unjoined rank has no receiver, so pings would only pile up in
+			// (and overflow) its mailbox.
+			if j == m.rank || !m.rt.joinedBits[j].Load() {
 				continue
 			}
 			_ = m.tr.Send(j, comm.Message{Kind: kindPing, Payload: buf[:]})
@@ -291,12 +298,30 @@ func (m *Member) lookupSent(seq uint64) ([]byte, bool) {
 	return append([]byte(nil), slot.payload...), true
 }
 
+// jitter01 derives the backoff jitter fraction for one (seq, attempt)
+// pair from a stateless splitmix64-style hash of (Seed, rank, seq,
+// attempt). A stateful RNG here would make each draw depend on how many
+// draws earlier exchanges happened to consume — so one extra retry
+// anywhere would shift every later jitter value and the retry timeline
+// of a chaos run would not be bit-reproducible. The hash has no such
+// history: same seed, same (rank, seq, attempt) ⇒ same jitter, always.
+func (m *Member) jitter01(seq uint64, attempt int) float64 {
+	x := uint64(m.rt.cfg.Seed) ^ (uint64(m.rank)+1)*0x9E3779B97F4A7C15
+	x ^= seq*0xBF58476D1CE4E5B9 + uint64(attempt)*0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
 // attemptTimeout is the wait budget for one collection attempt. The
 // first attempt gets the straggler allowance — StragglerFactor times the
 // expected exchange time from the live StageComm EWMA (floored at
 // BackoffBase) — and each retry doubles it, capped at BackoffMax, plus
 // deterministic jitter so lockstep ranks don't nack in phase.
-func (m *Member) attemptTimeout(attempt int, msgBytes int) time.Duration {
+func (m *Member) attemptTimeout(seq uint64, attempt int, msgBytes int) time.Duration {
 	cfg := m.rt.cfg
 	base := cfg.BackoffBase
 	if rate := m.rt.st.Rate(telemetry.StageComm); rate > 0 && msgBytes > 0 {
@@ -309,7 +334,7 @@ func (m *Member) attemptTimeout(attempt int, msgBytes int) time.Duration {
 	if d > cfg.BackoffMax || d <= 0 {
 		d = cfg.BackoffMax
 	}
-	jitter := time.Duration(cfg.Jitter * m.rng.Float64() * float64(d))
+	jitter := time.Duration(cfg.Jitter * m.jitter01(seq, attempt) * float64(d))
 	return d + jitter
 }
 
@@ -329,7 +354,7 @@ func (m *Member) Exchange(seq uint64, payload []byte) (*ExchangeResult, error) {
 	}
 	startEpoch := m.viewEpoch
 	m.viewEpoch = view.Epoch
-	m.rt.noteExchangeStart(seq)
+	m.rt.noteExchangeStart(m.rank, seq)
 	m.tc.SetIter(seq)
 	m.storeSent(seq, payload)
 
@@ -374,7 +399,7 @@ func (m *Member) Exchange(seq uint64, payload []byte) (*ExchangeResult, error) {
 
 	for attempt := 0; ; attempt++ {
 		// Collect until this attempt's budget expires or we are complete.
-		budget := m.attemptTimeout(attempt, len(payload))
+		budget := m.attemptTimeout(seq, attempt, len(payload))
 		if remain := time.Until(deadline); budget > remain {
 			budget = remain
 		}
@@ -432,8 +457,9 @@ func (m *Member) Exchange(seq uint64, payload []byte) (*ExchangeResult, error) {
 	}
 	// Refresh the cache for StaleReuse after the round completes.
 	for j := 0; j < m.p; j++ {
-		if j != m.rank && msgs[j] != nil && !stale[j] {
+		if j != m.rank && msgs[j] != nil && !stale[j] && seq >= m.lastGoodSeq[j] {
 			m.lastGood[j] = msgs[j]
+			m.lastGoodSeq[j] = seq
 		}
 	}
 	res := &ExchangeResult{Msgs: msgs, Stale: stale, View: view}
@@ -506,7 +532,15 @@ func (m *Member) absorb(seq uint64, msgs [][]byte, msg comm.Message) {
 			got[msg.From] = msg.Payload
 		}
 	default:
-		// Stale duplicate from a past exchange: drop.
+		// Data from a past exchange: too late for that round, but still
+		// the peer's freshest payload — bank it so a bounded-staleness
+		// fold can use it with a measured staleness. (A straggler's data
+		// always arrives under old seqs; this is the only way its
+		// gradient ever contributes again.)
+		if msg.From >= 0 && msg.From < m.p && msg.From != m.rank && msg.Seq > m.lastGoodSeq[msg.From] {
+			m.lastGood[msg.From] = msg.Payload
+			m.lastGoodSeq[msg.From] = msg.Seq
+		}
 	}
 }
 
@@ -535,40 +569,50 @@ func (m *Member) resolveMissing(seq uint64, missing []int, msgs [][]byte, stale 
 			}
 			continue
 		}
-		// Heartbeat-silent past the deadline: dead. Suspicion first — the
-		// quorum guard turns an unrecoverable partition into a fast typed
-		// error no matter which degradation policy is configured.
-		nv, err := m.rt.suspect(j, m.rank)
-		if err != nil {
-			if errors.Is(err, ErrEvicted) {
-				return false, fmt.Errorf("cluster: rank %d: %w", m.rank, ErrEvicted)
-			}
-			return false, err // ErrNoQuorum
-		}
-		m.tc.Instant(trace.OpSuspect, int64(j))
-		if nv.Epoch != view.Epoch {
-			m.tc.Instant(trace.OpViewChange, int64(nv.Epoch))
-		}
-		*view = nv
-		switch cfg.Policy {
-		case FailFast:
-			return false, fmt.Errorf("cluster: rank %d saw rank %d fail at exchange %d: %w",
-				m.rank, j, seq, ErrPeerFailed)
-		case DropRescale:
-			*degraded = true
-		case StaleReuse:
-			if m.lastGood[j] != nil {
-				msgs[j] = m.lastGood[j]
-				stale[j] = true
-				m.rt.noteStaleReuse()
-			}
-			*degraded = true
+		// Heartbeat-silent past the deadline: dead.
+		if err := m.suspectDead(seq, j, msgs, stale, view, degraded); err != nil {
+			return false, err
 		}
 	}
 	if keepWaiting {
 		return false, nil
 	}
 	return true, nil
+}
+
+// suspectDead runs suspicion for a heartbeat-silent rank and applies the
+// dead-rank Policy to the in-progress round. Suspicion goes first — the
+// quorum guard turns an unrecoverable partition into a fast typed error
+// no matter which degradation policy is configured. Shared by the strict
+// and bounded-staleness exchange paths.
+func (m *Member) suspectDead(seq uint64, j int, msgs [][]byte, stale []bool, view *View, degraded *bool) error {
+	nv, err := m.rt.suspect(j, m.rank)
+	if err != nil {
+		if errors.Is(err, ErrEvicted) {
+			return fmt.Errorf("cluster: rank %d: %w", m.rank, ErrEvicted)
+		}
+		return err // ErrNoQuorum
+	}
+	m.tc.Instant(trace.OpSuspect, int64(j))
+	if nv.Epoch != view.Epoch {
+		m.tc.Instant(trace.OpViewChange, int64(nv.Epoch))
+	}
+	*view = nv
+	switch m.rt.cfg.Policy {
+	case FailFast:
+		return fmt.Errorf("cluster: rank %d saw rank %d fail at exchange %d: %w",
+			m.rank, j, seq, ErrPeerFailed)
+	case DropRescale:
+		*degraded = true
+	case StaleReuse:
+		if m.lastGood[j] != nil {
+			msgs[j] = m.lastGood[j]
+			stale[j] = true
+			m.rt.noteStaleReuse()
+		}
+		*degraded = true
+	}
+	return nil
 }
 
 // missingRanks lists live ranks whose slot in msgs is still empty.
@@ -626,7 +670,7 @@ func (m *Member) SyncBroadcast(seq uint64, payload []byte, root int) ([]byte, bo
 	}
 	deadline := time.Now().Add(m.rt.cfg.MaxStall)
 	for attempt := 0; attempt <= m.rt.cfg.MaxRetries; attempt++ {
-		budget := m.attemptTimeout(attempt, len(m.syncBuf))
+		budget := m.attemptTimeout(seq, attempt, len(m.syncBuf))
 		if remain := time.Until(deadline); budget > remain {
 			budget = remain
 		}

@@ -41,6 +41,14 @@ const (
 	Hier Strategy = "hier"
 	// Tree is the binomial-tree schedule.
 	Tree Strategy = "tree"
+	// Gossip is decentralized ring-neighbor averaging (D-PSGD style):
+	// no root, no global barrier — each rank mixes with its two nearest
+	// live ring neighbors under Metropolis weights. It is not an
+	// allgather (ranks intentionally see different message sets), so it
+	// runs only on the failure-aware path, where cluster.GossipExchange
+	// implements it over the point-to-point mesh; the barrier-based
+	// Exchanger rejects it.
+	Gossip Strategy = "gossip"
 )
 
 // Config selects and parameterizes the exchange strategy.
@@ -78,12 +86,15 @@ func (c Config) WithDefaults() Config {
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
 	switch c.Strategy {
-	case "", Ring, Hier, Tree:
+	case "", Ring, Hier, Tree, Gossip:
 	default:
-		return fmt.Errorf("collective: unknown strategy %q (want ring, hier or tree)", c.Strategy)
+		return fmt.Errorf("collective: unknown strategy %q (want ring, hier, tree or gossip)", c.Strategy)
 	}
 	if c.BucketBytes < 0 {
 		return fmt.Errorf("collective: negative BucketBytes %d", c.BucketBytes)
+	}
+	if c.Strategy == Gossip && c.BucketBytes > 0 {
+		return fmt.Errorf("collective: gossip exchanges whole gradients with ring neighbors; BucketBytes does not apply")
 	}
 	return nil
 }

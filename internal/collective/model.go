@@ -54,6 +54,16 @@ func (c Config) ModelAllgather(f Fabric, n, m int) float64 {
 		}
 		t += float64(log2ceil(n)) * lf.PointToPoint(n*m)
 		return t
+	case Gossip:
+		// One decentralized round: two neighbor exchanges of m bytes,
+		// independent of n. Not comparable to an allgather's information
+		// dissemination (consensus takes O(n) rounds on a ring); the
+		// price models wire time per training iteration, which is what
+		// the Sec. 3.3 accounting needs.
+		if lf, ok := f.(LinkFabric); ok {
+			return 2 * lf.PointToPoint(m)
+		}
+		return f.Allgather(2, m)
 	default:
 		return f.Allgather(n, m)
 	}

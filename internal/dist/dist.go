@@ -397,6 +397,9 @@ func Train(c Config) (*Result, error) {
 		if cfg.Collective.BucketBytes > 0 && cfg.UseSparseAllreduce {
 			return nil, fmt.Errorf("dist: BucketBytes applies to the compressed-message exchange; disable UseSparseAllreduce")
 		}
+		if cfg.Collective.Strategy == collective.Gossip && cfg.Fault == nil {
+			return nil, fmt.Errorf("dist: the gossip strategy is decentralized averaging over the failure-aware mesh; set Fault")
+		}
 	}
 	if cfg.Fault != nil {
 		return trainFault(cfg)

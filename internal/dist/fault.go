@@ -9,14 +9,40 @@ package dist
 // worker's transport in the deterministic fault injector — the test
 // harness for all of the above.
 //
+// On top of the strict per-round exchange the path offers two
+// asynchrony modes and one elasticity mechanism:
+//
+//   - Bounded staleness (Fault.Staleness = K > 0): ranks may run up to K
+//     iterations ahead of the slowest live rank (Runtime.WaitWithinWindow
+//     throttles the front); a peer that misses the per-round grace budget
+//     contributes its freshest cached gradient damped by λ^d (λ =
+//     Fault.StalenessDiscount, d = iterations stale), and each receiver
+//     banks its share of the withheld (1−λ^d) mass into the
+//     error-feedback residual, so damping defers information instead of
+//     destroying it — the DGC/SSP regime under the same Sec. 3.4
+//     bounded-error budget that covers sparsification.
+//
+//   - Gossip (Collective.Strategy = "gossip"): decentralized D-PSGD-style
+//     averaging with the two nearest live ring neighbors under Metropolis
+//     mixing weights. No root, no global barrier: a partition slows
+//     convergence on each side but never stalls a round, and the periodic
+//     parameter sync becomes a parameter *gossip* round under the same
+//     weights instead of a root broadcast.
+//
+//   - Elastic scale-up (Fault.ElasticJoins): brand-new ranks enter
+//     mid-run once the exchange frontier reaches their scheduled
+//     iteration — the join handshake (Runtime.AdmitJoin) grows the view,
+//     bumps the epoch (forcing a re-sync), restores the newest published
+//     checkpoint on the joiner, and enters it at the frontier.
+//
 // Divergence accounting: a degraded round makes survivors average over
-// fewer (or one-round-stale) contributions, so replicas can drift apart
+// fewer (or stale-damped) contributions, so replicas can drift apart
 // until the next parameter re-broadcast. The runtime therefore forces a
 // re-sync whenever the membership epoch changes, and a rank whose own
 // gradient was computed but never shipped folds it into the feedback
 // residual (when the compressor is error-feedback wrapped) — the same
 // bounded-error budget that covers sparsification (Assumption 3.2 /
-// Sec. 3.4) covers the one-round stale or missing contribution.
+// Sec. 3.4) covers the stale or missing contribution.
 
 import (
 	"errors"
@@ -46,12 +72,32 @@ type FaultConfig struct {
 	// Chaos, when non-nil, injects the given deterministic fault schedule
 	// into every worker's transport.
 	Chaos *chaos.Config
+
+	// Staleness > 0 enables the bounded-staleness (SSP-style) exchange:
+	// a rank may run up to Staleness iterations ahead of the slowest
+	// live rank, and a peer missing the per-round grace budget
+	// contributes its freshest cached gradient damped by
+	// StalenessDiscount^d (d = iterations stale). 0 keeps the strict
+	// per-round exchange.
+	Staleness int
+	// StalenessDiscount is the per-iteration damping factor λ ∈ (0,1]
+	// applied to stale contributions; the withheld (1−λ^d) share is
+	// banked in the error-feedback residual. 0 defaults to 0.9.
+	StalenessDiscount float64
+
+	// ElasticJoins schedules brand-new ranks entering mid-run: entry k
+	// admits rank Workers+k once the exchange frontier reaches the given
+	// iteration. A joiner restores the newest published checkpoint,
+	// enters at the frontier, and grows the view (epoch bump → forced
+	// parameter re-sync on every survivor).
+	ElasticJoins []int
 }
 
 // FaultReport is the end-of-run fault accounting (Result.Fault).
 type FaultReport struct {
 	// Cluster is the runtime's cumulative view: retries, suspicions,
-	// degraded iterations, stale reuses, rejoins, skipped syncs.
+	// degraded iterations, stale reuses, rejoins, elastic joins, gossip
+	// rounds, skipped syncs.
 	Cluster cluster.Stats
 	// Chaos counts the injected faults (nil when no chaos was configured).
 	Chaos *chaos.Stats
@@ -62,8 +108,16 @@ type FaultReport struct {
 
 // residualSink is implemented by error-feedback compressors; the trainer
 // uses it to keep a computed-but-unshipped gradient in the information
-// stream instead of discarding it.
-type residualSink interface{ AddToResidual([]float32) }
+// stream instead of discarding it. scaledResidualSink is its
+// bounded-staleness sibling: the damped remainder of a stale
+// contribution re-enters through the residual at the discount's
+// complement.
+type (
+	residualSink       interface{ AddToResidual([]float32) }
+	scaledResidualSink interface {
+		AddToResidualScaled([]float32, float32)
+	}
+)
 
 // trainFault is Train for Config.Fault != nil.
 func trainFault(cfg Config) (*Result, error) {
@@ -73,7 +127,38 @@ func trainFault(cfg Config) (*Result, error) {
 	if cfg.MeasureAlpha {
 		return nil, fmt.Errorf("dist: MeasureAlpha requires the barrier-based exchange; disable Fault")
 	}
+	colCfg := collective.Config{}.WithDefaults()
+	if cfg.Collective != nil {
+		colCfg = *cfg.Collective
+	}
+	gossipMode := colCfg.Strategy == collective.Gossip
+	if gossipMode && colCfg.BucketBytes > 0 {
+		return nil, fmt.Errorf("dist: gossip exchanges whole gradients with ring neighbors; BucketBytes does not apply")
+	}
+	if cfg.Fault.Staleness < 0 {
+		return nil, fmt.Errorf("dist: negative Fault.Staleness %d", cfg.Fault.Staleness)
+	}
+	if l := cfg.Fault.StalenessDiscount; l < 0 || l > 1 {
+		return nil, fmt.Errorf("dist: Fault.StalenessDiscount %v outside (0,1]", l)
+	}
+	for _, at := range cfg.Fault.ElasticJoins {
+		if at < 0 {
+			return nil, fmt.Errorf("dist: negative ElasticJoins iteration %d", at)
+		}
+	}
+
 	p := cfg.Workers
+	joins := cfg.Fault.ElasticJoins
+	pmax := p + len(joins)
+
+	// Seqs per iteration: buckets burn Count() exchange seqs, gossip
+	// burns two (gradient round, then the parameter-consensus round).
+	nb := collective.MakeBuckets(cfg.Model(cfg.Seed).NumParams(), colCfg.BucketBytes).Count()
+	spi := nb
+	if gossipMode {
+		spi = 2
+	}
+
 	clCfg := cfg.Fault.Cluster
 	if clCfg.Halt == nil {
 		// A canceled/drained job must not wait out RejoinWait on a rank
@@ -85,20 +170,19 @@ func trainFault(cfg Config) (*Result, error) {
 		// before they can reach a decompressor; nack/resend repairs them.
 		clCfg.Verify = v
 	}
-	if cfg.Collective != nil && cfg.Collective.BucketBytes > 0 && clCfg.SendDepth <= 0 {
-		// Bucketed exchanges burn Count() seqs per iteration, so the seq
-		// drift between a rank parked at the iteration-end sync and a
-		// lagging peer spans whole iterations of seqs; size the resend
-		// cache to cover it or nack repair of old buckets silently fails.
-		nb := collective.MakeBuckets(cfg.Model(cfg.Seed).NumParams(), cfg.Collective.BucketBytes).Count()
-		clCfg.SendDepth = 2*nb + 2
+	if clCfg.SendDepth <= 0 && (spi > 1 || cfg.Fault.Staleness > 0) {
+		// Multi-seq iterations and bounded staleness both let the seq
+		// drift between the front rank and a laggard span whole
+		// iterations of seqs; size the resend cache to cover the window
+		// or nack repair of old rounds silently fails.
+		clCfg.SendDepth = (2+cfg.Fault.Staleness)*spi + 2
 	}
-	rt := cluster.New(p, clCfg)
+	rt := cluster.NewElastic(p, pmax, clCfg)
 	rt.AttachTracer(cfg.Tracer)
-	mesh := comm.NewMesh(p)
+	mesh := comm.NewMesh(pmax)
 	var harness *chaos.Harness
 	if cfg.Fault.Chaos != nil {
-		harness = chaos.NewHarness(p, *cfg.Fault.Chaos)
+		harness = chaos.NewHarness(pmax, *cfg.Fault.Chaos)
 		harness.AttachTracer(cfg.Tracer)
 	}
 
@@ -122,7 +206,7 @@ func trainFault(cfg Config) (*Result, error) {
 		}
 	}
 
-	members := make([]*cluster.Member, p)
+	members := make([]*cluster.Member, pmax)
 	for rank := 0; rank < p; rank++ {
 		var tr comm.Transport = mesh.Endpoint(rank)
 		if harness != nil {
@@ -131,8 +215,8 @@ func trainFault(cfg Config) (*Result, error) {
 		members[rank] = rt.Join(tr)
 	}
 
-	results := make([]*Result, p)
-	errs := make([]error, p)
+	results := make([]*Result, pmax)
+	errs := make([]error, pmax)
 	var wg sync.WaitGroup
 	for rank := 0; rank < p; rank++ {
 		wg.Add(1)
@@ -144,7 +228,7 @@ func trainFault(cfg Config) (*Result, error) {
 					panic(r)
 				}
 			}()
-			results[rank], errs[rank] = runWorkerFault(cfg, members[rank], rt)
+			results[rank], errs[rank] = runWorkerFault(cfg, members[rank], rt, 0, nil)
 			// A worker that finished cleanly keeps its member alive —
 			// heartbeats and nack repair keep serving a slower rank still
 			// catching up after a rejoin. A terminally failed worker goes
@@ -155,9 +239,60 @@ func trainFault(cfg Config) (*Result, error) {
 			}
 		}(rank)
 	}
+
+	// Elastic join watchers: each parks until the fleet's exchange
+	// frontier reaches its scheduled iteration, then runs the join
+	// handshake and becomes a regular worker from the frontier on. A
+	// watcher whose moment never comes (halt, early completion) exits
+	// without joining.
+	var wgJoin sync.WaitGroup
+	trainingDone := make(chan struct{})
+	for k, atIter := range joins {
+		wgJoin.Add(1)
+		go func(rank int, target uint64) {
+			defer wgJoin.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					cfg.Flight.Trigger(rank, trace.ReasonPanic)
+					panic(r)
+				}
+			}()
+			for rt.Frontier() < target {
+				select {
+				case <-trainingDone:
+					return
+				case <-clCfg.Halt:
+					return
+				case <-time.After(200 * time.Microsecond):
+				}
+			}
+			_, frontier, st, aerr := rt.AdmitJoin(rank)
+			if aerr != nil {
+				errs[rank] = fmt.Errorf("dist: rank %d join: %w", rank, aerr)
+				return
+			}
+			var tr comm.Transport = mesh.Endpoint(rank)
+			if harness != nil {
+				tr = harness.Wrap(tr)
+			}
+			members[rank] = rt.Join(tr)
+			// The view just grew: dump the timeline so the quorum change
+			// and the frontier the joiner entered at are on record.
+			cfg.Flight.Trigger(rank, trace.ReasonViewGrow)
+			results[rank], errs[rank] = runWorkerFault(cfg, members[rank], rt, int(frontier)/spi, st)
+			if errs[rank] != nil {
+				members[rank].Close()
+			}
+		}(p+k, uint64(atIter)*uint64(spi))
+	}
+
 	wg.Wait()
+	close(trainingDone)
+	wgJoin.Wait()
 	for _, m := range members {
-		m.Close()
+		if m != nil {
+			m.Close()
+		}
 	}
 
 	report := &FaultReport{Cluster: rt.Stats()}
@@ -200,8 +335,11 @@ func trainFault(cfg Config) (*Result, error) {
 }
 
 // runWorkerFault is runWorker with the exchange and parameter sync
-// routed through the failure-aware member.
-func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result, error) {
+// routed through the failure-aware member. startIter/restore are the
+// elastic-join entry point: a mid-run joiner restores the published
+// checkpoint and resumes at the frontier's iteration; initial ranks pass
+// (0, nil).
+func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime, startIter int, restore *checkpoint.State) (*Result, error) {
 	rank := m.Rank()
 	p := rt.P()
 	isRoot := rank == 0
@@ -222,22 +360,50 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 			return nil, fmt.Errorf("dist: rank %d resume: %w", rank, err)
 		}
 	}
+	if restore != nil {
+		if err := restore.Apply(net, sgd); err != nil {
+			return nil, fmt.Errorf("dist: rank %d restoring join checkpoint: %w", rank, err)
+		}
+	}
 	gs := newGuardState(cfg, rank, n, tc)
 
 	// Exchange strategy: on the fault path the point-to-point mesh keeps
 	// per-peer delivery (nack/resend repairs individual links), so the
-	// hier/tree schedules inform the *modeled* collective price only.
-	// Bucketing, however, is real: the iteration's exchange runs as
-	// Count() member rounds under sequence numbers iter·B+b, each bucket
-	// with its own codec instance (own CRC frames, own residual slice),
-	// so a chaos crash mid-iteration lands between buckets and the
-	// unshipped tail folds into the per-bucket residuals.
+	// hier/tree schedules inform the *modeled* collective price only;
+	// gossip however changes the real message flow (ring neighbors only).
+	// Bucketing is also real: the iteration's exchange runs as Count()
+	// member rounds under sequence numbers iter·B+b, each bucket with its
+	// own codec instance (own CRC frames, own residual slice), so a chaos
+	// crash mid-iteration lands between buckets and the unshipped tail
+	// folds into the per-bucket residuals.
 	colCfg := collective.Config{}.WithDefaults()
 	if cfg.Collective != nil {
 		colCfg = *cfg.Collective
 	}
 	bk := collective.MakeBuckets(n, colCfg.BucketBytes)
 	nb := bk.Count()
+	gossipMode := colCfg.Strategy == collective.Gossip
+	spi := nb
+	if gossipMode {
+		spi = 2
+	}
+	bounded := cfg.Fault.Staleness > 0
+	lambda := cfg.Fault.StalenessDiscount
+	if lambda <= 0 || lambda > 1 {
+		lambda = 0.9
+	}
+	// Staleness windows in exchange-seq units: K iterations of spi seqs.
+	// Gossip folds at-most-one-iteration-old caches even without an
+	// explicit staleness budget (self-weight absorption covers the rest).
+	var staleWindow uint64
+	if bounded {
+		staleWindow = uint64(cfg.Fault.Staleness) * uint64(spi)
+	}
+	gossipWindow := staleWindow
+	if gossipMode && gossipWindow == 0 {
+		gossipWindow = uint64(spi)
+	}
+
 	var bcomps, bwire []compress.Compressor
 	var comp compress.Compressor
 	if nb > 1 {
@@ -282,6 +448,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 	var syncFlat []float32
 	var syncPayload []byte
 	var liveRatio float64
+	var gossipEpoch uint64 // last view epoch acted on (gossip mode)
 
 	// Seed the rejoin store so a rank crashing before the first epoch
 	// boundary can still restore something consistent.
@@ -289,8 +456,8 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 		rt.PublishCheckpoint(checkpoint.Capture(net, sgd, 0, 0), 0)
 	}
 
-	iter := 0
-	forceSync := false
+	iter := startIter
+	forceSync := startIter > 0 || restore != nil
 	// rejoin parks until the transport heals, restores the published
 	// checkpoint when this rank was evicted, and fast-forwards to the
 	// exchange frontier. Returns a terminal error when re-entry failed.
@@ -304,14 +471,15 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 				return fmt.Errorf("dist: rank %d restoring checkpoint on rejoin: %w", rank, aerr)
 			}
 		}
-		// The frontier is in exchange-sequence units (iter·nb+b when
-		// bucketed). Resume at the iteration *containing* it — never past
-		// it: survivors parked mid-iteration are waiting on this rank's
-		// remaining bucket rounds, so skipping to the next boundary would
-		// deadlock both sides. Replaying the iteration's earlier bucket
-		// seqs is safe: peers discard late data for completed rounds and
-		// serve (or degrade) the replayed exchanges from their send cache.
-		if f := int(frontier) / nb; f > iter {
+		// The frontier is in exchange-sequence units (iter·spi+s when the
+		// iteration burns several seqs). Resume at the iteration
+		// *containing* it — never past it: survivors parked mid-iteration
+		// are waiting on this rank's remaining rounds, so skipping to the
+		// next boundary would deadlock both sides. Replaying the
+		// iteration's earlier seqs is safe: peers discard late data for
+		// completed rounds and serve (or degrade) the replayed exchanges
+		// from their send cache.
+		if f := int(frontier) / spi; f > iter {
 			iter = f
 		}
 		forceSync = true
@@ -323,6 +491,14 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 		if cfg.haltCheck(iter) {
 			res.Halted = true
 			break
+		}
+		// Bounded-staleness throttle: never start an exchange more than K
+		// iterations ahead of the slowest live rank's frontier.
+		if bounded {
+			if _, werr := rt.WaitWithinWindow(rank, uint64(iter)*uint64(spi), staleWindow); werr != nil {
+				res.Halted = true
+				break
+			}
 		}
 		epoch := iter / cfg.ItersPerEpoch
 		sgd.LR = cfg.LR.LR(epoch)
@@ -397,7 +573,10 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 				}
 			}
 		}
-		if gs.driftDue(iter) {
+		// Drift fingerprints need every replica to hold nominally equal
+		// parameters; gossip replicas intentionally differ between mixing
+		// rounds, so the check only runs on the root-synced modes.
+		if !gossipMode && gs.driftDue(iter) {
 			if nb > 1 {
 				gs.attachFingerprint(net, pickBucket(0, compressed))
 			} else {
@@ -410,9 +589,88 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 		var exchangeS float64
 		var msgBytes, maxBytes int
 		var ex *cluster.ExchangeResult
+		var view cluster.View
 		epochChanged := false
 		crashed := false
-		if nb > 1 {
+		if gossipMode {
+			t0 = time.Now()
+			msg, err := compress.AppendCompress(iterComp, msgBuf[:0], grad)
+			if err != nil {
+				return nil, fmt.Errorf("dist: rank %d compress: %w", rank, err)
+			}
+			msgBuf = msg
+			compressT = time.Since(t0)
+			msgBytes = len(msg)
+			tc.SpanTimed(trace.OpCompress, int64(msgBytes), t0, compressT)
+			if compressed && msgBytes > 0 {
+				liveRatio = float64(4*n) / float64(msgBytes)
+			}
+
+			tEx := time.Now()
+			gr, gerr := m.GossipExchange(uint64(iter)*uint64(spi), msg, gossipWindow)
+			exchangeD := time.Since(tEx)
+			exchangeS = exchangeD.Seconds()
+			tc.SpanTimed(trace.OpExchange, int64(msgBytes), tEx, exchangeD)
+			if gerr != nil {
+				if cluster.IsRecoverable(gerr) {
+					cfg.Flight.Trigger(rank, trace.ReasonCrash)
+					if sink, ok := comp.(residualSink); ok {
+						sink.AddToResidual(grad)
+					}
+					if rerr := rejoin(); rerr != nil {
+						return res, rerr
+					}
+					continue
+				}
+				return nil, fmt.Errorf("dist: rank %d gossip %d: %w", rank, iter, gerr)
+			}
+
+			// --- Metropolis mixing over the live neighborhood ----------
+			// avg = Σ w_j·peer_j + (1−Σ w_j)·self. A stale fold is damped
+			// to w_j = PeerWeight·λ^d; an absent (or wrong-stream) cache
+			// contributes nothing and its mass reverts to self, so the
+			// realized mixing row always sums to one.
+			t0 = time.Now()
+			for i := range avg {
+				avg[i] = 0
+			}
+			if msgBytes > maxBytes {
+				maxBytes = msgBytes
+			}
+			var peerW float32
+			for k, mm := range gr.Msgs {
+				w := float32(gr.PeerWeight)
+				if gr.Stale[k] {
+					d := gr.StaleBy[k]
+					if d == 0 || d%uint64(spi) != 0 {
+						continue // cached payload is from the parameter stream
+					}
+					w *= float32(math.Pow(lambda, float64(d/uint64(spi))))
+				}
+				if len(mm) > maxBytes {
+					maxBytes = len(mm)
+				}
+				if derr := compress.DecompressInto(iterComp, recon, mm); derr != nil {
+					return nil, fmt.Errorf("dist: rank %d gossip decompress: %w", rank, derr)
+				}
+				for i, v := range recon {
+					avg[i] += w * v
+				}
+				peerW += w
+			}
+			if derr := compress.DecompressInto(iterComp, recon, msgBuf); derr != nil {
+				return nil, fmt.Errorf("dist: rank %d gossip self-decode: %w", rank, derr)
+			}
+			selfW := 1 - peerW
+			for i, v := range recon {
+				avg[i] += selfW * v
+			}
+			decompressT = time.Since(t0)
+			tc.SpanTimed(trace.OpDecompress, int64(len(gr.Peers)+1), t0, decompressT)
+			view = gr.View
+			epochChanged = gr.View.Epoch != gossipEpoch
+			gossipEpoch = gr.View.Epoch
+		} else if nb > 1 {
 			// Bucketed: Count() member rounds under seq iter·nb+b. The
 			// mesh copies sends, so one staging buffer serves every bucket.
 			for i := range avg {
@@ -440,7 +698,12 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 					tB = time.Now()
 				}
 				tEx := time.Now()
-				exb, err := m.Exchange(uint64(iter*nb+b), msg)
+				var exb *cluster.ExchangeResult
+				if bounded {
+					exb, err = m.ExchangeBounded(uint64(iter*nb+b), msg, staleWindow)
+				} else {
+					exb, err = m.Exchange(uint64(iter*nb+b), msg)
+				}
 				exD := time.Since(tEx)
 				exchangeS += exD.Seconds()
 				tc.SpanTimed(trace.OpExchange, int64(len(msg)), tEx, exD)
@@ -464,15 +727,30 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 					return nil, fmt.Errorf("dist: rank %d exchange %d.%d: %w", rank, iter, b, err)
 				}
 				t0 = time.Now()
-				// A stale cache entry was served from the previous *round* —
-				// under bucketed sequencing that is the previous bucket, a
-				// different slice shape — so stale contributions are dropped
-				// and the average rescales over the fresh ones (this rank's
-				// own message is always fresh, so fresh ≥ 1).
-				fresh := 0
+				// In strict mode a stale cache entry was served from the
+				// previous *seq* — under bucketed sequencing that is the
+				// previous bucket, a different slice shape — so stale
+				// contributions are dropped and the average rescales over
+				// the fresh ones (this rank's own message is always fresh,
+				// so the weight sum ≥ 1). In bounded mode a cache that is a
+				// whole number of iterations old is the *same* bucket from
+				// d iterations back: it folds in damped by λ^d, and the
+				// withheld share is banked in this bucket's residual.
+				var wsumB float32
 				for j, mm := range exb.Msgs {
-					if mm == nil || (exb.Stale != nil && exb.Stale[j]) {
+					if mm == nil {
 						continue
+					}
+					w := float32(1)
+					if exb.Stale != nil && exb.Stale[j] {
+						if !bounded {
+							continue
+						}
+						d := exb.StaleBy[j]
+						if d == 0 || d%uint64(nb) != 0 {
+							continue // different bucket: wrong slice shape
+						}
+						w = float32(math.Pow(lambda, float64(d/uint64(nb))))
 					}
 					if len(mm) > bmaxs[b] {
 						bmaxs[b] = len(mm)
@@ -481,11 +759,16 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 						return nil, fmt.Errorf("dist: rank %d bucket %d decompress: %w", rank, b, derr)
 					}
 					for i, v := range recon[lo:hi] {
-						avg[lo+i] += v
+						avg[lo+i] += w * v
 					}
-					fresh++
+					wsumB += w
+					if w < 1 {
+						if sink, ok := bcomps[b].(scaledResidualSink); ok {
+							sink.AddToResidualScaled(recon[lo:hi], (1-w)/float32(exb.Contributors))
+						}
+					}
 				}
-				invB := 1 / float32(fresh)
+				invB := 1 / wsumB
 				for i := lo; i < hi; i++ {
 					avg[i] *= invB
 				}
@@ -509,6 +792,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 				}
 				continue
 			}
+			view = ex.View
 			if compressed && msgBytes > 0 {
 				liveRatio = float64(4*n) / float64(msgBytes)
 			}
@@ -527,7 +811,11 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 			}
 
 			tEx := time.Now()
-			ex, err = m.Exchange(uint64(iter), msg)
+			if bounded {
+				ex, err = m.ExchangeBounded(uint64(iter), msg, staleWindow)
+			} else {
+				ex, err = m.Exchange(uint64(iter), msg)
+			}
 			exchangeD := time.Since(tEx)
 			exchangeS = exchangeD.Seconds()
 			tc.SpanTimed(trace.OpExchange, int64(msgBytes), tEx, exchangeD)
@@ -551,14 +839,22 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 			}
 
 			// --- average over actual contributors -------------------------
+			// Strict mode: every contribution weighs 1 (one-round-stale
+			// reuse included), so the weight sum is just Contributors.
+			// Bounded mode: a d-iterations-stale contribution weighs λ^d
+			// and its withheld share is banked in the residual.
 			t0 = time.Now()
-			inv := 1 / float32(ex.Contributors)
 			for i := range avg {
 				avg[i] = 0
 			}
-			for _, mm := range ex.Msgs {
+			var wsum float32
+			for j, mm := range ex.Msgs {
 				if mm == nil {
 					continue
+				}
+				w := float32(1)
+				if bounded && ex.Stale != nil && ex.Stale[j] && ex.StaleBy != nil && ex.StaleBy[j] > 0 {
+					w = float32(math.Pow(lambda, float64(ex.StaleBy[j])))
 				}
 				if len(mm) > maxBytes {
 					maxBytes = len(mm)
@@ -567,9 +863,16 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 					return nil, fmt.Errorf("dist: rank %d decompress: %w", rank, err)
 				}
 				for i, v := range recon {
-					avg[i] += v
+					avg[i] += w * v
+				}
+				wsum += w
+				if w < 1 {
+					if sink, ok := comp.(scaledResidualSink); ok {
+						sink.AddToResidualScaled(recon, (1-w)/float32(ex.Contributors))
+					}
 				}
 			}
+			inv := 1 / wsum
 			for i := range avg {
 				avg[i] *= inv
 			}
@@ -579,6 +882,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 				forceSync = true
 			}
 			epochChanged = ex.EpochChanged
+			view = ex.View
 		}
 
 		if st := cfg.stageTimer; st != nil && msgBytes > 0 {
@@ -609,49 +913,101 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 		updateT := time.Since(t0)
 		tc.SpanTimed(trace.OpUpdate, int64(n), t0, updateT)
 
-		// --- parameter re-broadcast ----------------------------------------
+		// --- parameter re-sync ---------------------------------------------
 		// The periodic sync also runs early after any view change: degraded
-		// rounds and rejoins both leave replicas slightly apart, and the
-		// re-broadcast is what bounds that drift window.
+		// rounds, rejoins and elastic joins all leave replicas apart, and
+		// the re-sync is what bounds that drift window. Root-synced modes
+		// broadcast from the lowest alive rank; gossip mode instead runs a
+		// parameter-consensus gossip round under the same Metropolis
+		// weights (no root to depend on).
 		var syncBytes int
 		if (iter+1)%cfg.SyncEvery == 0 || forceSync || epochChanged {
 			var tSync time.Time
 			if tc != nil {
 				tSync = time.Now()
 			}
-			root := ex.View.LowestAlive()
-			if root >= 0 {
+			if gossipMode {
 				if syncFlat == nil {
 					syncFlat = make([]float32, n)
 				}
-				var payload []byte
-				if rank == root {
-					flat := net.GetParams(syncFlat)
-					payload, _ = compress.AppendCompress(wireFP32, syncPayload[:0], flat)
-					syncPayload = payload
-				}
-				got, ok, serr := m.SyncBroadcast(uint64((iter+1)*nb), payload, root)
-				if serr != nil {
-					if cluster.IsRecoverable(serr) {
+				flat := net.GetParams(syncFlat)
+				payload, _ := compress.AppendCompress(wireFP32, syncPayload[:0], flat)
+				syncPayload = payload
+				// Window 0: a parameter round never folds a stale cache —
+				// the cache would be a gradient payload from the other
+				// seq stream; an absent neighbor's mass reverts to self.
+				pg, perr := m.GossipExchange(uint64(iter)*uint64(spi)+1, payload, 0)
+				if perr != nil {
+					if cluster.IsRecoverable(perr) {
 						if rerr := rejoin(); rerr != nil {
 							return res, rerr
 						}
 						continue
 					}
-					return nil, fmt.Errorf("dist: rank %d sync %d: %w", rank, iter, serr)
+					return nil, fmt.Errorf("dist: rank %d param gossip %d: %w", rank, iter, perr)
 				}
-				if ok && rank != root {
-					if err := compress.DecompressInto(wireFP32, syncFlat, got); err != nil {
-						return nil, err
+				if len(pg.Msgs) > 0 {
+					for i := range avg {
+						avg[i] = 0
 					}
-					net.SetParams(syncFlat)
-				}
-				if ok {
+					var pws float32
+					for k, mm := range pg.Msgs {
+						if pg.Stale[k] {
+							continue
+						}
+						if derr := compress.DecompressInto(wireFP32, recon, mm); derr != nil {
+							return nil, fmt.Errorf("dist: rank %d param gossip decode: %w", rank, derr)
+						}
+						w := float32(pg.PeerWeight)
+						for i, v := range recon {
+							avg[i] += w * v
+						}
+						pws += w
+					}
+					sw := 1 - pws
+					for i, v := range flat {
+						avg[i] += sw * v
+					}
+					net.SetParams(avg)
 					syncBytes = n * 4
 				}
+				forceSync = false
+				tc.SpanSince(trace.OpSync, int64(syncBytes), tSync)
+			} else {
+				root := view.LowestAlive()
+				if root >= 0 {
+					if syncFlat == nil {
+						syncFlat = make([]float32, n)
+					}
+					var payload []byte
+					if rank == root {
+						flat := net.GetParams(syncFlat)
+						payload, _ = compress.AppendCompress(wireFP32, syncPayload[:0], flat)
+						syncPayload = payload
+					}
+					got, ok, serr := m.SyncBroadcast(uint64((iter+1)*spi), payload, root)
+					if serr != nil {
+						if cluster.IsRecoverable(serr) {
+							if rerr := rejoin(); rerr != nil {
+								return res, rerr
+							}
+							continue
+						}
+						return nil, fmt.Errorf("dist: rank %d sync %d: %w", rank, iter, serr)
+					}
+					if ok && rank != root {
+						if err := compress.DecompressInto(wireFP32, syncFlat, got); err != nil {
+							return nil, err
+						}
+						net.SetParams(syncFlat)
+					}
+					if ok {
+						syncBytes = n * 4
+					}
+				}
+				forceSync = false
+				tc.SpanSince(trace.OpSync, int64(syncBytes), tSync)
 			}
-			forceSync = false
-			tc.SpanSince(trace.OpSync, int64(syncBytes), tSync)
 		}
 
 		// --- bookkeeping (rank 0) ------------------------------------------
@@ -676,7 +1032,11 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 					commS = colCfg.ModelAllgather(cfg.Fabric, p, maxBytes)
 				}
 				if syncBytes > 0 {
-					commS += colCfg.ModelBroadcast(cfg.Fabric, p, syncBytes)
+					if gossipMode {
+						commS += colCfg.ModelAllgather(cfg.Fabric, p, syncBytes)
+					} else {
+						commS += colCfg.ModelBroadcast(cfg.Fabric, p, syncBytes)
+					}
 				}
 				res.CommSeconds += commS
 			}
@@ -716,9 +1076,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime) (*Result
 				}
 			}
 			// The current sync root (not necessarily rank 0 — it may be
-			// dead) publishes the rejoin checkpoint.
-			if rank == ex.View.LowestAlive() {
-				rt.PublishCheckpoint(checkpoint.Capture(net, sgd, int64(epoch), int64(iter)), uint64((iter+1)*nb))
+			// dead) publishes the rejoin/join checkpoint.
+			if rank == view.LowestAlive() {
+				rt.PublishCheckpoint(checkpoint.Capture(net, sgd, int64(epoch), int64(iter)), uint64((iter+1)*spi))
 			}
 		}
 		gs.maybeRetain(iter, epoch, net, sgd)

@@ -101,10 +101,16 @@ type bspJob struct{ cfg Config }
 func (j bspJob) Backend() string { return "bsp" }
 
 func (j bspJob) Workers() int {
-	if j.cfg.Workers < 1 {
-		return 1
+	w := j.cfg.Workers
+	if w < 1 {
+		w = 1
 	}
-	return j.cfg.Workers
+	if j.cfg.Fault != nil {
+		// Elastic slots occupy worker quota (and timeline tracks) from the
+		// start: the ranks exist the moment their join handshake fires.
+		w += len(j.cfg.Fault.ElasticJoins)
+	}
+	return w
 }
 
 func (j bspJob) Tracks() int { return j.Workers() }

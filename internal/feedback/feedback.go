@@ -100,6 +100,29 @@ func (c *Compressor) AddToResidual(g []float32) {
 	}
 }
 
+// AddToResidualScaled folds scale·g into the residual — the
+// staleness-discounted accumulation of the bounded-staleness mode. When
+// a peer's d-iteration-old gradient is folded into a round with weight
+// λ^d, the withheld (1−λ^d) share would otherwise leave the information
+// stream entirely; each receiver banks its share of that mass here, so
+// it re-enters through the next compressed message exactly like
+// sparsification error under the Sec. 3.4 bounded-error assumption.
+func (c *Compressor) AddToResidualScaled(g []float32, scale float32) {
+	if scale == 0 {
+		return
+	}
+	if c.residual == nil {
+		c.residual = make([]float32, len(g))
+		c.carry = make([]float32, len(g))
+	}
+	if len(c.residual) != len(g) {
+		return
+	}
+	for i, v := range g {
+		c.residual[i] += scale * v
+	}
+}
+
 // ResidualNorm returns the L2 norm of the current residual — a direct
 // measurement of how much information is in flight (deferred, not lost).
 func (c *Compressor) ResidualNorm() float64 {

@@ -29,7 +29,10 @@ type (
 	instrumentable interface {
 		Instrument(st *telemetry.StageTimer)
 	}
-	residualSink interface{ AddToResidual(g []float32) }
+	residualSink       interface{ AddToResidual(g []float32) }
+	scaledResidualSink interface {
+		AddToResidualScaled(g []float32, scale float32)
+	}
 )
 
 // Framed wraps a compressor so every message it emits carries the guard
@@ -136,5 +139,14 @@ func (f *Framed) Instrument(st *telemetry.StageTimer) {
 func (f *Framed) AddToResidual(g []float32) {
 	if r, ok := f.inner.(residualSink); ok {
 		r.AddToResidual(g)
+	}
+}
+
+// AddToResidualScaled forwards the bounded-staleness damping remainder
+// to the inner error-feedback residual when the inner compressor keeps
+// one.
+func (f *Framed) AddToResidualScaled(g []float32, scale float32) {
+	if r, ok := f.inner.(scaledResidualSink); ok {
+		r.AddToResidualScaled(g, scale)
 	}
 }

@@ -91,6 +91,15 @@ func (p Profile) TreeReduce(n, m int) float64 {
 	return float64(log2ceil(n)) * (p.Latency + float64(m)/p.Bandwidth)
 }
 
+// Gossip returns the time for one decentralized ring-gossip round of m
+// bytes: each node exchanges with its two ring neighbors, so the cost is
+// two point-to-point transfers *independent of n* — the property that
+// makes gossip the degraded-mode survivor (a partition slows convergence
+// but never stalls a round, and adding ranks does not add round cost).
+func (p Profile) Gossip(m int) float64 {
+	return 2 * p.PointToPoint(m)
+}
+
 // log2ceil returns ⌈log2 n⌉ for n ≥ 1.
 func log2ceil(n int) int {
 	rounds := 0

@@ -1,0 +1,138 @@
+package serve
+
+// API coverage for the asynchrony/elasticity knobs: the staleness and
+// elastic-join spec fields compile into the fault path, the job info
+// endpoint surfaces the live fault/staleness summary while the job is
+// still running, and invalid combinations are rejected at submission.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestElasticJobFaultSummary: a bounded-staleness job with one elastic
+// join reports the fault summary over GET /jobs/{id} — live (from the
+// per-job registry) while running, final (from the result) afterwards —
+// and the JSON shape carries the staleness/elastic fields by name.
+func TestElasticJobFaultSummary(t *testing.T) {
+	srv := New(Config{WorkerSlots: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := fastSpec(11)
+	spec.Epochs = 4
+	spec.Staleness = 2
+	spec.StalenessDiscount = 0.9
+	spec.ElasticJoins = []int{3}
+	info, resp := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	// The elastic slot occupies quota from submission.
+	if info.Workers != spec.Workers+1 {
+		t.Fatalf("workers %d, want %d (elastic slot reserved)", info.Workers, spec.Workers+1)
+	}
+
+	// While the job runs, the summary must be present and live.
+	sawLive := false
+	deadline := time.Now().Add(3 * time.Minute)
+	for time.Now().Before(deadline) {
+		raw, err := http.Get(ts.URL + "/jobs/" + info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shape struct {
+			State State `json:"state"`
+			Fault *struct {
+				Suspicions       *uint64 `json:"suspicions"`
+				Rejoins          *uint64 `json:"rejoins"`
+				StaleReuses      *uint64 `json:"stale_reuses"`
+				StalenessCurrent *uint64 `json:"staleness_current"`
+				StalenessMax     *uint64 `json:"staleness_max"`
+				ElasticJoins     *uint64 `json:"elastic_joins"`
+				GossipRounds     *uint64 `json:"gossip_rounds"`
+			} `json:"fault"`
+		}
+		err = json.NewDecoder(raw.Body).Decode(&shape)
+		raw.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shape.State == StateRunning && shape.Fault != nil {
+			// Every summary field must be present by name (not omitted),
+			// so dashboards can rely on the shape.
+			if shape.Fault.Suspicions == nil || shape.Fault.StalenessMax == nil ||
+				shape.Fault.ElasticJoins == nil || shape.Fault.GossipRounds == nil ||
+				shape.Fault.StaleReuses == nil || shape.Fault.StalenessCurrent == nil ||
+				shape.Fault.Rejoins == nil {
+				t.Fatalf("running fault summary missing fields: %+v", shape.Fault)
+			}
+			sawLive = true
+		}
+		if shape.State.terminal() {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawLive {
+		t.Fatal("never observed a live fault summary on a running job")
+	}
+
+	final := waitTerminal(t, ts.URL, info.ID)
+	if final.State != StateCompleted {
+		t.Fatalf("final state %s: %+v", final.State, final)
+	}
+	if final.Fault == nil {
+		t.Fatal("terminal info dropped the fault summary")
+	}
+	if final.Fault.ElasticJoins != 1 {
+		t.Fatalf("final elastic joins %d, want 1", final.Fault.ElasticJoins)
+	}
+	if final.Fault.LostWorkers != 0 {
+		t.Fatalf("scale-up lost workers: %+v", final.Fault)
+	}
+}
+
+// TestBarrierJobHasNoFaultSummary: a plain BSP job never grows a fault
+// block — the field stays absent rather than zero-filled.
+func TestBarrierJobHasNoFaultSummary(t *testing.T) {
+	srv := New(Config{WorkerSlots: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	info, resp := postJob(t, ts.URL, fastSpec(13))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	final := waitTerminal(t, ts.URL, info.ID)
+	if final.Fault != nil {
+		t.Fatalf("barrier job reported a fault summary: %+v", final.Fault)
+	}
+}
+
+// TestElasticSpecRejections: invalid asynchrony specs fail at submission
+// with 400, before any slot is taken.
+func TestElasticSpecRejections(t *testing.T) {
+	srv := New(Config{WorkerSlots: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := map[string]Spec{
+		"staleness on ps":     {Backend: "ps", Staleness: 2},
+		"negative staleness":  {Staleness: -1},
+		"discount above one":  {Staleness: 1, StalenessDiscount: 2},
+		"negative join":       {ElasticJoins: []int{-1}},
+		"joins on ps":         {Backend: "ps", ElasticJoins: []int{2}},
+		"gossip on ps":        {Backend: "ps", Collective: "gossip"},
+		"gossip with buckets": {Collective: "gossip", BucketBytes: 4096},
+	}
+	for name, spec := range cases {
+		_, resp := postJob(t, ts.URL, spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}

@@ -124,11 +124,73 @@ type Info struct {
 	CompressionRatio float64 `json:"compression_ratio,omitempty"`
 	Rejoins          uint64  `json:"rejoins,omitempty"`
 
+	// Fault is the fault/guard/staleness summary of a job on the
+	// failure-aware path: live from the job's telemetry registry while
+	// the job runs, final from the result afterwards. Absent on the
+	// barrier path and on PS jobs.
+	Fault *FaultInfo `json:"fault,omitempty"`
+
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitempty"`
 	Finished  time.Time `json:"finished,omitempty"`
 	Spool     string    `json:"spool,omitempty"`
 	Error     string    `json:"error,omitempty"`
+}
+
+// FaultInfo is the fault/guard/staleness summary surfaced in Info for
+// jobs on the failure-aware path.
+type FaultInfo struct {
+	Suspicions       uint64 `json:"suspicions"`
+	Rejoins          uint64 `json:"rejoins"`
+	StaleReuses      uint64 `json:"stale_reuses"`
+	StalenessCurrent uint64 `json:"staleness_current"`
+	StalenessMax     uint64 `json:"staleness_max"`
+	ElasticJoins     uint64 `json:"elastic_joins"`
+	GossipRounds     uint64 `json:"gossip_rounds"`
+	LostWorkers      int    `json:"lost_workers,omitempty"`
+
+	GuardAnomalies uint64 `json:"guard_anomalies,omitempty"`
+	GuardRollbacks uint64 `json:"guard_rollbacks,omitempty"`
+}
+
+// faultInfo builds the summary: final result stats when the run is over,
+// otherwise a live read of the job's telemetry registry — the same
+// counters the merged /metrics view exports, so a dashboard and this
+// endpoint can never disagree. Callers hold j.mu.
+func (j *job) faultInfo() *FaultInfo {
+	if j.result != nil && j.result.Fault != nil {
+		cs := j.result.Fault.Cluster
+		fi := &FaultInfo{
+			Suspicions:       cs.Suspicions,
+			Rejoins:          cs.Rejoins,
+			StaleReuses:      cs.StaleReuses,
+			StalenessCurrent: 0, // final: the run is over, nothing in flight
+			StalenessMax:     cs.StalenessMax,
+			ElasticJoins:     cs.ElasticJoins,
+			GossipRounds:     cs.GossipRounds,
+			LostWorkers:      j.result.Fault.LostWorkers,
+		}
+		if g := j.result.Guard; g != nil {
+			fi.GuardAnomalies = g.Anomalies
+			fi.GuardRollbacks = g.Rollbacks
+		}
+		return fi
+	}
+	if j.state != StateRunning || !j.spec.faultPath() {
+		return nil
+	}
+	snap := j.reg.Snapshot()
+	return &FaultInfo{
+		Suspicions:       uint64(snap["fftgrad_cluster_suspicions_total"]),
+		Rejoins:          uint64(snap["fftgrad_cluster_rejoins_total"]),
+		StaleReuses:      uint64(snap["fftgrad_cluster_stale_reuses_total"]),
+		StalenessCurrent: uint64(snap["fftgrad_staleness_current"]),
+		StalenessMax:     uint64(snap["fftgrad_staleness_max"]),
+		ElasticJoins:     uint64(snap["fftgrad_elastic_joins_total"]),
+		GossipRounds:     uint64(snap["fftgrad_gossip_rounds_total"]),
+		GuardAnomalies:   uint64(snap["fftgrad_guard_anomalies"]),
+		GuardRollbacks:   uint64(snap["fftgrad_guard_rollbacks"]),
+	}
 }
 
 // info snapshots the job under its lock.
@@ -164,6 +226,7 @@ func (j *job) info() Info {
 			in.Rejoins = j.result.Fault.Cluster.Rejoins
 		}
 	}
+	in.Fault = j.faultInfo()
 	if j.err != nil {
 		in.Error = j.err.Error()
 	}

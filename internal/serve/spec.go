@@ -69,10 +69,24 @@ type Spec struct {
 	// anomaly detector, drift checks). BSP only.
 	Guard bool `json:"guard,omitempty"`
 	// Fault routes the BSP exchange through the failure-aware cluster
-	// runtime; implied by Chaos.
+	// runtime; implied by Chaos, Staleness, ElasticJoins, and the gossip
+	// collective.
 	Fault bool `json:"fault,omitempty"`
 	// Chaos injects a deterministic fault schedule (BSP fault path).
 	Chaos *ChaosSpec `json:"chaos,omitempty"`
+
+	// Staleness > 0 selects the bounded-staleness exchange: workers may
+	// run up to this many iterations ahead of the slowest live rank, and
+	// a peer missing the round's grace budget contributes its freshest
+	// cached gradient damped by StalenessDiscount^d.
+	Staleness int `json:"staleness,omitempty"`
+	// StalenessDiscount is the per-iteration damping factor λ ∈ (0,1]
+	// for stale contributions; 0 defaults to 0.9.
+	StalenessDiscount float64 `json:"staleness_discount,omitempty"`
+	// ElasticJoins schedules brand-new ranks joining mid-run at the given
+	// iterations. Each entry grows the job's worker quota by one slot,
+	// reserved from submission time.
+	ElasticJoins []int `json:"elastic_joins,omitempty"`
 
 	// ResumeFrom names a checkpoint file (e.g. a drain spool entry) to
 	// restore before training starts.
@@ -153,6 +167,23 @@ func (s *Spec) normalize() error {
 	if s.Backend == "ps" && (s.Guard || s.Fault || s.Chaos != nil) {
 		return fmt.Errorf("guard/fault/chaos require the bsp backend")
 	}
+	if s.Backend == "ps" && (s.Staleness != 0 || len(s.ElasticJoins) > 0) {
+		return fmt.Errorf("bounded staleness and elastic joins require the bsp backend")
+	}
+	if s.Staleness < 0 {
+		return fmt.Errorf("staleness %d must be non-negative", s.Staleness)
+	}
+	if s.StalenessDiscount < 0 || s.StalenessDiscount > 1 {
+		return fmt.Errorf("staleness_discount %v outside (0,1]", s.StalenessDiscount)
+	}
+	for _, at := range s.ElasticJoins {
+		if at < 0 {
+			return fmt.Errorf("elastic_joins iteration %d must be non-negative", at)
+		}
+	}
+	if s.Workers+len(s.ElasticJoins) > 64 {
+		return fmt.Errorf("workers %d + %d elastic joins exceed the 64-slot cap", s.Workers, len(s.ElasticJoins))
+	}
 	if s.Collective != "" || s.BucketBytes != 0 || s.GroupSize != 0 {
 		if s.Backend == "ps" {
 			return fmt.Errorf("collective/bucketing options require the bsp backend")
@@ -164,6 +195,14 @@ func (s *Spec) normalize() error {
 		}
 	}
 	return nil
+}
+
+// faultPath reports whether the submission runs on the failure-aware
+// cluster runtime — requested directly or implied by a feature that
+// needs it (chaos, bounded staleness, elastic joins, gossip).
+func (s *Spec) faultPath() bool {
+	return s.Fault || s.Chaos != nil || s.Staleness > 0 || len(s.ElasticJoins) > 0 ||
+		s.Collective == string(collective.Gossip)
 }
 
 // collectiveConfig compiles the exchange-strategy fields into a
@@ -246,21 +285,26 @@ func (s *Spec) buildJob() (dist.Job, error) {
 	if s.Guard {
 		cfg.Guard = &guard.Config{CRC: true, Scrub: guard.ScrubClamp, Detect: true, DriftEvery: 50}
 	}
-	if s.Fault || s.Chaos != nil {
+	if s.faultPath() {
 		// Service-speed cluster tuning: tight heartbeats so failure
 		// detection and rejoin complete within a short job's lifetime.
-		cfg.Fault = &dist.FaultConfig{Cluster: cluster.Config{
-			Heartbeat:    2 * time.Millisecond,
-			SuspectAfter: 200 * time.Millisecond,
-			BackoffBase:  2 * time.Millisecond,
-			BackoffMax:   50 * time.Millisecond,
-			MaxRetries:   8,
-			MaxStall:     30 * time.Second,
-			RejoinWait:   30 * time.Second,
-			Policy:       cluster.StaleReuse,
-			OnStraggler:  cluster.StragglerWait,
-			Seed:         s.Seed,
-		}}
+		cfg.Fault = &dist.FaultConfig{
+			Cluster: cluster.Config{
+				Heartbeat:    2 * time.Millisecond,
+				SuspectAfter: 200 * time.Millisecond,
+				BackoffBase:  2 * time.Millisecond,
+				BackoffMax:   50 * time.Millisecond,
+				MaxRetries:   8,
+				MaxStall:     30 * time.Second,
+				RejoinWait:   30 * time.Second,
+				Policy:       cluster.StaleReuse,
+				OnStraggler:  cluster.StragglerWait,
+				Seed:         s.Seed,
+			},
+			Staleness:         s.Staleness,
+			StalenessDiscount: s.StalenessDiscount,
+			ElasticJoins:      s.ElasticJoins,
+		}
 		if c := s.Chaos; c != nil {
 			cc := &chaos.Config{
 				Seed:      c.Seed,

@@ -17,6 +17,7 @@ const (
 	ReasonCrash                  // a transport entered a chaos crash window
 	ReasonPanic                  // a worker goroutine panicked
 	ReasonFailure                // unclassified terminal training error
+	ReasonViewGrow               // elastic join grew the membership view
 	numReasons
 )
 
@@ -27,6 +28,7 @@ var reasonNames = [numReasons]string{
 	ReasonCrash:    "crash",
 	ReasonPanic:    "panic",
 	ReasonFailure:  "failure",
+	ReasonViewGrow: "view_grow",
 }
 
 // String returns the reason label used in dump file names and logs.

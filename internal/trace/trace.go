@@ -93,6 +93,11 @@ const (
 	OpTreeGather    // tree: binomial gather toward the root (arg = bytes)
 	OpTreeBcast     // tree: binomial broadcast from the root (arg = bytes)
 
+	// Elasticity / asynchrony instants.
+	OpStaleFold // stale cached gradient damped into a round (arg = peer)
+	OpGossip    // one completed gossip round (arg = contributing peers)
+	OpJoin      // brand-new rank admitted to the view mid-run (arg = epoch)
+
 	numOps
 )
 
@@ -137,6 +142,9 @@ var opNames = [numOps]string{
 	OpGroupBcast:    "group_bcast",
 	OpTreeGather:    "tree_gather",
 	OpTreeBcast:     "tree_bcast",
+	OpStaleFold:     "stale_fold",
+	OpGossip:        "gossip",
+	OpJoin:          "join",
 }
 
 // opCats are the trace_event "cat" strings, indexed by Op.
@@ -180,6 +188,9 @@ var opCats = [numOps]string{
 	OpGroupBcast:    "exchange",
 	OpTreeGather:    "exchange",
 	OpTreeBcast:     "exchange",
+	OpStaleFold:     "cluster",
+	OpGossip:        "cluster",
+	OpJoin:          "cluster",
 }
 
 // String returns the trace_event name of the op.
