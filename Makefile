@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json benchdiff bench-baseline bench-gate experiments examples fmt check chaos guard fuzz trace-smoke serve-smoke collective-smoke elastic-smoke
+.PHONY: all build vet test race bench bench-json benchdiff bench-baseline bench-gate experiments examples fmt check chaos guard fuzz trace-smoke serve-smoke collective-smoke elastic-smoke obs-smoke
 
 all: build vet test
 
@@ -11,7 +11,7 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/ ./internal/collective/ ./internal/telemetry/ ./internal/adapt/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/checkpoint/ ./internal/trace/ ./internal/ps/ ./internal/serve/
+	$(GO) test -race -short ./internal/cfft/ ./internal/sparsify/ ./internal/compress/ ./internal/comm/ ./internal/collective/ ./internal/telemetry/ ./internal/adapt/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/checkpoint/ ./internal/trace/ ./internal/obs/ ./internal/ps/ ./internal/serve/
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/comm/ ./internal/collective/ ./internal/dist/ ./internal/ps/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/trace/ ./internal/serve/
+	$(GO) test -race ./internal/comm/ ./internal/collective/ ./internal/dist/ ./internal/ps/ ./internal/cluster/ ./internal/chaos/ ./internal/guard/ ./internal/trace/ ./internal/obs/ ./internal/serve/
 
 # Chaos gate: the failure-policy suite plus a short fault-injected
 # training run (5% drop, delays, one crash+rejoin) that must converge.
@@ -91,6 +91,32 @@ trace-smoke:
 		-chaos-drop 0.05 -chaos-corrupt 0.02 -chaos-crash 2 -chaos-crash-at 1200 -chaos-crash-for 1000 \
 		-trace-out trace-smoke.json
 	python3 -c "import json,sys; ev=json.load(open('trace-smoke.json')); ranks={e.get('tid') for e in ev if e.get('ph')=='X'}; assert ranks>={0,1,2,3}, ranks; print('trace-smoke: %d events, ranks %s' % (len(ev), sorted(ranks)))"
+
+# Observability gate: the profiler unit suite (clock offsets under skew,
+# critical-path blame, zero-alloc commit), then a 4-rank chaos run with a
+# permanent 15ms straggler on rank 2 — the exported blame ledger must
+# name rank 2 and charge it at least half of all cross-rank blocked time,
+# and the merged multi-process timeline must cover every rank.
+obs-smoke:
+	$(GO) test -run 'TestOffsetsUnderSkew|TestCriticalPathBlame|TestFaultPathBlame|TestCommitZeroAlloc|TestProfilerBitIdentical|TestProfilerBlamesChaosStraggler' -v ./internal/obs/ ./internal/dist/
+	$(GO) build -o obs-smoke-bin ./cmd/trainer
+	./obs-smoke-bin -model mlp -epochs 2 -workers 4 -fault-aware \
+		-chaos-straggle 2 -chaos-straggle-by 15ms \
+		-profile-out obs-smoke.json -trace-out obs-smoke-trace.json | tee obs-smoke.log; \
+	RC=$$?; [ $$RC -eq 0 ] && \
+	grep -q "profile: top blamed rank 2" obs-smoke.log && \
+	python3 -c "import json; \
+		doc=json.load(open('obs-smoke.json')); \
+		b={e['rank']: e for e in doc['blame']}; \
+		frac=b[2]['blamed_frac']; \
+		assert frac >= 0.5, 'straggled rank 2 only blamed for %.0f%% of blocked time' % (100*frac); \
+		assert doc['summary']['iterations'] > 0 and doc['build']['version'], doc['summary']; \
+		ev=json.load(open('obs-smoke-trace.merged.json')); \
+		pids={e.get('pid') for e in ev if e.get('ph')=='X'}; \
+		assert pids>={1,2,3,4}, pids; \
+		print('obs-smoke: rank 2 blamed for %.0f%% of %.3fs blocked time; merged timeline spans %d processes' \
+			% (100*frac, doc['summary']['total_blocked_ns']/1e9, len(pids)))"; \
+	RC=$$?; rm -f obs-smoke-bin obs-smoke.json obs-smoke.log obs-smoke-trace.json obs-smoke-trace.merged.json obs-smoke-trace.flight.json obs-cpu-iter*.pprof obs-anomaly-iter*.json; exit $$RC
 
 # Service smoke: start `trainer -serve`, run two concurrent jobs with
 # different compressors over the HTTP API, require both to complete and

@@ -10,18 +10,23 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"fftgrad/internal/adapt"
+	"fftgrad/internal/buildinfo"
 	"fftgrad/internal/chaos"
 	"fftgrad/internal/checkpoint"
 	"fftgrad/internal/cluster"
@@ -33,6 +38,7 @@ import (
 	"fftgrad/internal/models"
 	"fftgrad/internal/netsim"
 	"fftgrad/internal/nn"
+	"fftgrad/internal/obs"
 	"fftgrad/internal/optim"
 	"fftgrad/internal/serve"
 	"fftgrad/internal/sparsify"
@@ -64,6 +70,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "record a per-iteration distributed timeline and write it here as Chrome trace_event JSON (open in ui.perfetto.dev)")
 	traceIters := flag.Int("trace-iters", 256, "with -trace-out, iterations of history the per-rank trace ring retains")
 	pprofOn := flag.Bool("pprof", false, "with -metrics-addr, also serve net/http/pprof under /debug/pprof/")
+	profileOn := flag.Bool("profile", false, "enable the cross-rank iteration profiler: critical paths, straggler blame, anomaly-triggered capture")
+	profileOut := flag.String("profile-out", "", "write the end-of-run iteration profile here as JSON (implies -profile)")
+	topView := flag.Bool("top", false, "live per-rank blame / critical-path table on stderr while training runs (implies -profile)")
 	adaptive := flag.Bool("adapt", false, "let the online perf-model controller bypass compression when it cannot win on the fabric")
 	adaptTheta := flag.Bool("adapt-theta", false, "with -adapt, also let the controller steer theta toward the beneficial ratio")
 
@@ -254,8 +263,31 @@ func main() {
 			}
 		}()
 	}
+	var prof *obs.Profiler
+	var stopCapture func()
+	if *profileOn || *profileOut != "" || *topView {
+		prof = obs.New(*workers+len(joinIters), 0)
+		cfg.Profiler = prof
+		if cfg.Telemetry == nil {
+			// The profiler's rolling blame percentiles live in telemetry
+			// histograms; give it a registry even without -metrics-addr.
+			cfg.Telemetry = telemetry.NewRegistry()
+		}
+		// Anomaly captures (pprof CPU window + flight dump + cross-link)
+		// land next to the profile output, else the trace output, else cwd.
+		capDir := "."
+		switch {
+		case *profileOut != "":
+			capDir = filepath.Dir(*profileOut)
+		case *traceOut != "":
+			capDir = filepath.Dir(*traceOut)
+		}
+		stopCapture = prof.EnableCapture(obs.CaptureConfig{Dir: capDir, Flight: cfg.Flight})
+	}
+	var draining atomic.Bool // flips /readyz once a halt is requested
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
+		buildinfo.Register(cfg.Telemetry)
 		mux.Handle("/", cfg.Telemetry.Handler())
 		if tracer != nil {
 			mux.Handle("/trace", tracer.Handler())
@@ -267,6 +299,27 @@ func main() {
 			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		}
+		if prof != nil {
+			mux.Handle("/profile", prof.Handler())
+			if tracer != nil {
+				mux.HandleFunc("/trace/merged", func(w http.ResponseWriter, _ *http.Request) {
+					w.Header().Set("Content-Type", "application/json")
+					_ = tracer.WriteMergedJSON(w, prof.Offsets())
+				})
+			}
+		}
+		mux.Handle("/debug/status", prof.StatusHandler(tracer.DroppedTotal))
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = io.WriteString(w, "ok\n")
+		})
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			if draining.Load() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_, _ = io.WriteString(w, "draining\n")
+				return
+			}
+			_, _ = io.WriteString(w, "ok\n")
+		})
 		bound, shutdown, err := telemetry.ServeHandler(*metricsAddr, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -279,6 +332,9 @@ func main() {
 		}
 		if *pprofOn {
 			fmt.Printf("pprof:   http://%s/debug/pprof/\n", bound)
+		}
+		if prof != nil {
+			fmt.Printf("profile: http://%s/profile (critical paths, blame ledger) and /debug/status\n", bound)
 		}
 	}
 
@@ -295,13 +351,34 @@ func main() {
 	go func() {
 		<-sigCh
 		fmt.Fprintln(os.Stderr, "signal: halting at the next iteration boundary (send again to force quit)")
+		draining.Store(true)
 		close(stopCh)
 		<-sigCh
 		os.Exit(130)
 	}()
 
 	fmt.Printf("training %s with %s (θ=%.2f) on %d workers\n", *model, *method, *theta, *workers)
+	var stopTop func()
+	if *topView {
+		topStop := make(chan struct{})
+		topDone := make(chan struct{})
+		go func() {
+			prof.Top(os.Stderr, 0, topStop)
+			close(topDone)
+		}()
+		stopTop = func() {
+			close(topStop)
+			<-topDone
+			fmt.Fprintln(os.Stderr)
+		}
+	}
 	res, err := dist.Train(cfg)
+	if stopTop != nil {
+		stopTop()
+	}
+	if stopCapture != nil {
+		stopCapture() // drain the anomaly-capture worker before dumping
+	}
 	if tracer != nil {
 		// Dump the timeline even when training failed: the final
 		// iterations leading into the error are exactly what a
@@ -314,6 +391,48 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trace dump failed: %v\n", merr)
 		} else {
 			fmt.Printf("trace: wrote %s (%d bytes; open in ui.perfetto.dev)\n", *traceOut, len(data))
+		}
+		if prof != nil {
+			// The clock-aligned multi-process view: every rank's ring merged
+			// into one timeline, re-based by the profiler's offset estimates.
+			var buf bytes.Buffer
+			if merr := tracer.WriteMergedJSON(&buf, prof.Offsets()); merr == nil {
+				mp := mergedPath(*traceOut)
+				if werr := checkpoint.WriteBytesAtomic(mp, buf.Bytes()); werr != nil {
+					fmt.Fprintf(os.Stderr, "merged trace dump failed: %v\n", werr)
+				} else {
+					fmt.Printf("trace: wrote %s (clock-aligned multi-process view)\n", mp)
+				}
+			}
+		}
+	}
+	if prof != nil {
+		// Dump the profile even when training failed, like the trace: the
+		// blame ledger of the iterations before the error is the postmortem.
+		doc := prof.BuildProfile(true)
+		topRank, topFrac := -1, 0.0
+		for _, b := range doc.Blame {
+			if b.BlamedFrac > topFrac {
+				topRank, topFrac = b.Rank, b.BlamedFrac
+			}
+		}
+		if topRank >= 0 {
+			fmt.Printf("profile: top blamed rank %d (%.0f%% of %.3fs blocked time over %d iterations)\n",
+				topRank, 100*topFrac, float64(doc.Summary.TotalBlockedNs)/1e9, doc.Summary.Iterations)
+		}
+		if n := len(doc.Captures); n > 0 {
+			fmt.Printf("profile: %d anomaly capture(s) written: pprof CPU window + flight dump, cross-linked by iteration\n", n)
+		}
+		if *profileOut != "" {
+			data, merr := json.MarshalIndent(&doc, "", "  ")
+			if merr == nil {
+				merr = checkpoint.WriteBytesAtomic(*profileOut, data)
+			}
+			if merr != nil {
+				fmt.Fprintf(os.Stderr, "profile dump failed: %v\n", merr)
+			} else {
+				fmt.Printf("profile: wrote %s (%d bytes)\n", *profileOut, len(data))
+			}
 		}
 	}
 	if err != nil {
@@ -406,7 +525,9 @@ func runServe(addr string, cfg serve.Config) {
 	}
 	srv := serve.New(cfg)
 	mux := http.NewServeMux()
-	mux.Handle("/", telemetry.NewRegistry().Handler())
+	reg := telemetry.NewRegistry()
+	buildinfo.Register(reg)
+	mux.Handle("/", reg.Handler())
 	srv.Routes(mux)
 	bound, shutdown, err := telemetry.ServeHandler(addr, mux)
 	if err != nil {
@@ -436,6 +557,13 @@ func runServe(addr string, cfg serve.Config) {
 func flightPath(traceOut string) string {
 	ext := filepath.Ext(traceOut)
 	return strings.TrimSuffix(traceOut, ext) + ".flight" + ext
+}
+
+// mergedPath derives the merged multi-process timeline path from the
+// trace output path: trace.json -> trace.merged.json.
+func mergedPath(traceOut string) string {
+	ext := filepath.Ext(traceOut)
+	return strings.TrimSuffix(traceOut, ext) + ".merged" + ext
 }
 
 func buildCompressor(method string, theta float64) (func() compress.Compressor, error) {

@@ -1,0 +1,82 @@
+// Package buildinfo resolves the binary's build identity — the module
+// version (or VCS revision) and the Go toolchain — once, so every
+// observability surface stamps the same answer: the
+// fftgrad_build_info{version,go} gauge, the Perfetto export metadata,
+// flight-recorder dumps, and the profiler's JSON profiles. When a
+// timeline from one box is compared against metrics from another, the
+// stamps say immediately whether the two artifacts came from the same
+// build.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"fftgrad/internal/telemetry"
+)
+
+var (
+	once    sync.Once
+	version string
+)
+
+// Version returns the build's version string: the main module version
+// when the binary was built from a tagged module, else the VCS revision
+// (12-hex prefix, "+dirty" when the tree was modified), else "dev".
+func Version() string {
+	once.Do(func() {
+		version = resolve()
+	})
+	return version
+}
+
+func resolve() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// GoVersion returns the toolchain that built the binary (runtime.Version).
+func GoVersion() string { return runtime.Version() }
+
+// Register exposes the standard build-info gauge on reg:
+//
+//	fftgrad_build_info{version="<rev>",go="<toolchain>"} 1
+//
+// — the Prometheus convention of a constant-1 gauge whose labels carry
+// the identity, so dashboards join any other series against the build
+// that produced it.
+func Register(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	name := fmt.Sprintf(`fftgrad_build_info{version=%q,go=%q}`, Version(), GoVersion())
+	reg.GaugeFunc(name, "Build identity of this binary; the value is always 1.",
+		func() float64 { return 1 })
+}

@@ -52,6 +52,7 @@ func (m *Member) ExchangeBounded(seq uint64, payload []byte, window uint64) (*Ex
 	m.viewEpoch = view.Epoch
 	m.rt.noteExchangeStart(m.rank, seq)
 	m.tc.SetIter(seq)
+	m.resetArrivals()
 	m.storeSent(seq, payload)
 
 	msgs := make([][]byte, m.p)
@@ -170,6 +171,7 @@ func (m *Member) ExchangeBounded(seq uint64, payload []byte, window uint64) (*Ex
 	if res.Degraded {
 		m.rt.noteDegraded(m.rank)
 	}
+	m.attributeWait(res)
 	latest := m.rt.View()
 	res.EpochChanged = latest.Epoch != startEpoch
 	res.View = latest
@@ -217,6 +219,7 @@ func (m *Member) GossipExchange(seq uint64, payload []byte, window uint64) (*Gos
 	m.viewEpoch = view.Epoch
 	m.rt.noteExchangeStart(m.rank, seq)
 	m.tc.SetIter(seq)
+	m.resetArrivals()
 	m.storeSent(seq, payload)
 
 	nbrs := RingNeighbors(m.rank, view.Alive)

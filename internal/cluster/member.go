@@ -58,6 +58,20 @@ type ExchangeResult struct {
 	// (a suspicion or rejoin happened); the caller should force a
 	// parameter re-sync to repair any divergence.
 	EpochChanged bool
+
+	// SlowestPeer is the rank whose *fresh* payload arrived last during
+	// this exchange, -1 when no fresh peer payload arrived after the
+	// exchange began (all adopted from pending, stale-filled, or p == 1).
+	// This is the straggler-attribution signal: a chaos/netsim straggler
+	// delays message *delivery*, so its own iteration runs on time while
+	// every peer sits in collect waiting for its data — arrival order
+	// inside the exchange is the only place that shows up.
+	SlowestPeer int
+	// WaitNs is the marginal wait SlowestPeer caused: its arrival time
+	// minus the next-latest fresh arrival. That difference is time this
+	// rank spent blocked on SlowestPeer alone — had it arrived with the
+	// pack, the exchange would have completed WaitNs earlier.
+	WaitNs int64
 }
 
 // Member is one rank's handle on the failure-aware runtime: it owns the
@@ -106,6 +120,14 @@ type Member struct {
 	// lock-free append makes that safe.
 	tc *trace.Ctx
 
+	// arrivalNs[j] is when rank j's fresh payload for the exchange in
+	// progress landed, in ns since exStart (0 = not yet / adopted from
+	// pending before the exchange began). Reset at every exchange start
+	// and filled by absorb; both run on the exchange goroutine, so plain
+	// fields are race-safe.
+	arrivalNs []int64
+	exStart   time.Time
+
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -127,6 +149,7 @@ func (rt *Runtime) Join(tr comm.Transport) *Member {
 		lastGoodSeq: make([]uint64, rt.p),
 		lag:         make([]*telemetry.EWMA, rt.p),
 		lastSeen:    make([]atomic.Int64, rt.p),
+		arrivalNs:   make([]int64, rt.p),
 		tc:          rt.tracer.Rank(rank),
 		closed:      make(chan struct{}),
 	}
@@ -356,6 +379,7 @@ func (m *Member) Exchange(seq uint64, payload []byte) (*ExchangeResult, error) {
 	m.viewEpoch = view.Epoch
 	m.rt.noteExchangeStart(m.rank, seq)
 	m.tc.SetIter(seq)
+	m.resetArrivals()
 	m.storeSent(seq, payload)
 
 	msgs := make([][]byte, m.p)
@@ -472,10 +496,64 @@ func (m *Member) Exchange(seq uint64, payload []byte) (*ExchangeResult, error) {
 	if res.Degraded {
 		m.rt.noteDegraded(m.rank)
 	}
+	m.attributeWait(res)
 	latest := m.rt.View()
 	res.EpochChanged = latest.Epoch != startEpoch
 	res.View = latest
 	return res, nil
+}
+
+// resetArrivals opens a new blame window: fresh-arrival times are
+// measured from the moment this rank entered the exchange.
+func (m *Member) resetArrivals() {
+	m.exStart = time.Now()
+	for j := range m.arrivalNs {
+		m.arrivalNs[j] = 0
+	}
+}
+
+// noteArrival marks peer j's fresh payload as landed now (first landing
+// wins; resends of the same payload do not move the needle).
+func (m *Member) noteArrival(j int) {
+	if j < 0 || j >= len(m.arrivalNs) || m.arrivalNs[j] != 0 {
+		return
+	}
+	ns := int64(time.Since(m.exStart))
+	if ns <= 0 {
+		ns = 1 // coarse clock: still distinguish "arrived" from "never"
+	}
+	m.arrivalNs[j] = ns
+}
+
+// attributeWait fills res.SlowestPeer and res.WaitNs from the blame
+// window: the fresh contributor that arrived last, and its arrival
+// minus the next-latest fresh arrival — the wait it alone caused.
+// Stale fills and payloads adopted from pending are excluded: nobody
+// waited for those inside this exchange.
+func (m *Member) attributeWait(res *ExchangeResult) {
+	res.SlowestPeer = -1
+	var slow, second int64
+	for j := range res.Msgs {
+		if j == m.rank || j >= len(m.arrivalNs) || res.Msgs[j] == nil {
+			continue
+		}
+		if len(res.Stale) > j && res.Stale[j] {
+			continue
+		}
+		ns := m.arrivalNs[j]
+		if ns == 0 {
+			continue
+		}
+		if ns > slow {
+			second = slow
+			slow, res.SlowestPeer = ns, j
+		} else if ns > second {
+			second = ns
+		}
+	}
+	if res.SlowestPeer >= 0 {
+		res.WaitNs = slow - second
+	}
 }
 
 // collect drains dataCh into msgs until the exchange is complete for the
@@ -520,6 +598,7 @@ func (m *Member) absorb(seq uint64, msgs [][]byte, msg comm.Message) {
 	case msg.Seq == seq:
 		if msg.From >= 0 && msg.From < m.p && msgs[msg.From] == nil {
 			msgs[msg.From] = msg.Payload
+			m.noteArrival(msg.From)
 			m.tc.Instant(trace.OpRecvPeer, int64(msg.From))
 		}
 	case msg.Seq > seq:

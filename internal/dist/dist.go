@@ -31,6 +31,7 @@ import (
 	"fftgrad/internal/data"
 	"fftgrad/internal/guard"
 	"fftgrad/internal/nn"
+	"fftgrad/internal/obs"
 	"fftgrad/internal/optim"
 	"fftgrad/internal/pack"
 	"fftgrad/internal/sparsify"
@@ -147,6 +148,16 @@ type Config struct {
 	// disk the moment a guard rollback, quorum loss, chaos crash window
 	// or worker panic fires (see trace.FlightRecorder).
 	Flight *trace.FlightRecorder
+
+	// Profiler, when non-nil, receives one obs.IterRecord per rank per
+	// iteration — the cross-rank iteration profiler (internal/obs): clock
+	// alignment for merged timelines, per-iteration critical paths with
+	// the straggler blame ledger, and the EWMA anomaly engine. The only
+	// hot-path touch is RankCtx.Commit (zero allocations); training output
+	// is bit-identical with or without it. On the Fault path the committed
+	// records carry the cluster's in-exchange straggler attribution
+	// (ExchangeResult.SlowestPeer/WaitNs).
+	Profiler *obs.Profiler
 
 	// CheckpointEvery, when > 0, invokes OnCheckpoint with rank-0's
 	// captured state every CheckpointEvery epochs. The callback runs on
@@ -417,6 +428,8 @@ func Train(c Config) (*Result, error) {
 	}
 	if cfg.Telemetry != nil {
 		cluster.Instrument(cfg.Telemetry)
+		cfg.Tracer.Instrument(cfg.Telemetry)
+		cfg.Profiler.Instrument(cfg.Telemetry)
 		cfg.stageTimer.Register(cfg.Telemetry)
 		if cfg.Adapt != nil {
 			cfg.Adapt.Register(cfg.Telemetry)
@@ -473,6 +486,7 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 	tc := cfg.Tracer.Rank(rank)
 	wst := cfg.stageTimer.WithSink(tc.StageSink())
 	cm.AttachTrace(tc)
+	oc := cfg.Profiler.Rank(rank)
 
 	net := cfg.Model(cfg.Seed) // identical init on every rank
 	n := net.NumParams()
@@ -565,6 +579,10 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 		if tc != nil {
 			tIter = time.Now()
 		}
+		var obsStart int64
+		if oc != nil {
+			obsStart = oc.NowNs()
+		}
 		theta := math.NaN()
 		if cfg.ThetaSchedule != nil {
 			theta = cfg.ThetaSchedule.Theta(epoch)
@@ -638,6 +656,7 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 		var compressT, decompressT time.Duration
 		var exchangeS float64
 		var msgBytes, maxBytes int
+		var exchEndNs int64 // barrier-anchored exchange-end instant (obs)
 		inv := 1 / float32(p)
 		if cfg.UseSparseAllreduce {
 			sparseTheta := cfg.SparseTheta
@@ -664,6 +683,9 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			exchangeD := time.Since(tEx)
 			exchangeS = exchangeD.Seconds()
 			tc.SpanTimed(trace.OpExchange, int64(moved), tEx, exchangeD)
+			if oc != nil {
+				exchEndNs = oc.NowNs()
+			}
 
 			t0 = time.Now()
 			reduced.Unpack(avg)
@@ -679,6 +701,12 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 		} else if bs != nil {
 			if err := bs.exchange(iter, grad, avg, recon, compressed); err != nil {
 				return nil, fmt.Errorf("dist: rank %d: %w", rank, err)
+			}
+			// The bucketed pipeline interleaves exchange and decompress;
+			// the instant after the last bucket's round stands in for the
+			// barrier anchor.
+			if oc != nil {
+				exchEndNs = oc.NowNs()
 			}
 			compressT, decompressT = bs.compressT, bs.decompressT
 			exchangeS = bs.exchangeS
@@ -708,6 +736,9 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			exchangeD := time.Since(tEx)
 			exchangeS = exchangeD.Seconds()
 			tc.SpanTimed(trace.OpExchange, int64(msgBytes), tEx, exchangeD)
+			if oc != nil {
+				exchEndNs = oc.NowNs()
+			}
 			for _, m := range msgs {
 				if len(m) > maxBytes {
 					maxBytes = len(m)
@@ -820,9 +851,10 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 
 		// --- periodic parameter re-broadcast -------------------------------
 		var syncBytes int
+		var syncD time.Duration
 		if (iter+1)%cfg.SyncEvery == 0 || forceSync {
 			var tSync time.Time
-			if tc != nil {
+			if tc != nil || oc != nil {
 				tSync = time.Now()
 			}
 			if syncFlat == nil {
@@ -852,9 +884,28 @@ func runWorker(cfg Config, cm *comm.Comm) (*Result, error) {
 			syncBytes = n * 4
 			forceSync = false
 			tc.SpanSince(trace.OpSync, int64(syncBytes), tSync)
+			if oc != nil {
+				syncD = time.Since(tSync)
+			}
 		}
 		gs.maybeRetain(iter, epoch, net, sgd)
 		tc.SpanSince(trace.OpIteration, int64(msgBytes), tIter)
+		if oc != nil {
+			oc.Commit(obs.IterRecord{
+				Iter:         int64(iter),
+				StartNs:      obsStart,
+				ExchEndNs:    exchEndNs,
+				EndNs:        oc.NowNs(),
+				ComputeNs:    computeT.Nanoseconds(),
+				CompressNs:   compressT.Nanoseconds(),
+				ExchangeNs:   int64(exchangeS * 1e9),
+				DecompressNs: decompressT.Nanoseconds(),
+				UpdateNs:     updateT.Nanoseconds(),
+				SyncNs:       syncD.Nanoseconds(),
+				MsgBytes:     int64(msgBytes),
+				BlamePeer:    -1, // barrier path: skew reconstructed in obs
+			})
+		}
 
 		// --- bookkeeping (rank 0) ------------------------------------------
 		if isRoot {

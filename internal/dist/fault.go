@@ -60,6 +60,7 @@ import (
 	"fftgrad/internal/data"
 	"fftgrad/internal/guard"
 	"fftgrad/internal/nn"
+	"fftgrad/internal/obs"
 	"fftgrad/internal/optim"
 	"fftgrad/internal/telemetry"
 	"fftgrad/internal/trace"
@@ -197,6 +198,8 @@ func trainFault(cfg Config) (*Result, error) {
 		if harness != nil {
 			harness.Instrument(cfg.Telemetry)
 		}
+		cfg.Tracer.Instrument(cfg.Telemetry)
+		cfg.Profiler.Instrument(cfg.Telemetry)
 		cfg.stageTimer.Register(cfg.Telemetry)
 		if cfg.Adapt != nil {
 			cfg.Adapt.Register(cfg.Telemetry)
@@ -349,6 +352,7 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime, startIte
 	// same rank track (attached at Join via Runtime.AttachTracer).
 	tc := cfg.Tracer.Rank(rank)
 	wst := cfg.stageTimer.WithSink(tc.StageSink())
+	oc := cfg.Profiler.Rank(rank)
 
 	net := cfg.Model(cfg.Seed)
 	n := net.NumParams()
@@ -507,6 +511,10 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime, startIte
 		if tc != nil {
 			tIter = time.Now()
 		}
+		var obsStart int64
+		if oc != nil {
+			obsStart = oc.NowNs()
+		}
 		theta := math.NaN()
 		if cfg.ThetaSchedule != nil {
 			theta = cfg.ThetaSchedule.Theta(epoch)
@@ -588,6 +596,12 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime, startIte
 		var compressT, decompressT time.Duration
 		var exchangeS float64
 		var msgBytes, maxBytes int
+		var exchEndNs int64 // exchange-end instant (obs)
+		// The cluster layer's in-exchange straggler attribution: the peer
+		// this rank waited for longest this iteration and the marginal
+		// wait it caused (see ExchangeResult.SlowestPeer). Gossip has no
+		// global round to attribute, so it stays -1 there.
+		blamePeer, blameWait := int64(-1), int64(0)
 		var ex *cluster.ExchangeResult
 		var view cluster.View
 		epochChanged := false
@@ -611,6 +625,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime, startIte
 			exchangeD := time.Since(tEx)
 			exchangeS = exchangeD.Seconds()
 			tc.SpanTimed(trace.OpExchange, int64(msgBytes), tEx, exchangeD)
+			if oc != nil {
+				exchEndNs = oc.NowNs()
+			}
 			if gerr != nil {
 				if cluster.IsRecoverable(gerr) {
 					cfg.Flight.Trigger(rank, trace.ReasonCrash)
@@ -707,6 +724,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime, startIte
 				exD := time.Since(tEx)
 				exchangeS += exD.Seconds()
 				tc.SpanTimed(trace.OpExchange, int64(len(msg)), tEx, exD)
+				if oc != nil {
+					exchEndNs = oc.NowNs() // last bucket's round wins
+				}
 				if err != nil {
 					if cluster.IsRecoverable(err) {
 						// Crash mid-iteration, between bucket rounds: dump
@@ -725,6 +745,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime, startIte
 						break
 					}
 					return nil, fmt.Errorf("dist: rank %d exchange %d.%d: %w", rank, iter, b, err)
+				}
+				if exb.SlowestPeer >= 0 && exb.WaitNs > blameWait {
+					blamePeer, blameWait = int64(exb.SlowestPeer), exb.WaitNs
 				}
 				t0 = time.Now()
 				// In strict mode a stale cache entry was served from the
@@ -819,6 +842,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime, startIte
 			exchangeD := time.Since(tEx)
 			exchangeS = exchangeD.Seconds()
 			tc.SpanTimed(trace.OpExchange, int64(msgBytes), tEx, exchangeD)
+			if oc != nil {
+				exchEndNs = oc.NowNs()
+			}
 			if err != nil {
 				if cluster.IsRecoverable(err) {
 					// The local transport is inside a chaos crash window (or this
@@ -836,6 +862,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime, startIte
 					continue
 				}
 				return nil, fmt.Errorf("dist: rank %d exchange %d: %w", rank, iter, err)
+			}
+			if ex.SlowestPeer >= 0 {
+				blamePeer, blameWait = int64(ex.SlowestPeer), ex.WaitNs
 			}
 
 			// --- average over actual contributors -------------------------
@@ -921,9 +950,10 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime, startIte
 		// parameter-consensus gossip round under the same Metropolis
 		// weights (no root to depend on).
 		var syncBytes int
+		var syncD time.Duration
 		if (iter+1)%cfg.SyncEvery == 0 || forceSync || epochChanged {
 			var tSync time.Time
-			if tc != nil {
+			if tc != nil || oc != nil {
 				tSync = time.Now()
 			}
 			if gossipMode {
@@ -973,6 +1003,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime, startIte
 				}
 				forceSync = false
 				tc.SpanSince(trace.OpSync, int64(syncBytes), tSync)
+				if oc != nil {
+					syncD = time.Since(tSync)
+				}
 			} else {
 				root := view.LowestAlive()
 				if root >= 0 {
@@ -1007,6 +1040,9 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime, startIte
 				}
 				forceSync = false
 				tc.SpanSince(trace.OpSync, int64(syncBytes), tSync)
+				if oc != nil {
+					syncD = time.Since(tSync)
+				}
 			}
 		}
 
@@ -1083,6 +1119,23 @@ func runWorkerFault(cfg Config, m *cluster.Member, rt *cluster.Runtime, startIte
 		}
 		gs.maybeRetain(iter, epoch, net, sgd)
 		tc.SpanSince(trace.OpIteration, int64(msgBytes), tIter)
+		if oc != nil {
+			oc.Commit(obs.IterRecord{
+				Iter:         int64(iter),
+				StartNs:      obsStart,
+				ExchEndNs:    exchEndNs,
+				EndNs:        oc.NowNs(),
+				ComputeNs:    computeT.Nanoseconds(),
+				CompressNs:   compressT.Nanoseconds(),
+				ExchangeNs:   int64(exchangeS * 1e9),
+				DecompressNs: decompressT.Nanoseconds(),
+				UpdateNs:     updateT.Nanoseconds(),
+				SyncNs:       syncD.Nanoseconds(),
+				MsgBytes:     int64(msgBytes),
+				BlamePeer:    blamePeer,
+				BlameWaitNs:  blameWait,
+			})
+		}
 		iter++
 	}
 

@@ -12,6 +12,7 @@ package dist
 import (
 	"fftgrad/internal/checkpoint"
 	"fftgrad/internal/guard"
+	"fftgrad/internal/obs"
 	"fftgrad/internal/telemetry"
 	"fftgrad/internal/trace"
 )
@@ -38,6 +39,11 @@ type JobHarness struct {
 	Tracer *trace.Tracer
 	// Flight dumps the job's trace ring on rollback/crash/panic.
 	Flight *trace.FlightRecorder
+	// Profiler is the job-scoped cross-rank iteration profiler
+	// (internal/obs): critical paths, the straggler blame ledger and the
+	// anomaly engine behind /jobs/{id}/profile. BSP backends commit one
+	// record per rank per iteration; the PS backend ignores it.
+	Profiler *obs.Profiler
 	// Resume restores parameters and optimizer state before training
 	// starts — how a drained job continues after a service restart.
 	Resume *checkpoint.State
@@ -131,6 +137,9 @@ func (j bspJob) Run(h JobHarness) (*JobResult, error) {
 	}
 	if h.Flight != nil {
 		cfg.Flight = h.Flight
+	}
+	if h.Profiler != nil {
+		cfg.Profiler = h.Profiler
 	}
 	if h.Resume != nil {
 		cfg.Resume = h.Resume

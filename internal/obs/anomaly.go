@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"fftgrad/internal/buildinfo"
+	"fftgrad/internal/checkpoint"
+	"fftgrad/internal/trace"
+)
+
+// The rolling anomaly engine: per-rank EWMA mean/variance over iteration
+// latency and per-stage shares, updated on every Commit. A sample whose
+// z-score breaches the threshold after warm-up fires an anomalyEvent
+// into the capture channel — non-blocking, so a storm of breaches while
+// a capture is in flight degrades to a counter bump, never a stall on
+// the training path.
+
+const (
+	// anomalyWarmup: samples before z-scores are trusted — the EWMA needs
+	// to see the steady state before deviations from it mean anything.
+	anomalyWarmup = 32
+	// anomalyZ: |z| breach threshold. 4 sigma on an EWMA variance is
+	// deliberately coarse: the engine exists to catch a rank falling off
+	// a cliff (GC pause, page-in, a straggling link), not ±10% jitter.
+	anomalyZ = 4.0
+	// ewmaAlpha: smoothing factor for mean/variance tracking.
+	ewmaAlpha = 0.05
+)
+
+// ewmaZ tracks an EWMA mean/variance and scores new samples against it.
+type ewmaZ struct {
+	mean, varr float64
+	n          int64
+}
+
+// observe returns the sample's z-score against the state *before* the
+// update (0 until warm-up completes), then folds the sample in.
+func (e *ewmaZ) observe(x float64) float64 {
+	var z float64
+	d := x - e.mean
+	if e.n >= anomalyWarmup && e.varr > 0 {
+		z = d / math.Sqrt(e.varr)
+	}
+	if e.n == 0 {
+		e.mean = x
+	} else {
+		e.mean += ewmaAlpha * d
+		e.varr = (1 - ewmaAlpha) * (e.varr + ewmaAlpha*d*d)
+	}
+	e.n++
+	return z
+}
+
+// anomalyState is one rank's engine cell, touched only by that rank's
+// Commit goroutine.
+type anomalyState struct {
+	latency   ewmaZ // iteration latency (seconds)
+	commShare ewmaZ // exchange share of the iteration
+	compShare ewmaZ // compute share of the iteration
+	_         [40]byte // pad: keep neighbouring ranks off one cache line
+}
+
+// anomalyEvent is one breach handed to the capture worker.
+type anomalyEvent struct {
+	Rank   int     `json:"rank"`
+	Iter   int64   `json:"iter"`
+	Metric string  `json:"metric"` // "latency" | "comm_share" | "compute_share"
+	Value  float64 `json:"value"`
+	Z      float64 `json:"zscore"`
+}
+
+// anomalyCheck scores one committed record. Pure float math plus, on
+// breach, a counter bump and a non-blocking channel send — no allocation
+// (the metric names are string constants).
+func (p *Profiler) anomalyCheck(rank int, rec *IterRecord, latency float64) {
+	st := &p.anom[rank]
+	wall := float64(rec.EndNs - rec.StartNs)
+	var commShare, compShare float64
+	if wall > 0 {
+		commShare = float64(rec.ExchangeNs) / wall
+		compShare = float64(rec.ComputeNs) / wall
+	}
+	if z := st.latency.observe(latency); z > anomalyZ || z < -anomalyZ {
+		p.breach(rank, rec.Iter, "latency", latency, z)
+	}
+	if z := st.commShare.observe(commShare); z > anomalyZ || z < -anomalyZ {
+		p.breach(rank, rec.Iter, "comm_share", commShare, z)
+	}
+	if z := st.compShare.observe(compShare); z > anomalyZ || z < -anomalyZ {
+		p.breach(rank, rec.Iter, "compute_share", compShare, z)
+	}
+}
+
+func (p *Profiler) breach(rank int, iter int64, metric string, v, z float64) {
+	p.breaches.Add(1)
+	if p.captureCh == nil {
+		return
+	}
+	select {
+	case p.captureCh <- anomalyEvent{Rank: rank, Iter: iter, Metric: metric, Value: v, Z: z}:
+	default: // capture in flight or queue full: the counter already recorded it
+	}
+}
+
+// CaptureConfig wires the anomaly engine to its capture side-effects.
+type CaptureConfig struct {
+	// Dir receives the pprof CPU profiles and cross-link files.
+	Dir string
+	// Flight, when set, dumps the trace ring on each capture (reason
+	// "anomaly") so the timeline and the CPU profile cover the same
+	// moment.
+	Flight *trace.FlightRecorder
+	// MaxCaptures caps captures per run (<= 0 selects 4): anomalies
+	// cluster, and each capture costs a CPUProfileDur pause of *sampling*
+	// (not stopping) plus two file writes.
+	MaxCaptures int
+	// CPUProfileDur is how long the CPU profile samples (<= 0 selects
+	// 250ms) — long enough to catch the culprit of a latency cliff that
+	// is still happening, short enough to stay out of the way.
+	CPUProfileDur time.Duration
+}
+
+// capturer is the background capture worker's state.
+type capturer struct {
+	cfg      CaptureConfig
+	done     chan struct{}
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	captures []CaptureRecord
+}
+
+// CaptureRecord cross-links one capture's artifacts by iteration.
+type CaptureRecord struct {
+	anomalyEvent
+	CPUProfile string `json:"cpu_profile,omitempty"`
+	FlightDump string `json:"flight_dump,omitempty"`
+	CrossLink  string `json:"cross_link,omitempty"`
+	Version    string `json:"version"`
+	Go         string `json:"go"`
+}
+
+// EnableCapture starts the anomaly-capture worker: every breach (up to
+// MaxCaptures) captures a pprof CPU profile window, triggers the flight
+// recorder, and writes a cross-link JSON keyed by iteration tying the
+// two artifacts together. Returns a stop function that drains the worker
+// (idempotent). Call once per run, before training starts (like
+// Instrument, the channel wiring is not synchronized against Commit); a
+// second call on the same profiler is a no-op.
+func (p *Profiler) EnableCapture(cfg CaptureConfig) func() {
+	if p == nil || p.capt != nil {
+		return func() {}
+	}
+	if cfg.MaxCaptures <= 0 {
+		cfg.MaxCaptures = 4
+	}
+	if cfg.CPUProfileDur <= 0 {
+		cfg.CPUProfileDur = 250 * time.Millisecond
+	}
+	c := &capturer{cfg: cfg, done: make(chan struct{})}
+	p.capt = c
+	p.captureCh = make(chan anomalyEvent, 8)
+	c.wg.Add(1)
+	go c.run(p)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(c.done)
+			c.wg.Wait()
+		})
+	}
+}
+
+// Captures returns the cross-linked capture records so far (nil when
+// capture was never enabled).
+func (p *Profiler) Captures() []CaptureRecord {
+	if p == nil || p.capt == nil {
+		return nil
+	}
+	c := p.capt
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]CaptureRecord(nil), c.captures...)
+}
+
+func (c *capturer) run(p *Profiler) {
+	defer c.wg.Done()
+	taken := 0
+	for {
+		select {
+		case <-c.done:
+			return
+		case ev := <-p.captureCh:
+			if taken >= c.cfg.MaxCaptures {
+				continue
+			}
+			taken++
+			c.capture(ev)
+		}
+	}
+}
+
+// capture performs one anomaly capture: CPU profile window, flight dump,
+// cross-link file. Failures degrade field by field — a capture that can
+// only produce the flight dump still cross-links it.
+func (c *capturer) capture(ev anomalyEvent) {
+	rec := CaptureRecord{
+		anomalyEvent: ev,
+		Version:      buildinfo.Version(),
+		Go:           buildinfo.GoVersion(),
+	}
+	if c.cfg.Dir != "" {
+		if err := os.MkdirAll(c.cfg.Dir, 0o755); err == nil {
+			cpuPath := filepath.Join(c.cfg.Dir, fmt.Sprintf("obs-cpu-iter%d.pprof", ev.Iter))
+			if f, err := os.Create(cpuPath); err == nil {
+				if err := pprof.StartCPUProfile(f); err == nil {
+					timer := time.NewTimer(c.cfg.CPUProfileDur)
+					select {
+					case <-timer.C:
+					case <-c.done:
+						timer.Stop()
+					}
+					pprof.StopCPUProfile()
+					rec.CPUProfile = cpuPath
+				}
+				_ = f.Close()
+			}
+		}
+	}
+	if c.cfg.Flight != nil {
+		rec.FlightDump = c.cfg.Flight.Trigger(ev.Rank, trace.ReasonAnomaly)
+	}
+	if c.cfg.Dir != "" {
+		link := filepath.Join(c.cfg.Dir, fmt.Sprintf("obs-anomaly-iter%d.json", ev.Iter))
+		if data, err := json.MarshalIndent(&rec, "", "  "); err == nil {
+			if err := checkpoint.WriteBytesAtomic(link, data); err == nil {
+				rec.CrossLink = link
+			}
+		}
+	}
+	fmt.Printf("obs: anomaly capture iter %d rank %d (%s z=%.1f): cpu=%s flight=%s\n",
+		ev.Iter, ev.Rank, ev.Metric, ev.Z, orNone(rec.CPUProfile), orNone(rec.FlightDump))
+	c.mu.Lock()
+	c.captures = append(c.captures, rec)
+	c.mu.Unlock()
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}

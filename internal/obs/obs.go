@@ -1,0 +1,355 @@
+// Package obs is the cross-rank iteration profiler: it turns the
+// per-rank stage measurements the training loops already take (the
+// paper's Sec. 3.3 terms — compute, Tm/Tf/Ts/Tp inside compress, the
+// exchange, decompress, update, sync) into *cross-rank* attribution:
+//
+//   - a clock-aligned global timeline. On the TCP/netsim paths each rank
+//     records against its own monotonic epoch; the profiler estimates
+//     per-rank clock offsets from the barrier-anchored exchange-end
+//     instants (all ranks leave a BSP allgather at nearly the same wall
+//     moment) and hands them to trace.WriteMergedJSON for a single
+//     multi-process Perfetto view.
+//
+//   - a per-iteration critical path: which rank set the pace, how its
+//     wall time decomposes into stage terms plus comm-wait, and a
+//     straggler "blame ledger" attributing each rank's blocked time to
+//     the rank that caused it, with rolling per-rank blame percentiles
+//     fed into telemetry histograms.
+//
+//   - a rolling anomaly engine: EWMA z-scores over iteration latency and
+//     per-stage shares; a breach auto-captures a pprof CPU profile
+//     alongside the flight-recorder dump, cross-linked by iteration.
+//
+// Design constraints match the rest of the observability stack: a nil
+// *Profiler / *RankCtx is valid and records nothing, and the
+// steady-state record path (RankCtx.Commit) performs zero allocations —
+// seqlock stores, EWMA float math, histogram atomics and a non-blocking
+// channel send, nothing else. All analysis (offset estimation, critical
+// paths, the ledger, JSON export) is cold-path and runs on demand.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fftgrad/internal/telemetry"
+)
+
+// IterRecord is one rank's accounting of one training iteration. All
+// *Ns stage durations come from the training loop's existing timers;
+// StartNs/ExchEndNs/EndNs are instants on the rank's profiler clock
+// (RankCtx.NowNs), which is what makes cross-rank alignment possible.
+type IterRecord struct {
+	Iter int64 `json:"iter"`
+
+	StartNs   int64 `json:"start_ns"`    // iteration began (rank-local clock)
+	ExchEndNs int64 `json:"exch_end_ns"` // gradient exchange completed (barrier-anchored)
+	EndNs     int64 `json:"end_ns"`      // iteration ended
+
+	ComputeNs    int64 `json:"compute_ns"`
+	CompressNs   int64 `json:"compress_ns"`
+	ExchangeNs   int64 `json:"exchange_ns"`
+	DecompressNs int64 `json:"decompress_ns"`
+	UpdateNs     int64 `json:"update_ns"`
+	SyncNs       int64 `json:"sync_ns"`
+
+	MsgBytes int64 `json:"msg_bytes"`
+
+	// BlamePeer/BlameWaitNs carry the cluster layer's in-exchange
+	// attribution on the fault path (ExchangeResult.SlowestPeer/WaitNs):
+	// the peer whose data this rank waited for longest, and the marginal
+	// wait it caused. -1/0 on the barrier path, where arrival skew is
+	// reconstructed from the records instead (see critical.go).
+	BlamePeer   int64 `json:"blame_peer"`
+	BlameWaitNs int64 `json:"blame_wait_ns"`
+}
+
+// Field indices of the seqlock slot, mirroring IterRecord.
+const (
+	fIter = iota
+	fStart
+	fExchEnd
+	fEnd
+	fCompute
+	fCompress
+	fExchange
+	fDecompress
+	fUpdate
+	fSync
+	fMsgBytes
+	fBlamePeer
+	fBlameWait
+	nFields
+)
+
+// pslot is one seqlock-protected record slot (same protocol as the trace
+// ring: invalidate stamp, store fields, republish; readers retry on a
+// moved stamp and never see a torn record).
+type pslot struct {
+	stamp atomic.Uint64 // 0 = empty/in-flight; else claim index + 1
+	f     [nFields]atomic.Int64
+}
+
+// pring is one rank's record buffer. Only that rank's worker goroutine
+// writes it; analysis goroutines read it through the seqlock.
+type pring struct {
+	pos   atomic.Uint64
+	mask  uint64
+	slots []pslot
+}
+
+func (r *pring) store(rec *IterRecord) {
+	idx := r.pos.Add(1) - 1
+	s := &r.slots[idx&r.mask]
+	s.stamp.Store(0)
+	s.f[fIter].Store(rec.Iter)
+	s.f[fStart].Store(rec.StartNs)
+	s.f[fExchEnd].Store(rec.ExchEndNs)
+	s.f[fEnd].Store(rec.EndNs)
+	s.f[fCompute].Store(rec.ComputeNs)
+	s.f[fCompress].Store(rec.CompressNs)
+	s.f[fExchange].Store(rec.ExchangeNs)
+	s.f[fDecompress].Store(rec.DecompressNs)
+	s.f[fUpdate].Store(rec.UpdateNs)
+	s.f[fSync].Store(rec.SyncNs)
+	s.f[fMsgBytes].Store(rec.MsgBytes)
+	s.f[fBlamePeer].Store(rec.BlamePeer)
+	s.f[fBlameWait].Store(rec.BlameWaitNs)
+	s.stamp.Store(idx + 1)
+}
+
+// DefaultIterWindow is the per-rank record capacity New selects when
+// asked for <= 0: enough iterations for offset estimation and the
+// rolling ledger without unbounded memory.
+const DefaultIterWindow = 4096
+
+// Profiler owns one record ring per rank plus the analysis state. The
+// zero value is not usable; a nil *Profiler is valid and records nothing.
+type Profiler struct {
+	rings []pring
+	now   []func() int64 // per-rank clock; test/netsim-skew overridable
+
+	// Anomaly engine state, one cell per rank, each touched only by its
+	// own rank's Commit goroutine.
+	anom []anomalyState
+
+	// Telemetry, wired by Instrument before training starts (or left nil).
+	iterHist  *telemetry.Histogram   // fftgrad_obs_iteration_seconds
+	blameHist []*telemetry.Histogram // fftgrad_obs_blame_seconds{rank=...}
+
+	// Capture plumbing (EnableCapture); captureCh is non-nil only when a
+	// capture worker is running.
+	captureCh chan anomalyEvent
+	capt      *capturer
+	breaches  atomic.Uint64 // z-score breaches detected (captured or not)
+
+	// Cold-path analysis state: the cursor-guarded ledger sweep.
+	mu     sync.Mutex
+	ledger ledger
+}
+
+// New creates a profiler for `ranks` tracks retaining the last perIter
+// iteration records per rank (rounded up to a power of two; <= 0 selects
+// DefaultIterWindow). All ranks share one monotonic epoch by default —
+// the in-process case; SetClock skews individual ranks for netsim tests.
+func New(ranks, perIter int) *Profiler {
+	if ranks < 1 {
+		ranks = 1
+	}
+	if perIter <= 0 {
+		perIter = DefaultIterWindow
+	}
+	capPow2 := 1
+	for capPow2 < perIter {
+		capPow2 <<= 1
+	}
+	p := &Profiler{
+		rings: make([]pring, ranks),
+		now:   make([]func() int64, ranks),
+		anom:  make([]anomalyState, ranks),
+	}
+	base := time.Now()
+	shared := func() int64 { return int64(time.Since(base)) }
+	for i := range p.rings {
+		p.rings[i].mask = uint64(capPow2 - 1)
+		p.rings[i].slots = make([]pslot, capPow2)
+		p.now[i] = shared
+	}
+	return p
+}
+
+// Ranks returns the number of tracks, 0 on a nil profiler.
+func (p *Profiler) Ranks() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.rings)
+}
+
+// SetClock overrides one rank's clock source — how netsim tests model
+// ranks that do not share an epoch. Call before recording.
+func (p *Profiler) SetClock(rank int, fn func() int64) {
+	if p == nil || rank < 0 || rank >= len(p.now) || fn == nil {
+		return
+	}
+	p.now[rank] = fn
+}
+
+// Rank returns the recording handle for one rank's track, nil when the
+// profiler is nil or the rank is out of range — callers thread the nil
+// through and every record call degrades to a pointer check.
+func (p *Profiler) Rank(rank int) *RankCtx {
+	if p == nil || rank < 0 || rank >= len(p.rings) {
+		return nil
+	}
+	return &RankCtx{p: p, rank: int32(rank)}
+}
+
+// RankCtx is one rank's recording handle. A nil *RankCtx is valid; every
+// method is a no-op (NowNs returns 0).
+type RankCtx struct {
+	p    *Profiler
+	rank int32
+}
+
+// NowNs returns the current time on this rank's profiler clock.
+func (c *RankCtx) NowNs() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.p.now[c.rank]()
+}
+
+// Commit records one completed iteration. This is the steady-state
+// record path: seqlock stores, one histogram observation, the EWMA
+// anomaly update and (on breach) a non-blocking channel send — zero
+// allocations, asserted by TestCommitZeroAlloc and the obs gate.
+func (c *RankCtx) Commit(rec IterRecord) {
+	if c == nil {
+		return
+	}
+	p := c.p
+	p.rings[c.rank].store(&rec)
+	latency := float64(rec.EndNs-rec.StartNs) / 1e9
+	if p.iterHist != nil {
+		p.iterHist.Observe(latency)
+	}
+	p.anomalyCheck(int(c.rank), &rec, latency)
+}
+
+// Records snapshots one rank's retained iteration records, ordered by
+// iteration. Cold path; safe against a concurrently committing writer.
+func (p *Profiler) Records(rank int) []IterRecord {
+	if p == nil || rank < 0 || rank >= len(p.rings) {
+		return nil
+	}
+	r := &p.rings[rank]
+	out := make([]IterRecord, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		for attempt := 0; attempt < 4; attempt++ {
+			st1 := s.stamp.Load()
+			if st1 == 0 {
+				break
+			}
+			rec := IterRecord{
+				Iter:         s.f[fIter].Load(),
+				StartNs:      s.f[fStart].Load(),
+				ExchEndNs:    s.f[fExchEnd].Load(),
+				EndNs:        s.f[fEnd].Load(),
+				ComputeNs:    s.f[fCompute].Load(),
+				CompressNs:   s.f[fCompress].Load(),
+				ExchangeNs:   s.f[fExchange].Load(),
+				DecompressNs: s.f[fDecompress].Load(),
+				UpdateNs:     s.f[fUpdate].Load(),
+				SyncNs:       s.f[fSync].Load(),
+				MsgBytes:     s.f[fMsgBytes].Load(),
+				BlamePeer:    s.f[fBlamePeer].Load(),
+				BlameWaitNs:  s.f[fBlameWait].Load(),
+			}
+			if s.stamp.Load() == st1 {
+				out = append(out, rec)
+				break
+			}
+		}
+	}
+	sortRecords(out)
+	return out
+}
+
+func sortRecords(recs []IterRecord) {
+	// Insertion-friendly: rings fill in iteration order, so the snapshot
+	// is at most rotated; a simple sort keeps the code obvious.
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].Iter < recs[j-1].Iter; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+// blameBounds are the bucket bounds (seconds) for the per-rank blame
+// histograms: sub-ms in-process skew up to multi-second stalls.
+var blameBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// iterBounds are the bucket bounds (seconds) for iteration latency.
+var iterBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// Instrument wires the profiler's histograms and gauges into reg:
+//
+//	fftgrad_obs_iteration_seconds            — iteration latency histogram
+//	fftgrad_obs_blame_seconds{rank="N"}      — blocked time attributed to rank N
+//	fftgrad_obs_anomaly_breaches_total       — EWMA z-score breaches
+//
+// Call before training starts; Commit publishes to these without locks.
+func (p *Profiler) Instrument(reg *telemetry.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	p.iterHist = reg.Histogram("fftgrad_obs_iteration_seconds",
+		"Per-rank training iteration latency.", iterBounds)
+	p.blameHist = make([]*telemetry.Histogram, len(p.rings))
+	for rank := range p.rings {
+		p.blameHist[rank] = reg.Histogram(
+			histName(rank),
+			"Blocked time across the fleet attributed to this rank (per blamed iteration).",
+			blameBounds)
+	}
+	reg.GaugeFunc("fftgrad_obs_anomaly_breaches_total",
+		"EWMA z-score breaches detected by the profiler's anomaly engine.",
+		func() float64 { return float64(p.breaches.Load()) })
+}
+
+func histName(rank int) string {
+	return `fftgrad_obs_blame_seconds{rank="` + itoa(rank) + `"}`
+}
+
+// itoa is a tiny allocation-conscious int formatter for metric names
+// (registration-time only, but keeps the import set lean).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

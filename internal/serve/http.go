@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"fftgrad/internal/buildinfo"
 )
 
 // Routes mounts the job API onto mux. The caller owns the mux, so the
@@ -21,7 +23,12 @@ import (
 //	GET    /jobs/{id}/metrics  the job's registry, Prometheus text format
 //	GET    /jobs/{id}/metrics.json  same, flat JSON
 //	GET    /jobs/{id}/trace    the job's timeline, Chrome trace_event JSON
+//	GET    /jobs/{id}/profile  the job's iteration profile: critical paths, blame ledger, anomalies
+//	GET    /jobs/{id}/profile/trace  clock-aligned merged multi-process timeline (Perfetto)
 //	GET    /jobs/metrics       every job's registry merged, job="<id>" labels
+//	GET    /healthz            liveness (always 200 while the process serves)
+//	GET    /readyz             readiness (503 once a drain has begun)
+//	GET    /debug/status       compact operator status: build, slots, jobs
 func (s *Server) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
@@ -33,6 +40,11 @@ func (s *Server) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("GET /jobs/{id}/metrics", s.handleJobMetrics)
 	mux.HandleFunc("GET /jobs/{id}/metrics.json", s.handleJobMetricsJSON)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /jobs/{id}/profile", s.handleJobProfile)
+	mux.HandleFunc("GET /jobs/{id}/profile/trace", s.handleJobMergedTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /debug/status", s.handleDebugStatus)
 }
 
 // Handler returns a standalone mux with just the job API.
@@ -186,6 +198,89 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = j.tracer.WriteJSON(w)
+}
+
+// handleJobProfile serves the job's iteration-profile document: build
+// identity, clock offsets, the critical-path decomposition, the blame
+// ledger with rolling percentiles, and any anomaly captures. A terminal
+// job gets a final profile (the ledger folds its ragged tail).
+func (s *Server) handleJobProfile(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, ErrNotFound)
+		return
+	}
+	j.mu.Lock()
+	final := j.state.terminal()
+	j.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = j.prof.WriteProfileJSON(w, final)
+}
+
+// handleJobMergedTrace serves the clock-aligned multi-process timeline:
+// every rank's trace ring merged into one Perfetto view, re-based by the
+// profiler's barrier-anchored clock-offset estimates.
+func (s *Server) handleJobMergedTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, ErrNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = j.tracer.WriteMergedJSON(w, j.prof.Offsets())
+}
+
+// handleHealthz is liveness: if this handler runs, the process serves.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is readiness: 200 while accepting submissions, 503 once a
+// drain has begun — so orchestrators stop routing work to a terminating
+// replica while its running jobs halt and spool.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "draining\n")
+		return
+	}
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// debugStatus is the compact operator view served at /debug/status.
+type debugStatus struct {
+	Version string `json:"version"`
+	Go      string `json:"go"`
+	Ready   bool   `json:"ready"`
+
+	WorkerSlots int `json:"worker_slots"`
+	FreeSlots   int `json:"free_slots"`
+	Queued      int `json:"queued"`
+
+	Jobs map[State]int `json:"jobs"`
+}
+
+func (s *Server) handleDebugStatus(w http.ResponseWriter, _ *http.Request) {
+	st := debugStatus{
+		Version:     buildinfo.Version(),
+		Go:          buildinfo.GoVersion(),
+		WorkerSlots: s.cfg.WorkerSlots,
+		Jobs:        map[State]int{},
+	}
+	s.mu.Lock()
+	st.Ready = !s.draining
+	st.FreeSlots = s.free
+	st.Queued = len(s.queue)
+	order := append([]*job(nil), s.order...)
+	s.mu.Unlock()
+	for _, j := range order {
+		j.mu.Lock()
+		st.Jobs[j.state]++
+		j.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleMergedMetrics renders every job's registry on one page, each

@@ -6,6 +6,7 @@ import (
 
 	"fftgrad/internal/checkpoint"
 	"fftgrad/internal/dist"
+	"fftgrad/internal/obs"
 	"fftgrad/internal/telemetry"
 	"fftgrad/internal/trace"
 )
@@ -53,6 +54,7 @@ type job struct {
 	// while the job is still queued.
 	reg    *telemetry.Registry
 	tracer *trace.Tracer
+	prof   *obs.Profiler
 
 	stop     chan struct{}
 	stopOnce sync.Once

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"fftgrad/internal/obs"
+)
+
+// TestJobProfileEndpoints runs a job to completion and checks the whole
+// observability surface: the iteration-profile document, the merged
+// multi-process timeline, and the operator status view.
+func TestJobProfileEndpoints(t *testing.T) {
+	srv := New(Config{WorkerSlots: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	info, _ := postJob(t, ts.URL, fastSpec(5))
+	waitTerminal(t, ts.URL, info.ID)
+
+	// --- /jobs/{id}/profile -------------------------------------------
+	resp, err := http.Get(ts.URL + "/jobs/" + info.ID + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile status %d", resp.StatusCode)
+	}
+	var prof obs.Profile
+	if err := json.NewDecoder(resp.Body).Decode(&prof); err != nil {
+		t.Fatalf("profile is not valid JSON: %v", err)
+	}
+	if prof.Build.Version == "" || prof.Build.Go == "" {
+		t.Fatalf("profile missing build identity: %+v", prof.Build)
+	}
+	if prof.Summary.Iterations <= 0 {
+		t.Fatalf("profile folded no iterations: %+v", prof.Summary)
+	}
+	if len(prof.Blame) != 2 {
+		t.Fatalf("blame ledger has %d entries, want one per worker (2)", len(prof.Blame))
+	}
+	if len(prof.OffsetsNs) != 2 {
+		t.Fatalf("offsets for %d ranks, want 2", len(prof.OffsetsNs))
+	}
+	if len(prof.Iterations) == 0 {
+		t.Fatal("profile has no per-iteration critical paths")
+	}
+	last := prof.Iterations[len(prof.Iterations)-1]
+	if last.WallNs <= 0 || last.CriticalRank < 0 || last.CriticalRank >= 2 {
+		t.Fatalf("bad critical path entry: %+v", last)
+	}
+
+	// --- /jobs/{id}/profile/trace -------------------------------------
+	resp2, err := http.Get(ts.URL + "/jobs/" + info.ID + "/profile/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var events []map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&events); err != nil {
+		t.Fatalf("merged timeline is not valid trace_event JSON: %v", err)
+	}
+	pids := map[float64]bool{}
+	build := false
+	for _, e := range events {
+		if pid, ok := e["pid"].(float64); ok && e["ph"] == "X" {
+			pids[pid] = true
+		}
+		if e["name"] == "fftgrad_build" {
+			build = true
+		}
+	}
+	if !build {
+		t.Error("merged timeline missing the fftgrad_build stamp")
+	}
+	// Ranks export as processes pid=rank+1.
+	for rank := 0; rank < 2; rank++ {
+		if !pids[float64(rank+1)] {
+			t.Errorf("merged timeline has no spans for rank %d (pid %d)", rank, rank+1)
+		}
+	}
+
+	// --- /debug/status -------------------------------------------------
+	resp3, err := http.Get(ts.URL + "/debug/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var st debugStatus
+	if err := json.NewDecoder(resp3.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ready || st.Version == "" || st.Jobs[StateCompleted] == 0 {
+		t.Fatalf("bad status: %+v", st)
+	}
+}
+
+// TestHealthReadyFlipOnDrain pins the probe semantics: /healthz stays 200
+// for the process's lifetime, /readyz flips to 503 the moment a drain
+// begins.
+func TestHealthReadyFlipOnDrain(t *testing.T) {
+	srv := New(Config{WorkerSlots: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz %d before drain", got)
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz %d before drain", got)
+	}
+	srv.Drain()
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz %d after drain, must stay 200", got)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz %d after drain, want 503", got)
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"sync"
 	"time"
 
+	"fftgrad/internal/buildinfo"
 	"fftgrad/internal/checkpoint"
 	"fftgrad/internal/dist"
+	"fftgrad/internal/obs"
 	"fftgrad/internal/telemetry"
 	"fftgrad/internal/trace"
 )
@@ -111,12 +113,16 @@ func (s *Server) Submit(spec Spec) (Info, error) {
 		run:       run,
 		reg:       telemetry.NewRegistry(),
 		tracer:    trace.New(run.Tracks(), s.cfg.TraceEvents),
+		prof:      obs.New(run.Tracks(), 0),
 		stop:      make(chan struct{}),
 		state:     StateQueued,
 		updated:   make(chan struct{}),
 		submitted: time.Now(),
 	}
 	j.tracer.SetName(fmt.Sprintf("job %s (%s)", j.id, spec.Backend))
+	buildinfo.Register(j.reg)
+	j.tracer.Instrument(j.reg)
+	j.prof.Instrument(j.reg)
 	j.resume = resume
 	j.mu.Lock()
 	j.append("queued", nil, "")
@@ -166,6 +172,7 @@ func (s *Server) start(j *job) {
 			Stop:      j.stop,
 			Telemetry: j.reg,
 			Tracer:    j.tracer,
+			Profiler:  j.prof,
 			OnEpoch: func(st dist.EpochStats) {
 				// encoding/json refuses NaN/Inf (e.g. Theta on the
 				// fp32 path reports NaN for "no drop ratio in effect");
@@ -267,6 +274,15 @@ func (s *Server) List() []Info {
 		out = append(out, j.info())
 	}
 	return out
+}
+
+// Ready reports whether the server is accepting submissions — the
+// /readyz signal. It flips false the moment a drain begins, so a load
+// balancer stops routing new submissions while running jobs halt.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining
 }
 
 // lookup fetches the raw job record (for the observability endpoints).

@@ -144,6 +144,45 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts
+// by linear interpolation inside the covering bucket — the same estimate
+// Prometheus' histogram_quantile computes server-side, available here so
+// in-process consumers (the profiler's blame ledger, /debug/status) can
+// report rolling percentiles without an exposition round-trip. Returns
+// NaN when the histogram holds no samples; samples in the +Inf overflow
+// bucket clamp to the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if n > 0 && cum+n >= target {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1] // overflow bucket: clamp
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (h.bounds[i]-lo)*((target-cum)/n)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // addFloatAtomic CAS-adds v to the float64 stored in bits.
 func addFloatAtomic(bits *atomic.Uint64, v float64) {
 	for {

@@ -5,6 +5,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"fftgrad/internal/buildinfo"
+)
+
+// Build identity stamped into every export's metadata (and therefore
+// into flight-recorder dumps, which render through MarshalJSON). These
+// are function vars so the golden tests can pin deterministic values.
+var (
+	buildVersion = buildinfo.Version
+	buildGo      = buildinfo.GoVersion
 )
 
 // WriteJSON writes the tracer's current contents as a Chrome trace_event
@@ -22,6 +32,9 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		pname = "fftgrad trainer"
 	}
 	fmt.Fprintf(bw, `{"ph":"M","pid":1,"name":"process_name","args":{"name":%q}}`, pname)
+	bw.str(",\n")
+	fmt.Fprintf(bw, `{"ph":"M","pid":1,"name":"fftgrad_build","args":{"version":%q,"go":%q}}`,
+		buildVersion(), buildGo())
 	for rank := 0; rank < t.Ranks(); rank++ {
 		bw.str(",\n")
 		fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":"rank %d"}}`, rank, rank)

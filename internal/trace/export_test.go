@@ -12,6 +12,16 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
+// TestMain pins the build identity the exporter stamps into metadata:
+// the real values change with every commit and toolchain, which would
+// make the golden files churn.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	buildVersion = func() string { return "test" }
+	buildGo = func() string { return "gotest" }
+	os.Exit(m.Run())
+}
+
 // buildDeterministic records a fixed timeline via raw ring appends (the
 // Ctx API anchors on the wall clock, which would jitter a golden file):
 // two ranks, two iterations of pipeline spans, plus cluster/guard
@@ -91,8 +101,8 @@ func TestWriteJSONValid(t *testing.T) {
 			t.Errorf("unknown phase: %v", e)
 		}
 	}
-	if meta != 3 { // process_name + 2 thread_name
-		t.Errorf("got %d metadata events, want 3", meta)
+	if meta != 4 { // process_name + fftgrad_build + 2 thread_name
+		t.Errorf("got %d metadata events, want 4", meta)
 	}
 	if spans != 20 || instants != 3 {
 		t.Errorf("got %d spans, %d instants; want 20, 3", spans, instants)

@@ -18,6 +18,7 @@ const (
 	ReasonPanic                  // a worker goroutine panicked
 	ReasonFailure                // unclassified terminal training error
 	ReasonViewGrow               // elastic join grew the membership view
+	ReasonAnomaly                // profiler EWMA z-score breach (obs package)
 	numReasons
 )
 
@@ -29,6 +30,7 @@ var reasonNames = [numReasons]string{
 	ReasonPanic:    "panic",
 	ReasonFailure:  "failure",
 	ReasonViewGrow: "view_grow",
+	ReasonAnomaly:  "anomaly",
 }
 
 // String returns the reason label used in dump file names and logs.

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMergedJSON exports the timeline as a clock-aligned multi-process
+// Perfetto view: one trace_event *process* per rank (pid = rank+1)
+// instead of one thread inside a single process, with every rank's
+// timestamps shifted onto rank 0's clock axis by subtracting
+// offsets[rank] nanoseconds. This is the "global timeline" form: on the
+// TCP/netsim paths each rank records against its own monotonic epoch,
+// and only after the profiler's barrier-anchored offset estimation
+// (obs.Profiler.Offsets) do spans from different ranks line up — rank
+// 2's exchange visibly starting while rank 0 is still computing, instead
+// of every rank pretending to share an epoch.
+//
+// offsets may be nil (no alignment) or shorter than the rank count;
+// missing entries are treated as 0. After alignment all timestamps are
+// re-based so the earliest event sits at t=0 — Perfetto renders negative
+// timestamps poorly.
+//
+// Ranks that have lost events to ring wraparound get a process_labels
+// metadata row ("incomplete: dropped N events") and a "dropped" arg on
+// their process_name row, so readings over the oldest retained
+// iterations of a merged view are visibly suspect rather than silently
+// partial.
+//
+// A nil tracer writes an empty array.
+func (t *Tracer) WriteMergedJSON(w io.Writer, offsets []int64) error {
+	events := t.Events()
+	bw := &errWriter{w: w}
+	bw.str("[\n")
+	pname := t.Name()
+	if pname == "" {
+		pname = "fftgrad trainer"
+	}
+
+	off := func(rank int32) int64 {
+		if int(rank) < len(offsets) {
+			return offsets[rank]
+		}
+		return 0
+	}
+
+	// Re-base onto the earliest aligned timestamp.
+	var base int64
+	for i, e := range events {
+		if s := e.Start - off(e.Rank); i == 0 || s < base {
+			base = s
+		}
+	}
+
+	fmt.Fprintf(bw, `{"ph":"M","pid":0,"name":"fftgrad_build","args":{"version":%q,"go":%q}}`,
+		buildVersion(), buildGo())
+	for rank := 0; rank < t.Ranks(); rank++ {
+		pid := rank + 1
+		dropped := t.Dropped(rank)
+		bw.str(",\n")
+		fmt.Fprintf(bw,
+			`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"rank %d — %s","offset_ns":%d,"dropped":%d}}`,
+			pid, rank, pname, off(int32(rank)), dropped)
+		bw.str(",\n")
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"name":"process_sort_index","args":{"sort_index":%d}}`, pid, rank)
+		if dropped > 0 {
+			bw.str(",\n")
+			fmt.Fprintf(bw,
+				`{"ph":"M","pid":%d,"name":"process_labels","args":{"labels":"incomplete: dropped %d events"}}`,
+				pid, dropped)
+		}
+	}
+	for _, e := range events {
+		bw.str(",\n")
+		ts := float64(e.Start-off(e.Rank)-base) / 1e3 // aligned ns → µs
+		pid := int(e.Rank) + 1
+		if e.Dur > 0 || isSpan(e.Op) {
+			fmt.Fprintf(bw,
+				`{"ph":"X","pid":%d,"tid":0,"ts":%.3f,"dur":%.3f,"name":%q,"cat":%q,"args":{"iter":%d,"arg":%d}}`,
+				pid, ts, float64(e.Dur)/1e3, e.Op.String(), e.Op.Cat(), e.Seq, e.Arg)
+		} else {
+			fmt.Fprintf(bw,
+				`{"ph":"i","pid":%d,"tid":0,"ts":%.3f,"s":"t","name":%q,"cat":%q,"args":{"iter":%d,"arg":%d}}`,
+				pid, ts, e.Op.String(), e.Op.Cat(), e.Seq, e.Arg)
+		}
+	}
+	bw.str("\n]\n")
+	return bw.err
+}

@@ -30,6 +30,7 @@
 package trace
 
 import (
+	"fmt"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -371,6 +372,49 @@ func (t *Tracer) Events() []Event {
 	}
 	sortEvents(out)
 	return out
+}
+
+// Dropped returns how many events rank's ring has lost to wraparound:
+// total appends beyond the ring's capacity. The ring is *designed* to
+// overwrite (it is a flight recorder, not a log), but a merged timeline
+// stitched from all ranks needs to know when a rank's window no longer
+// reaches back to the iterations the other ranks still retain — those
+// iterations are incomplete and any cross-rank attribution over them is
+// suspect. Returns 0 on a nil tracer or out-of-range rank.
+func (t *Tracer) Dropped(rank int) uint64 {
+	if t == nil || rank < 0 || rank >= len(t.rings) {
+		return 0
+	}
+	pos := t.rings[rank].pos.Load()
+	if pos <= uint64(t.perRank) {
+		return 0
+	}
+	return pos - uint64(t.perRank)
+}
+
+// DroppedTotal sums wraparound loss across every rank's ring.
+func (t *Tracer) DroppedTotal() uint64 {
+	var total uint64
+	for rank := 0; rank < t.Ranks(); rank++ {
+		total += t.Dropped(rank)
+	}
+	return total
+}
+
+// Instrument exposes per-rank wraparound loss on reg as
+// fftgrad_trace_dropped_total{rank="N"} — read-on-exposition gauges, so
+// the record path pays nothing for the accounting (the ring's claim
+// counter already carries it).
+func (t *Tracer) Instrument(reg *telemetry.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	for rank := 0; rank < t.Ranks(); rank++ {
+		rank := rank
+		reg.GaugeFunc(fmt.Sprintf(`fftgrad_trace_dropped_total{rank="%d"}`, rank),
+			"Trace events lost to ring wraparound on this rank's track.",
+			func() float64 { return float64(t.Dropped(rank)) })
+	}
 }
 
 // sortEvents orders events deterministically for export: by start time,
